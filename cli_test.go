@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the repo's commands into a temp dir and
+// returns the binary path.
+func buildTool(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func TestToruscalcCLI(t *testing.T) {
+	bin := buildTool(t, "cmd/toruscalc")
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-shape", "2x2x4x4x2", "route", "0", "127"}, "deterministic route"},
+		{[]string{"-shape", "4x4x4x16x2", "psets"}, "16 psets"},
+		{[]string{"-shape", "2x2x4x4x2", "proxies", "0", "127"}, "link-disjoint proxies"},
+		{[]string{"-shape", "2x2x4x4x2", "zones", "0", "127", "1048576"}, "flexibility"},
+		{[]string{"-shape", "2x2x4x4x2", "map", "TABCDE", "2"}, "mapping TABCDE"},
+	}
+	for _, c := range cases {
+		out, err := exec.Command(bin, c.args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("toruscalc %v: %v\n%s", c.args, err, out)
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Fatalf("toruscalc %v output missing %q:\n%s", c.args, c.want, out)
+		}
+	}
+	// Bad input exits nonzero.
+	if err := exec.Command(bin, "-shape", "2x2", "route", "0", "99").Run(); err == nil {
+		t.Fatal("bad node accepted")
+	}
+}
+
+func TestBgqsimCLI(t *testing.T) {
+	bin := buildTool(t, "cmd/bgqsim")
+	cmd := exec.Command(bin, "-")
+	cmd.Stdin = strings.NewReader(`{
+		"shape": "2x2x4x4x2",
+		"transfer": {"kind": "pair", "src": 0, "dst": 127, "bytes": 33554432, "proxies": 4}
+	}`)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("bgqsim: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"mode:", "proxied", "throughput:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("bgqsim output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Scenario files from the repo run too.
+	out2, err := exec.Command(bin, "examples/scenarios/pair-proxied.json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bgqsim file: %v\n%s", err, out2)
+	}
+	// Invalid scenario exits nonzero.
+	bad := exec.Command(bin, "-")
+	bad.Stdin = strings.NewReader(`{"shape": "2x2x4x4x2"}`)
+	if err := bad.Run(); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+func TestBgqbenchQuickCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "cmd/bgqbench")
+	out, err := exec.Command(bin, "-quick", "-run", "fig5").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bgqbench: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "crossover") {
+		t.Fatalf("bgqbench output missing crossover:\n%s", out)
+	}
+	if err := exec.Command(bin, "-run", "nonsense").Run(); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,303 @@
+// Command bgqbench regenerates every data figure of the paper's
+// evaluation (Figs. 5-11) plus the ablations in DESIGN.md, printing each
+// as a text table.
+//
+// Usage:
+//
+//	bgqbench [-run fig5|fig6|fig7|fig8|fig9|fig10|fig11|ablations|all] [-quick]
+//
+// -quick trims the sweeps (fewer message sizes, smaller top scale) for a
+// fast smoke run; the default regenerates the full figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bgqflow/internal/experiments"
+	"bgqflow/internal/stats"
+)
+
+func main() {
+	run := flag.String("run", "all", "which experiment to run: fig5..fig11, ablations, extensions, or all")
+	quick := flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Quick = *quick
+
+	selected := strings.Split(*run, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == "all" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	runners := []struct {
+		name string
+		fn   func(experiments.Options) error
+	}{
+		{"fig5", printFig5},
+		{"fig6", printFig6},
+		{"fig7", printFig7},
+		{"fig8", printFig8},
+		{"fig9", printFig9},
+		{"fig10", printFig10},
+		{"fig11", printFig11},
+		{"ablations", printAblations},
+		{"extensions", printExtensions},
+	}
+	any := false
+	for _, r := range runners {
+		if !want(r.name) {
+			continue
+		}
+		any = true
+		start := time.Now()
+		if err := r.fn(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "bgqbench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "bgqbench: unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}
+
+func printCurveTable(title, xlabel string, curves ...experiments.Curve) error {
+	t := stats.Table{Title: title, Headers: []string{xlabel}}
+	for _, c := range curves {
+		t.Headers = append(t.Headers, c.Name+" (GB/s)")
+	}
+	for i := range curves[0].Points {
+		row := []string{stats.HumanBytes(curves[0].Points[i].Bytes)}
+		for _, c := range curves {
+			row = append(row, fmt.Sprintf("%.3f", c.Points[i].GBps))
+		}
+		t.AddRow(row...)
+	}
+	return t.Write(os.Stdout)
+}
+
+func printFig5(opt experiments.Options) error {
+	res, err := experiments.Fig5(opt)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Fig. 5: point-to-point PUT throughput with and w/o proxies in %v", res.Shape)
+	if err := printCurveTable(title, "size", res.Direct, res.Proxied); err != nil {
+		return err
+	}
+	fmt.Printf("crossover (proxied first wins): %s\n", stats.HumanBytes(res.Crossover))
+	return nil
+}
+
+func printFig6(opt experiments.Options) error {
+	res, err := experiments.Fig6(opt)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(res.Groups))
+	for i, g := range res.Groups {
+		names[i] = g.String()
+	}
+	title := fmt.Sprintf("Fig. 6: group-to-group PUT throughput, 2x256 nodes in %v (proxy groups: %s)",
+		res.Shape, strings.Join(names, " "))
+	if err := printCurveTable(title, "size", res.Direct, res.Proxied); err != nil {
+		return err
+	}
+	fmt.Printf("crossover (proxied first wins): %s\n", stats.HumanBytes(res.Crossover))
+	return nil
+}
+
+func printFig7(opt experiments.Options) error {
+	res, err := experiments.Fig7(opt)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Fig. 7: throughput vs number of proxy groups, 2x32 nodes in %v", res.Shape)
+	return printCurveTable(title, "size", res.Curves...)
+}
+
+func printFig8(experiments.Options) error {
+	fmt.Println("Fig. 8: Pattern 1 histogram (1,024 ranks, uniform 0-8MB)")
+	fmt.Print(experiments.Fig8(1).String())
+	return nil
+}
+
+func printFig9(experiments.Options) error {
+	fmt.Println("Fig. 9: Pattern 2 histogram (1,024 ranks, Pareto 0-8MB)")
+	fmt.Print(experiments.Fig9(1).String())
+	return nil
+}
+
+func printScaleTable(title string, curves ...experiments.ScaleCurve) error {
+	t := stats.Table{Title: title, Headers: []string{"cores"}}
+	for _, c := range curves {
+		t.Headers = append(t.Headers, c.Name+" (GB/s)")
+	}
+	for i := range curves[0].Points {
+		row := []string{fmt.Sprint(curves[0].Points[i].Cores)}
+		for _, c := range curves {
+			row = append(row, fmt.Sprintf("%.3f", c.Points[i].GBps))
+		}
+		t.AddRow(row...)
+	}
+	return t.Write(os.Stdout)
+}
+
+func printFig10(opt experiments.Options) error {
+	res, err := experiments.Fig10(opt)
+	if err != nil {
+		return err
+	}
+	return printScaleTable("Fig. 10: aggregation throughput to ION /dev/null (weak scaling)",
+		res.OursP1, res.OursP2, res.DefaultP1, res.DefaultP2)
+}
+
+func printFig11(opt experiments.Options) error {
+	res, err := experiments.Fig11(opt)
+	if err != nil {
+		return err
+	}
+	if err := printScaleTable("Fig. 11: HACC I/O write throughput to ION /dev/null",
+		res.Ours, res.Default); err != nil {
+		return err
+	}
+	for i, gb := range res.BurstGB {
+		fmt.Printf("  burst at %d cores: %.1f GB\n", res.Ours.Points[i].Cores, gb)
+	}
+	return nil
+}
+
+func printAblations(opt experiments.Options) error {
+	a1, err := experiments.AblationThreshold(opt)
+	if err != nil {
+		return err
+	}
+	if err := printCurveTable("Ablation A1: gain over direct vs message size per proxy count (Eq. 5 check)",
+		"size", a1.Curves...); err != nil {
+		return err
+	}
+
+	a2, err := experiments.AblationPlacement(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nAblation A2: placement at %s: direct %.2f GB/s, link-disjoint (%d proxies) %.2f GB/s, naive random %.2f GB/s\n",
+		stats.HumanBytes(a2.Bytes), a2.DirectGBps, a2.DisjointProxies, a2.DisjointGBps, a2.NaiveGBps)
+
+	a3, err := experiments.AblationAggCount(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nAblation A3: aggregator count at %d cores (%.1f GB burst): dynamic (%d/pset) %.2f GB/s",
+		a3.Cores, a3.BurstGB, a3.DynamicPerPset, a3.DynamicGBps)
+	for _, f := range a3.Fixed {
+		fmt.Printf(", fixed %d/pset %.2f GB/s", f.PerPset, f.GBps)
+	}
+	fmt.Println()
+
+	a4, err := experiments.AblationZones(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nAblation A4: %d concurrent %s messages between one pair, per routing zone:\n",
+		a4.Messages, stats.HumanBytes(a4.Bytes))
+	for _, z := range a4.PerZone {
+		fmt.Printf("  %-28s %.2f GB/s\n", z.Zone, z.GBps)
+	}
+
+	a5, err := experiments.AblationRoundSync(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nAblation A5: collective I/O round synchronization at %d cores: synced %.2f GB/s, unsynced %.2f GB/s, ours %.2f GB/s\n",
+		a5.Cores, a5.SyncedGBps, a5.UnsyncedGBps, a5.OursGBps)
+	return nil
+}
+
+func printExtensions(opt experiments.Options) error {
+	e1, err := experiments.ExtStorage(opt)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:   fmt.Sprintf("Extension E1: storage tier behind the IONs (%d cores, %.0f GB Pattern 1 burst)", e1.Cores, e1.BurstGB),
+		Headers: []string{"sink", "ours (GB/s)", "default (GB/s)", "gain"},
+	}
+	for _, r := range e1.Rows {
+		t.AddRow(r.Sink, fmt.Sprintf("%.2f", r.OursGBps), fmt.Sprintf("%.2f", r.DefaultGBps),
+			fmt.Sprintf("%.2fx", r.OursGBps/r.DefaultGBps))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	e2, err := experiments.ExtMapping(opt)
+	if err != nil {
+		return err
+	}
+	t2 := stats.Table{
+		Title:   fmt.Sprintf("\nExtension E2: rank-mapping sensitivity (HACC burst, %d cores)", e2.Cores),
+		Headers: []string{"mapping", "ours (GB/s)", "default (GB/s)", "gain"},
+	}
+	for _, r := range e2.Rows {
+		t2.AddRow(r.Mapping, fmt.Sprintf("%.2f", r.OursGBps), fmt.Sprintf("%.2f", r.DefGBps),
+			fmt.Sprintf("%.2fx", r.OursGBps/r.DefGBps))
+	}
+	if err := t2.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	e3, err := experiments.ExtPipeline(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := printCurveTable("Extension E3: pipelined store-and-forward (paper future work)",
+		"size", e3.Direct, e3.PlainK2, e3.PipedK2, e3.PipedK4); err != nil {
+		return err
+	}
+
+	e4, err := experiments.ExtValidation(opt)
+	if err != nil {
+		return err
+	}
+	t4 := stats.Table{
+		Title:   "\nExtension E4: flow-level vs packet-level model agreement",
+		Headers: []string{"scenario", "size", "flow (GB/s)", "packet (GB/s)", "diff"},
+	}
+	for _, r := range e4.Rows {
+		t4.AddRow(r.Scenario, stats.HumanBytes(r.Bytes),
+			fmt.Sprintf("%.3f", r.FlowGBps), fmt.Sprintf("%.3f", r.PacketGBps),
+			fmt.Sprintf("%.1f%%", r.DiffPct))
+	}
+	if err := t4.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	e5, err := experiments.ExtInsitu(opt)
+	if err != nil {
+		return err
+	}
+	t5 := stats.Table{
+		Title:   "\nExtension E5: bursts from real in-situ threshold analysis (field substrate)",
+		Headers: []string{"cores", "burst (GB)", "ranks w/ data", "ours (GB/s)", "default (GB/s)", "gain"},
+	}
+	for _, r := range e5.Rows {
+		t5.AddRow(fmt.Sprint(r.Cores), fmt.Sprintf("%.1f", r.BurstGB),
+			fmt.Sprintf("%.0f%%", r.RanksWithData*100),
+			fmt.Sprintf("%.2f", r.OursGBps), fmt.Sprintf("%.2f", r.DefaultGBps),
+			fmt.Sprintf("%.2fx", r.OursGBps/r.DefaultGBps))
+	}
+	return t5.Write(os.Stdout)
+}

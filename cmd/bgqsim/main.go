@@ -1,0 +1,93 @@
+// Command bgqsim runs a declarative scenario (JSON) on the BG/Q
+// simulator and prints the outcome.
+//
+// Usage:
+//
+//	bgqsim scenario.json
+//	bgqsim -            # read the scenario from stdin
+//
+// Example scenario — the paper's Pattern 2 burst on 32K cores under
+// topology-aware aggregation:
+//
+//	{
+//	  "shape": "4x4x4x16x2",
+//	  "seed": 7,
+//	  "io": {"workload": "pattern2", "approach": "topology-aware"}
+//	}
+//
+// Example transfer scenario — Fig. 5's corner pair with 4 proxies:
+//
+//	{
+//	  "shape": "2x2x4x4x2",
+//	  "transfer": {"kind": "pair", "src": 0, "dst": 127,
+//	               "bytes": 67108864, "proxies": 4}
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bgqflow/internal/scenario"
+)
+
+func main() {
+	traceOut := flag.String("trace", "", "write a JSON flow-timeline trace to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bgqsim [-trace out.json] <scenario.json | ->")
+		os.Exit(2)
+	}
+	arg := flag.Arg(0)
+	var in io.Reader
+	if arg == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(arg)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	cfg, err := scenario.Load(in)
+	if err != nil {
+		fatal(err)
+	}
+	if *traceOut != "" {
+		cfg.CollectTrace = true
+	}
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *traceOut != "" && res.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Trace.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:      %s (%d flows)\n", *traceOut, len(res.Trace.Flows))
+	}
+	fmt.Printf("mode:       %s\n", res.Mode)
+	fmt.Printf("throughput: %.3f GB/s\n", res.GBps)
+	fmt.Printf("makespan:   %.3f ms\n", res.MakespanMS)
+	if res.UplinkImbalance > 0 {
+		fmt.Printf("ION uplink max/mean: %.2f\n", res.UplinkImbalance)
+	}
+	for _, n := range res.Notes {
+		fmt.Printf("note:       %s\n", n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgqsim:", err)
+	os.Exit(1)
+}

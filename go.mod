@@ -1,0 +1,3 @@
+module bgqflow
+
+go 1.22

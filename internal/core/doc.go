@@ -1,0 +1,26 @@
+// Package core implements the paper's two mechanisms for sparse data
+// movement on the Blue Gene/Q:
+//
+//  1. Proxy-based multipath transfers (the paper's Algorithm 1): a large
+//     message between two compute nodes — or between two groups of
+//     compute nodes in a coupled multiphysics code — is split across up
+//     to 2L intermediate compute nodes ("proxies") chosen so that the
+//     two store-and-forward legs of each piece traverse link-disjoint
+//     routes. Because the k pieces move concurrently and each piece
+//     crosses the machine twice, the asymptotic gain is k/2, so at least
+//     3 proxies are required and small messages (below a calibrated
+//     threshold) go direct.
+//
+//  2. Topology-aware dynamic aggregation for I/O (the paper's
+//     Algorithm 2): instead of the default MPI-IO aggregators, each pset
+//     is divided into equal 5-D blocks; the lead rank of each block is an
+//     aggregator, the number of blocks per pset is scaled to the total
+//     burst size, and data-holding ranks are assigned to aggregators
+//     round-robin so every I/O node receives an approximately equal
+//     share of every sparse write burst.
+//
+// Both mechanisms emit netsim flow DAGs (dependent flows express the
+// store-and-forward legs) and are compared against the default behaviours
+// implemented in package collio (collective I/O baseline) and plain
+// direct transfers.
+package core

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/routing"
+	"bgqflow/internal/torus"
+)
+
+// Failure injection: the planner must route transfers around failed
+// links, both for the direct fallback and for proxy legs.
+
+func TestDirectPlanAvoidsFailedLink(t *testing.T) {
+	tor := mira128()
+	p := netsim.DefaultParams()
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	def := routing.DeterministicRoute(tor, src, dst)
+	net.FailLink(def.Links[1])
+
+	e, err := netsim.NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := NewPairPlanner(tor, DefaultProxyConfig())
+	pl.SetFaults(net.FailedFunc())
+	plan, err := pl.PlanPair(e, src, dst, 64<<10) // below threshold: direct
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != Direct {
+		t.Fatalf("mode %v", plan.Mode)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Result(plan.Final[0]).Done {
+		t.Fatal("direct transfer did not complete around the failure")
+	}
+}
+
+func TestUnawarePlannerTripsOnFailedLink(t *testing.T) {
+	tor := mira128()
+	p := netsim.DefaultParams()
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	def := routing.DeterministicRoute(tor, src, dst)
+	net.FailLink(def.Links[1])
+	e, err := netsim.NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("submitting over a failed link did not panic")
+		}
+	}()
+	e.Submit(netsim.FlowSpec{Src: src, Dst: dst, Bytes: 1 << 20})
+}
+
+func TestProxySelectionAvoidsFailedLegs(t *testing.T) {
+	tor := mira128()
+	p := netsim.DefaultParams()
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	pl, _ := NewPairPlanner(tor, DefaultProxyConfig())
+	healthy := pl.SelectProxies(src, dst)
+	if len(healthy) < 4 {
+		t.Fatalf("healthy selection found %d", len(healthy))
+	}
+	// Fail the first hop of the first proxy's leg1.
+	net.FailLink(healthy[0].Leg1.Links[0])
+	pl.SetFaults(net.FailedFunc())
+	after := pl.SelectProxies(src, dst)
+	for _, pr := range after {
+		for _, leg := range [][]int{pr.Leg1.Links, pr.Leg2.Links} {
+			for _, l := range leg {
+				if net.LinkFailed(l) {
+					t.Fatal("selected proxy leg crosses a failed link")
+				}
+			}
+		}
+	}
+	if len(after) == 0 {
+		t.Fatal("no proxies found despite a single failure")
+	}
+}
+
+func TestProxiedTransferSurvivesFailures(t *testing.T) {
+	tor := mira128()
+	p := netsim.DefaultParams()
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	// Fail three arbitrary links near the source.
+	net.FailLink(tor.LinkID(src, 2, torus.Plus))
+	net.FailLink(tor.LinkID(src, 3, torus.Minus))
+	net.FailLink(tor.LinkID(tor.Neighbor(src, 1, torus.Plus), 2, torus.Minus))
+
+	cfg := DefaultProxyConfig()
+	pl, _ := NewPairPlanner(tor, cfg)
+	pl.SetFaults(net.FailedFunc())
+	e, err := netsim.NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 32 << 20
+	plan, err := pl.PlanPair(e, src, dst, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := netsim.Throughput(bytes, mk)
+	if plan.Mode == Proxied && th < 1.6e9 {
+		t.Fatalf("degraded throughput %.3g with failures and %d proxies", th, len(plan.Proxies))
+	}
+	var arrived int64
+	for _, id := range plan.Final {
+		arrived += e.Result(id).Bytes
+	}
+	if arrived != bytes {
+		t.Fatalf("arrived %d of %d", arrived, bytes)
+	}
+}
+
+func TestDirectPlanErrorsWhenCut(t *testing.T) {
+	// 1-D ring: fail both directions out of the source; no route exists.
+	tor := torus.MustNew(torus.Shape{8})
+	p := netsim.DefaultParams()
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	net.FailLink(tor.LinkID(0, 0, torus.Plus))
+	net.FailLink(tor.LinkID(0, 0, torus.Minus))
+	pl, _ := NewPairPlanner(tor, DefaultProxyConfig())
+	pl.SetFaults(net.FailedFunc())
+	e, _ := netsim.NewEngine(net, p)
+	if _, err := pl.PlanPair(e, 0, 1, 1<<10); err == nil {
+		t.Fatal("cut topology accepted")
+	}
+}

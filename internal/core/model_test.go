@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/torus"
+)
+
+func newModel(t *testing.T) *CostModel {
+	t.Helper()
+	m, err := NewCostModel(netsim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewCostModelValidates(t *testing.T) {
+	p := netsim.DefaultParams()
+	p.LinkBandwidth = 0
+	if _, err := NewCostModel(p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestDirectTimeMonotoneInSize(t *testing.T) {
+	m := newModel(t)
+	prev := m.DirectTime(0, 5)
+	for _, d := range []int64{1 << 10, 1 << 15, 1 << 20, 1 << 25} {
+		cur := m.DirectTime(d, 5)
+		if cur <= prev {
+			t.Fatalf("DirectTime not increasing at %d bytes", d)
+		}
+		prev = cur
+	}
+}
+
+func TestGainApproachesKOver2(t *testing.T) {
+	m := newModel(t)
+	for _, k := range []int{3, 4, 6} {
+		g := m.Gain(1<<33, k, 5, 1, 4) // 8 GB: asymptotic regime
+		want := float64(k) / 2
+		if g < want*0.95 || g > want*1.05 {
+			t.Fatalf("asymptotic gain for k=%d is %.3f, want ~%.1f (Eq. 5)", k, g, want)
+		}
+	}
+}
+
+func TestGainSmallMessagesLose(t *testing.T) {
+	m := newModel(t)
+	if g := m.Gain(4<<10, 4, 5, 1, 4); g >= 1 {
+		t.Fatalf("4KB gain %.2f, small messages must lose", g)
+	}
+}
+
+func TestThresholdMatchesPaper(t *testing.T) {
+	m := newModel(t)
+	// The Fig. 5 geometry: direct 5 hops, leg1 1 hop, leg2 4 hops, k=4.
+	th := m.Threshold(4, 5, 1, 4)
+	if th < 128<<10 || th > 512<<10 {
+		t.Fatalf("model threshold %d bytes, paper reports 256KB", th)
+	}
+}
+
+func TestThresholdZeroForK2(t *testing.T) {
+	m := newModel(t)
+	if th := m.Threshold(2, 5, 1, 4); th != 0 {
+		t.Fatalf("k=2 threshold %d, Eq. 5 says k=2 never wins", th)
+	}
+	if th := m.Threshold(1, 5, 1, 4); th != 0 {
+		t.Fatal("k=1 should never win")
+	}
+}
+
+// The model must agree with the simulator on the Fig. 5 geometry within
+// a few percent for uncontended disjoint paths.
+func TestModelMatchesSimulator(t *testing.T) {
+	m := newModel(t)
+	tor := mira128()
+	cfg := DefaultProxyConfig()
+	cfg.Threshold = 0
+	cfg.MinProxies = 1
+	cfg.MaxProxies = 4
+	pl, _ := NewPairPlanner(tor, cfg)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	for _, d := range []int64{1 << 20, 16 << 20, 128 << 20} {
+		// Simulate.
+		e := newEngine(t, tor)
+		if _, err := pl.PlanPair(e, src, dst, d); err != nil {
+			t.Fatal(err)
+		}
+		mk, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Predict (legs in the Fig. 5 plan are 1 + 4 hops).
+		pred := m.ProxyTime(d, 4, 1, 4)
+		ratio := float64(mk) / float64(pred)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("at %d bytes: simulated %.3gs, predicted %.3gs (ratio %.2f)",
+				d, float64(mk), float64(pred), ratio)
+		}
+	}
+}
+
+func TestModelDirectMatchesSimulator(t *testing.T) {
+	m := newModel(t)
+	tor := mira128()
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	for _, d := range []int64{64 << 10, 4 << 20, 64 << 20} {
+		e := newEngine(t, tor)
+		e.Submit(netsim.FlowSpec{Src: src, Dst: dst, Bytes: d})
+		mk, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := m.DirectTime(d, tor.HopDistance(src, dst))
+		ratio := float64(mk) / float64(pred)
+		if ratio < 0.99 || ratio > 1.01 {
+			t.Fatalf("direct at %d bytes: simulated %.4g, predicted %.4g", d, float64(mk), float64(pred))
+		}
+	}
+}
+
+func TestPipelinedBeatsPlainInModel(t *testing.T) {
+	m := newModel(t)
+	const d = 64 << 20
+	plain := m.ProxyTime(d, 2, 1, 4)
+	piped := m.PipelinedProxyTime(d, 2, 1<<20, 1, 4)
+	if piped >= plain {
+		t.Fatalf("pipelined %.3g should beat plain %.3g for k=2", float64(piped), float64(plain))
+	}
+	// And pipelined k=2 beats direct for large messages — the paper's
+	// future-work claim that pipelining needs only 2 proxies.
+	direct := m.DirectTime(d, 5)
+	if piped >= direct {
+		t.Fatalf("pipelined k=2 (%.3g) should beat direct (%.3g)", float64(piped), float64(direct))
+	}
+}
+
+func TestBestProxyCount(t *testing.T) {
+	m := newModel(t)
+	if k := m.BestProxyCount(16<<10, 8, 5, 1, 4); k != 0 {
+		t.Fatalf("16KB best k = %d, want 0 (direct)", k)
+	}
+	if k := m.BestProxyCount(64<<20, 8, 5, 1, 4); k != 8 {
+		t.Fatalf("64MB best k = %d, want 8 (more disjoint paths always help large messages)", k)
+	}
+}
+
+// Property: gain is monotone nondecreasing in message size for k >= 3.
+func TestPropertyGainMonotone(t *testing.T) {
+	m := newModel(t)
+	f := func(aRaw, bRaw uint32, kRaw uint8) bool {
+		k := int(kRaw%6) + 3
+		a, b := int64(aRaw)+1, int64(bRaw)+1
+		if a > b {
+			a, b = b, a
+		}
+		return m.Gain(a, k, 5, 1, 4) <= m.Gain(b, k, 5, 1, 4)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoThresholdPlansLikeThePaper(t *testing.T) {
+	tor := mira128()
+	cfg := DefaultProxyConfig()
+	cfg.AutoThreshold = true
+	cfg.Threshold = 0 // ignored when auto
+	cfg.MaxProxies = 4
+	cfg.MinProxies = 1
+	pl, err := NewPairPlanner(tor, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	// Below the paper's 256KB crossover: the auto planner goes direct.
+	e := newEngine(t, tor)
+	plan, err := pl.PlanPair(e, src, dst, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != Direct {
+		t.Fatalf("64KB planned %v under auto threshold", plan.Mode)
+	}
+	// Well above: proxied.
+	e2 := newEngine(t, tor)
+	plan2, err := pl.PlanPair(e2, src, dst, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Mode != Proxied {
+		t.Fatalf("4MB planned %v under auto threshold", plan2.Mode)
+	}
+}
+
+func TestAutoThresholdNeverProxiesWhenModelSaysNo(t *testing.T) {
+	tor := mira128()
+	cfg := DefaultProxyConfig()
+	cfg.AutoThreshold = true
+	cfg.MaxProxies = 2 // Eq. 5: k=2 cannot win without pipelining
+	cfg.MinProxies = 1
+	pl, _ := NewPairPlanner(tor, cfg)
+	e := newEngine(t, tor)
+	plan, err := pl.PlanPair(e, 0, torus.NodeID(tor.Size()-1), 128<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != Direct {
+		t.Fatalf("k=2 auto planner chose %v", plan.Mode)
+	}
+}

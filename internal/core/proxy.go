@@ -1,0 +1,447 @@
+package core
+
+import (
+	"fmt"
+
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/routing"
+	"bgqflow/internal/torus"
+)
+
+// ProxyConfig tunes Algorithm 1.
+type ProxyConfig struct {
+	// MinProxies is the smallest number of link-disjoint proxy paths
+	// worth using; below it the transfer goes direct. The paper's cost
+	// model (Eq. 5) shows the gain is k/2, so the default is 3.
+	MinProxies int
+
+	// MaxProxies caps the number of proxies; at most 2L directions exist
+	// on an L-dimensional torus. Zero means 2L.
+	MaxProxies int
+
+	// Threshold is the message size (bytes) below which direct transfer
+	// wins: splitting small messages multiplies the fixed per-message
+	// injection and reception costs. Calibrated to the paper's measured
+	// 256 KB crossover on the 128-node geometry.
+	Threshold int64
+
+	// Offset is the distance (hops) from the source at which proxies
+	// are placed along each candidate direction.
+	Offset int
+
+	// Pipeline enables the paper's future-work extension: each piece is
+	// segmented into chunks so the proxy can forward chunk c while chunk
+	// c+1 is still inbound, cutting the store-and-forward factor below 2
+	// and making even 2 proxies profitable.
+	Pipeline bool
+
+	// ChunkBytes is the pipeline segment size (used when Pipeline is
+	// true).
+	ChunkBytes int64
+
+	// AutoThreshold derives the direct/proxy threshold from the Eq. 1-5
+	// cost model (per pair, using the pair's hop counts) instead of the
+	// fixed Threshold value — the paper's future-work analytical model
+	// put to work.
+	AutoThreshold bool
+}
+
+// DefaultProxyConfig returns the paper's operating point.
+func DefaultProxyConfig() ProxyConfig {
+	return ProxyConfig{
+		MinProxies: 3,
+		MaxProxies: 0, // 2L
+		Threshold:  256 << 10,
+		Offset:     1,
+		Pipeline:   false,
+		ChunkBytes: 1 << 20,
+	}
+}
+
+func (c ProxyConfig) validate(dims int) error {
+	if c.MinProxies < 1 {
+		return fmt.Errorf("core: MinProxies %d must be >= 1", c.MinProxies)
+	}
+	if c.MaxProxies < 0 || c.MaxProxies > 2*dims {
+		return fmt.Errorf("core: MaxProxies %d outside [0,%d]", c.MaxProxies, 2*dims)
+	}
+	if c.Offset < 1 {
+		return fmt.Errorf("core: Offset %d must be >= 1", c.Offset)
+	}
+	if c.Threshold < 0 {
+		return fmt.Errorf("core: negative Threshold")
+	}
+	if c.Pipeline && c.ChunkBytes < 1 {
+		return fmt.Errorf("core: Pipeline requires positive ChunkBytes")
+	}
+	return nil
+}
+
+func (c ProxyConfig) maxProxies(dims int) int {
+	if c.MaxProxies == 0 {
+		return 2 * dims
+	}
+	return c.MaxProxies
+}
+
+// ProxyRoute is one accepted proxy: the intermediate node plus the two
+// link-disjoint legs.
+type ProxyRoute struct {
+	Proxy torus.NodeID
+	// Dim and Dir record the candidate direction the proxy was found on.
+	Dim  int
+	Dir  torus.Direction
+	Leg1 routing.Route // source -> proxy
+	Leg2 routing.Route // proxy -> destination
+}
+
+// TransferMode says how a planned transfer moves.
+type TransferMode int
+
+const (
+	// Direct means the default single deterministic path.
+	Direct TransferMode = iota
+	// Proxied means multipath via intermediate nodes.
+	Proxied
+)
+
+func (m TransferMode) String() string {
+	if m == Direct {
+		return "direct"
+	}
+	return "proxied"
+}
+
+// PairPlanner plans point-to-point transfers (the paper's first
+// microbenchmark): it selects proxies for a (src, dst) pair and emits the
+// two-phase flow DAG.
+type PairPlanner struct {
+	tor    *torus.Torus
+	cfg    ProxyConfig
+	faults func(int) bool
+}
+
+// NewPairPlanner validates the configuration for the torus.
+func NewPairPlanner(tor *torus.Torus, cfg ProxyConfig) (*PairPlanner, error) {
+	if err := cfg.validate(tor.Dims()); err != nil {
+		return nil, err
+	}
+	return &PairPlanner{tor: tor, cfg: cfg}, nil
+}
+
+// Config returns the planner's configuration.
+func (p *PairPlanner) Config() ProxyConfig { return p.cfg }
+
+// SetFaults gives the planner a failed-link predicate; selected proxy
+// legs and direct fallback routes avoid those links. Pass the network's
+// FailedFunc after injecting failures.
+func (p *PairPlanner) SetFaults(failed func(int) bool) { p.faults = failed }
+
+// SelectProxies runs the Find-Proxies part of Algorithm 1 for one pair:
+// it checks the 2L candidates along the + and - of each dimension
+// (longest dimensions first, matching where the most routing freedom is)
+// and accepts a candidate only when a pair of legs can be routed disjoint
+// from every already-accepted leg. The returned set may be smaller than
+// MinProxies; the caller decides whether to fall back to direct transfer.
+func (p *PairPlanner) SelectProxies(src, dst torus.NodeID) []ProxyRoute {
+	return selectProxiesAvoiding(p.tor, src, dst, p.cfg, nil, p.faults)
+}
+
+// selectProxiesAvoiding is the shared candidate search. extraBusy links
+// (if any) are treated as already in use — group planning passes the
+// routes of previously planned pairs' first hops when needed.
+func selectProxiesAvoiding(tor *torus.Torus, src, dst torus.NodeID, cfg ProxyConfig, extraBusy map[int]struct{}, faults func(int) bool) []ProxyRoute {
+	if src == dst {
+		return nil
+	}
+	busy := make(map[int]struct{}, 64)
+	for l := range extraBusy {
+		busy[l] = struct{}{}
+	}
+	var accepted []ProxyRoute
+	usedProxies := map[torus.NodeID]struct{}{src: {}, dst: {}}
+	max := cfg.maxProxies(tor.Dims())
+
+	// Enumerate the 2L candidates, then process the most constrained
+	// first: a proxy whose route to the destination moves in few
+	// dimensions has few possible entry links, so it must claim them
+	// before a flexible candidate does. This is the role of the paper's
+	// placement offsets: making the k incoming directions distinct.
+	type candidate struct {
+		proxy torus.NodeID
+		dim   int
+		dir   torus.Direction
+		disp  int // dimensions the proxy differs from dst in
+	}
+	var cands []candidate
+	srcCoord := tor.Coord(src)
+	for _, dim := range tor.DimsByExtentDesc() {
+		for _, dir := range []torus.Direction{torus.Plus, torus.Minus} {
+			c := srcCoord.Clone()
+			c[dim] = tor.Wrap(dim, c[dim]+int(dir)*cfg.Offset)
+			proxy := tor.ID(c)
+			if _, taken := usedProxies[proxy]; taken {
+				continue
+			}
+			usedProxies[proxy] = struct{}{}
+			cands = append(cands, candidate{proxy, dim, dir, displacementDims(tor, proxy, dst)})
+		}
+	}
+	sortStableByDisp := func() {
+		// Insertion sort (tiny slice), stable on enumeration order.
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && cands[j].disp < cands[j-1].disp; j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+	}
+	sortStableByDisp()
+	for _, cand := range cands {
+		if len(accepted) >= max {
+			break
+		}
+		leg1 := routing.DeterministicRoute(tor, src, cand.proxy)
+		if anyBusy(busy, leg1.Links) || anyFailed(faults, leg1.Links) {
+			continue
+		}
+		leg2, ok := disjointRoute(tor, cand.proxy, dst, busy, faults, leg1.Links)
+		if !ok {
+			continue
+		}
+		markBusy(busy, leg1.Links)
+		markBusy(busy, leg2.Links)
+		accepted = append(accepted, ProxyRoute{Proxy: cand.proxy, Dim: cand.dim, Dir: cand.dir, Leg1: leg1, Leg2: leg2})
+	}
+	return accepted
+}
+
+// displacementDims counts the dimensions in which two nodes differ — the
+// number of routing degrees of freedom between them.
+func displacementDims(tor *torus.Torus, a, b torus.NodeID) int {
+	ca, cb := tor.Coord(a), tor.Coord(b)
+	n := 0
+	for i := range ca {
+		if ca[i] != cb[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func anyBusy(busy map[int]struct{}, links []int) bool {
+	for _, l := range links {
+		if _, ok := busy[l]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func anyFailed(faults func(int) bool, links []int) bool {
+	if faults == nil {
+		return false
+	}
+	for _, l := range links {
+		if faults(l) {
+			return true
+		}
+	}
+	return false
+}
+
+func markBusy(busy map[int]struct{}, links []int) {
+	for _, l := range links {
+		busy[l] = struct{}{}
+	}
+}
+
+// disjointRoute searches the dimension orders the BG/Q's zone routing can
+// realize for a route from src to dst that avoids every busy link and
+// every link in alsoAvoid. Orders are tried deterministically, default
+// (longest-to-shortest) first. Routing stays minimal per dimension, so
+// every returned route has minimal hop count; only the traversal order —
+// and hence the links — differs.
+func disjointRoute(tor *torus.Torus, src, dst torus.NodeID, busy map[int]struct{}, faults func(int) bool, alsoAvoid []int) (routing.Route, bool) {
+	avoid := busy
+	if len(alsoAvoid) > 0 {
+		avoid = make(map[int]struct{}, len(busy)+len(alsoAvoid))
+		for l := range busy {
+			avoid[l] = struct{}{}
+		}
+		for _, l := range alsoAvoid {
+			avoid[l] = struct{}{}
+		}
+	}
+	var found routing.Route
+	ok := false
+	forEachPermutation(tor.DimsByExtentDesc(), func(order []int) bool {
+		r := routing.RouteWithOrder(tor, src, dst, order)
+		if !anyBusy(avoid, r.Links) && !anyFailed(faults, r.Links) {
+			found, ok = r, true
+			return false // stop
+		}
+		return true
+	})
+	return found, ok
+}
+
+// forEachPermutation calls fn with every permutation of base (starting
+// with base itself) until fn returns false. base is not modified.
+func forEachPermutation(base []int, fn func([]int) bool) {
+	perm := append([]int(nil), base...)
+	n := len(perm)
+	// Heap's algorithm, iterative, but emit the identity first.
+	if !fn(perm) {
+		return
+	}
+	c := make([]int, n)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			if !fn(perm) {
+				return
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}
+
+// PairPlan records what PlanPair decided and submitted.
+type PairPlan struct {
+	Mode    TransferMode
+	Proxies []ProxyRoute
+	Bytes   int64
+	// Flows holds the submitted flow IDs (all legs).
+	Flows []netsim.FlowID
+	// Final holds the flows whose completion delivers the data at the
+	// destination (the direct flow, or every second leg).
+	Final []netsim.FlowID
+}
+
+// PlanPair runs the decision procedure of Algorithm 1 for one message and
+// submits the flows: direct when the message is below the threshold or
+// fewer than MinProxies disjoint paths exist, multipath otherwise.
+func (p *PairPlanner) PlanPair(e *netsim.Engine, src, dst torus.NodeID, bytes int64) (PairPlan, error) {
+	if bytes < 0 {
+		return PairPlan{}, fmt.Errorf("core: negative transfer size %d", bytes)
+	}
+	direct := func() (PairPlan, error) {
+		spec := netsim.FlowSpec{Src: src, Dst: dst, Bytes: bytes, Label: "direct"}
+		if p.faults != nil && src != dst {
+			r, err := routing.RouteAvoiding(p.tor, src, dst, p.faults)
+			if err != nil {
+				return PairPlan{}, fmt.Errorf("core: direct path cut by failures: %w", err)
+			}
+			spec.Links = r.Links
+		}
+		id := e.Submit(spec)
+		return PairPlan{Mode: Direct, Bytes: bytes, Flows: []netsim.FlowID{id}, Final: []netsim.FlowID{id}}, nil
+	}
+	threshold := p.cfg.Threshold
+	if p.cfg.AutoThreshold && src != dst {
+		m, err := NewCostModel(e.Params())
+		if err != nil {
+			return PairPlan{}, err
+		}
+		hopsDirect := p.tor.HopDistance(src, dst)
+		k := p.cfg.maxProxies(p.tor.Dims())
+		threshold = m.Threshold(k, hopsDirect, p.cfg.Offset, hopsDirect)
+		if threshold == 0 {
+			threshold = 1 << 62 // the model says proxies never win here
+		}
+	}
+	if bytes < threshold || src == dst {
+		return direct()
+	}
+	proxies := p.SelectProxies(src, dst)
+	if len(proxies) < p.cfg.MinProxies {
+		return direct()
+	}
+	plan := PairPlan{Mode: Proxied, Proxies: proxies, Bytes: bytes}
+	pieces := splitBytes(bytes, len(proxies))
+	for i, pr := range proxies {
+		flows, finals := p.submitLegs(e, pr, pieces[i], fmt.Sprintf("proxy%d", i))
+		plan.Flows = append(plan.Flows, flows...)
+		plan.Final = append(plan.Final, finals...)
+	}
+	return plan, nil
+}
+
+// submitLegs emits the flow DAG for one proxy piece: either one
+// store-and-forward leg pair, or a pipelined chain of chunk leg pairs.
+func (p *PairPlanner) submitLegs(e *netsim.Engine, pr ProxyRoute, bytes int64, label string) (flows, finals []netsim.FlowID) {
+	return submitLegPair(e, p.cfg, pr, bytes, label)
+}
+
+// submitLegPair is the shared two-leg emission used by the pair and
+// group planners.
+func submitLegPair(e *netsim.Engine, cfg ProxyConfig, pr ProxyRoute, bytes int64, label string) (flows, finals []netsim.FlowID) {
+	fwd := e.Params().ProxyForwardOverhead
+	if !cfg.Pipeline || bytes <= cfg.ChunkBytes {
+		l1 := e.Submit(netsim.FlowSpec{
+			Src: pr.Leg1.Src, Dst: pr.Proxy, Bytes: bytes,
+			Links: pr.Leg1.Links, Label: label + "/leg1",
+		})
+		l2 := e.Submit(netsim.FlowSpec{
+			Src: pr.Proxy, Dst: pr.Leg2.Dst, Bytes: bytes,
+			Links: pr.Leg2.Links, DependsOn: []netsim.FlowID{l1},
+			ExtraDelay: fwd, Label: label + "/leg2",
+		})
+		return []netsim.FlowID{l1, l2}, []netsim.FlowID{l2}
+	}
+	// Pipelined: chunk the piece; chain first legs so the proxy receives
+	// chunks in order, and forward each as soon as it lands.
+	var prev netsim.FlowID = -1
+	remaining := bytes
+	chunkIdx := 0
+	for remaining > 0 {
+		sz := cfg.ChunkBytes
+		if sz > remaining {
+			sz = remaining
+		}
+		remaining -= sz
+		var deps []netsim.FlowID
+		if prev >= 0 {
+			deps = []netsim.FlowID{prev}
+		}
+		l1 := e.Submit(netsim.FlowSpec{
+			Src: pr.Leg1.Src, Dst: pr.Proxy, Bytes: sz,
+			Links: pr.Leg1.Links, DependsOn: deps,
+			Label: fmt.Sprintf("%s/chunk%d/leg1", label, chunkIdx),
+		})
+		l2 := e.Submit(netsim.FlowSpec{
+			Src: pr.Proxy, Dst: pr.Leg2.Dst, Bytes: sz,
+			Links: pr.Leg2.Links, DependsOn: []netsim.FlowID{l1},
+			ExtraDelay: fwd, Label: fmt.Sprintf("%s/chunk%d/leg2", label, chunkIdx),
+		})
+		flows = append(flows, l1, l2)
+		finals = append(finals, l2)
+		prev = l1
+		chunkIdx++
+	}
+	return flows, finals
+}
+
+// splitBytes divides bytes into n near-equal pieces (remainder spread over
+// the first pieces).
+func splitBytes(bytes int64, n int) []int64 {
+	out := make([]int64, n)
+	base := bytes / int64(n)
+	rem := bytes - base*int64(n)
+	for i := range out {
+		out[i] = base
+		if int64(i) < rem {
+			out[i]++
+		}
+	}
+	return out
+}

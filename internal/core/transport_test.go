@@ -1,0 +1,213 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/routing"
+	"bgqflow/internal/torus"
+)
+
+func newTransport(t *testing.T, tor *torus.Torus) (*Transport, netsim.Params) {
+	t.Helper()
+	p := netsim.DefaultParams()
+	cfg := DefaultProxyConfig()
+	cfg.MaxProxies = 4
+	tr, err := NewTransport(tor, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, p
+}
+
+func TestTransportModeSelection(t *testing.T) {
+	tor := mira128()
+	tr, _ := newTransport(t, tor)
+	e := newEngine(t, tor)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	small, err := tr.Move(e, src, dst, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Mode != Direct {
+		t.Fatalf("16KB moved %v", small.Mode)
+	}
+	big, err := tr.Move(e, src, dst, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Mode != Proxied {
+		t.Fatalf("16MB moved %v", big.Mode)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransportCachesSelections(t *testing.T) {
+	tor := mira128()
+	tr, _ := newTransport(t, tor)
+	e := newEngine(t, tor)
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Move(e, 0, 100, 8<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := tr.Stats()
+	if misses != 1 || hits != 9 {
+		t.Fatalf("hits=%d misses=%d, want 9/1", hits, misses)
+	}
+}
+
+func TestTransportMatchesPlanner(t *testing.T) {
+	tor := mira128()
+	tr, p := newTransport(t, tor)
+	const bytes = 64 << 20
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	eT := newEngine(t, tor)
+	if _, err := tr.Move(eT, src, dst, bytes); err != nil {
+		t.Fatal(err)
+	}
+	mkT, err := eT.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultProxyConfig()
+	cfg.MaxProxies = 4
+	pl, _ := NewPairPlanner(tor, cfg)
+	eP := newEngine(t, tor)
+	if _, err := pl.PlanPair(eP, src, dst, bytes); err != nil {
+		t.Fatal(err)
+	}
+	mkP, err := eP.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rT := netsim.Throughput(bytes, mkT)
+	rP := netsim.Throughput(bytes, mkP)
+	if rT < rP*0.95 || rT > rP*1.05 {
+		t.Fatalf("transport %.3g vs planner %.3g", rT, rP)
+	}
+	_ = p
+}
+
+func TestTransportFaultsInvalidateCache(t *testing.T) {
+	tor := mira128()
+	tr, p := newTransport(t, tor)
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	e1, err := netsim.NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan1, err := tr.Move(e1, src, dst, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan1.Mode != Proxied {
+		t.Fatal("expected proxied")
+	}
+	// Fail one of the selected legs; the transport must replan.
+	net.FailLink(plan1.Proxies[0].Leg1.Links[0])
+	tr.SetFaults(net.FailedFunc())
+
+	e2, err := netsim.NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := tr.Move(e2, src, dst, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range plan2.Proxies {
+		for _, l := range append(append([]int(nil), pr.Leg1.Links...), pr.Leg2.Links...) {
+			if net.LinkFailed(l) {
+				t.Fatal("post-fault selection crosses a failed link")
+			}
+		}
+	}
+	if _, err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransportDirectFaultAware(t *testing.T) {
+	tor := mira128()
+	tr, p := newTransport(t, tor)
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	def := routing.DeterministicRoute(tor, src, dst)
+	net.FailLink(def.Links[0])
+	tr.SetFaults(net.FailedFunc())
+	e, err := netsim.NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tr.Move(e, src, dst, 4<<10) // small: direct
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Result(plan.Final[0]).Done {
+		t.Fatal("direct move did not complete around the failure")
+	}
+}
+
+func TestTransportValidation(t *testing.T) {
+	tor := mira128()
+	tr, _ := newTransport(t, tor)
+	e := newEngine(t, tor)
+	if _, err := tr.Move(e, 0, 1, -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := tr.Move(e, 0, torus.NodeID(9999), 1); err == nil {
+		t.Fatal("bad endpoint accepted")
+	}
+}
+
+func TestTransportConcurrentMoves(t *testing.T) {
+	// Concurrent planning against one transport must be safe; each
+	// goroutine gets its own engine.
+	tor := mira128()
+	tr, p := newTransport(t, tor)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			e, err := netsim.NewEngine(netsim.NewNetwork(tor, p.LinkBandwidth), p)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for i := 0; i < 20; i++ {
+				src := torus.NodeID((g * 13) % tor.Size())
+				dst := torus.NodeID((g*29 + i) % tor.Size())
+				if src == dst {
+					continue
+				}
+				if _, err := tr.Move(e, src, dst, 4<<20); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+			if _, err := e.Run(); err != nil {
+				errs[g] = err
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bgqflow/internal/collio"
+	"bgqflow/internal/core"
+	"bgqflow/internal/field"
+	"bgqflow/internal/ionet"
+	"bgqflow/internal/mpisim"
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/packetsim"
+	"bgqflow/internal/routing"
+	"bgqflow/internal/storage"
+	"bgqflow/internal/torus"
+	"bgqflow/internal/workload"
+)
+
+// Extension experiments: studies beyond the paper's figures that the
+// repository's extra substrates enable. E1 adds the storage tier behind
+// the I/O nodes, E2 varies the rank mapping, E3 demonstrates the paper's
+// pipelining future work, E4 cross-validates the flow-level model
+// against the packet-level simulator.
+
+// ExtStorageResult compares /dev/null against a GPFS-like tier for both
+// aggregation approaches.
+type ExtStorageResult struct {
+	Cores   int
+	BurstGB float64
+	// Rows: [devnull, ample servers, scarce servers] x [ours, default].
+	Rows []ExtStorageRow
+}
+
+// ExtStorageRow is one sink configuration's outcome.
+type ExtStorageRow struct {
+	Sink        string
+	OursGBps    float64
+	DefaultGBps float64
+}
+
+// ExtStorage runs E1.
+func ExtStorage(opt Options) (ExtStorageResult, error) {
+	p := opt.params()
+	cores := 32768
+	if opt.Quick {
+		cores = 8192
+	}
+	shape, err := ShapeForCores(cores)
+	if err != nil {
+		return ExtStorageResult{}, err
+	}
+	res := ExtStorageResult{Cores: cores}
+
+	type sinkCase struct {
+		name    string
+		servers int // 0 = devnull
+	}
+	nio := 0
+	{
+		rig, err := newIORig(shape, 16, p)
+		if err != nil {
+			return res, err
+		}
+		nio = rig.ios.NumIONodes()
+	}
+	cases := []sinkCase{
+		{"devnull (paper)", 0},
+		{"GPFS, ample servers", nio * 2},
+		{"GPFS, scarce servers", maxInt(1, nio/4)},
+	}
+	for _, sc := range cases {
+		// A fresh rig per case: sinks register extra links.
+		rig, err := newIORig(shape, 16, p)
+		if err != nil {
+			return res, err
+		}
+		data := workload.Uniform(rig.job.NumRanks(), eightMB, int64(cores))
+		res.BurstGB = float64(workload.Total(data)) / 1e9
+		var sink ionet.Sink
+		if sc.servers == 0 {
+			sink = ionet.DevNull{S: rig.ios, ForwardDelay: p.ProxyForwardOverhead}
+		} else {
+			cfg := storage.DefaultConfig()
+			cfg.Servers = sc.servers
+			st, err := storage.Build(rig.net, rig.ios, cfg)
+			if err != nil {
+				return res, err
+			}
+			sink = st
+		}
+		row := ExtStorageRow{Sink: sc.name}
+		row.OursGBps, err = aggThroughputSink(rig, data, true, sink)
+		if err != nil {
+			return res, err
+		}
+		row.DefaultGBps, err = aggThroughputSink(rig, data, false, sink)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// aggThroughputSink is aggThroughput with an explicit sink.
+func aggThroughputSink(rig *ioRig, data []int64, ours bool, sink ionet.Sink) (float64, error) {
+	e, err := rig.engine()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	var meta float64
+	if ours {
+		pl, err := core.NewAggPlanner(rig.ios, rig.job, rig.p, core.DefaultAggConfig())
+		if err != nil {
+			return 0, err
+		}
+		plan, err := pl.PlanWithSink(e, data, sink)
+		if err != nil {
+			return 0, err
+		}
+		total, meta = plan.TotalBytes, float64(plan.Metadata)
+	} else {
+		pl, err := collio.NewPlanner(rig.ios, rig.job, rig.p, collio.DefaultConfig())
+		if err != nil {
+			return 0, err
+		}
+		plan, err := pl.PlanWithSink(e, data, sink)
+		if err != nil {
+			return 0, err
+		}
+		total, meta = plan.TotalBytes, float64(plan.Metadata)
+	}
+	mk, err := e.Run()
+	if err != nil {
+		return 0, err
+	}
+	return float64(total) / (float64(mk) + meta) / 1e9, nil
+}
+
+// ExtMappingResult compares rank mappings: the same rank-indexed burst
+// under the default block mapping versus a round-robin mapping.
+type ExtMappingResult struct {
+	Cores int
+	Rows  []ExtMappingRow
+}
+
+// ExtMappingRow is one (mapping, approach) outcome.
+type ExtMappingRow struct {
+	Mapping  string
+	Workload string
+	OursGBps float64
+	DefGBps  float64
+}
+
+// ExtMapping runs E2 with the HACC window burst, whose placement is the
+// most mapping-sensitive (contiguous ranks).
+func ExtMapping(opt Options) (ExtMappingResult, error) {
+	p := opt.params()
+	cores := 16384
+	if opt.Quick {
+		cores = 8192
+	}
+	shape, err := ShapeForCores(cores)
+	if err != nil {
+		return ExtMappingResult{}, err
+	}
+	res := ExtMappingResult{Cores: cores}
+	for _, mapping := range []mpisim.MapOrder{"ABCDET", "TABCDE"} {
+		tor, err := torus.New(shape)
+		if err != nil {
+			return res, err
+		}
+		net := netsim.NewNetwork(tor, p.LinkBandwidth)
+		ios, err := ionet.Build(net, ionet.DefaultConfig())
+		if err != nil {
+			return res, err
+		}
+		job, err := mpisim.NewJobWithMapping(tor, 16, mapping)
+		if err != nil {
+			return res, err
+		}
+		rig := &ioRig{tor: tor, net: net, ios: ios, job: job, p: p}
+		data := workload.HACC(job.NumRanks(), haccParticlesPerWriter)
+		row := ExtMappingRow{Mapping: string(mapping), Workload: "hacc"}
+		row.OursGBps, err = aggThroughput(rig, data, true)
+		if err != nil {
+			return res, err
+		}
+		row.DefGBps, err = aggThroughput(rig, data, false)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ExtPipelineResult demonstrates the paper's future-work pipelining:
+// with chunked store-and-forward, k=2 proxies beat direct transfer.
+type ExtPipelineResult struct {
+	Shape   torus.Shape
+	Direct  Curve
+	PlainK2 Curve
+	PipedK2 Curve
+	PipedK4 Curve
+}
+
+// ExtPipeline runs E3 on the Fig. 5 geometry.
+func ExtPipeline(opt Options) (ExtPipelineResult, error) {
+	p := opt.params()
+	shape := torus.Shape{2, 2, 4, 4, 2}
+	tor, err := torus.New(shape)
+	if err != nil {
+		return ExtPipelineResult{}, err
+	}
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	res := ExtPipelineResult{
+		Shape:   shape,
+		Direct:  Curve{Name: "direct"},
+		PlainK2: Curve{Name: "k=2 plain"},
+		PipedK2: Curve{Name: "k=2 pipelined"},
+		PipedK4: Curve{Name: "k=4 pipelined"},
+	}
+	mk := func(k int, pipeline bool) core.ProxyConfig {
+		cfg := core.DefaultProxyConfig()
+		cfg.Threshold = 0
+		cfg.MinProxies = 1
+		cfg.MaxProxies = k
+		cfg.Pipeline = pipeline
+		cfg.ChunkBytes = 1 << 20
+		return cfg
+	}
+	directCfg := core.DefaultProxyConfig()
+	directCfg.Threshold = 1 << 62
+	for _, size := range messageSizes(opt.Quick) {
+		d, _, err := runPair(tor, p, directCfg, src, dst, size)
+		if err != nil {
+			return res, err
+		}
+		plain2, _, err := runPair(tor, p, mk(2, false), src, dst, size)
+		if err != nil {
+			return res, err
+		}
+		piped2, _, err := runPair(tor, p, mk(2, true), src, dst, size)
+		if err != nil {
+			return res, err
+		}
+		piped4, _, err := runPair(tor, p, mk(4, true), src, dst, size)
+		if err != nil {
+			return res, err
+		}
+		res.Direct.Points = append(res.Direct.Points, CurvePoint{size, d / 1e9})
+		res.PlainK2.Points = append(res.PlainK2.Points, CurvePoint{size, plain2 / 1e9})
+		res.PipedK2.Points = append(res.PipedK2.Points, CurvePoint{size, piped2 / 1e9})
+		res.PipedK4.Points = append(res.PipedK4.Points, CurvePoint{size, piped4 / 1e9})
+	}
+	return res, nil
+}
+
+// ExtValidationResult cross-validates flow-level vs packet-level models.
+type ExtValidationResult struct {
+	Rows []ExtValidationRow
+}
+
+// ExtValidationRow is one scenario's agreement check.
+type ExtValidationRow struct {
+	Scenario   string
+	Bytes      int64
+	FlowGBps   float64
+	PacketGBps float64
+	// DiffPct is |flow - packet| / flow in percent.
+	DiffPct float64
+}
+
+// ExtValidation runs E4 on the Fig. 5 geometry.
+func ExtValidation(opt Options) (ExtValidationResult, error) {
+	flowP := opt.params()
+	pktP := packetsim.DefaultParams()
+	tor, err := torus.New(torus.Shape{2, 2, 4, 4, 2})
+	if err != nil {
+		return ExtValidationResult{}, err
+	}
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	cfg := core.DefaultProxyConfig()
+	cfg.Threshold = 0
+	cfg.MinProxies = 1
+	cfg.MaxProxies = 4
+	pl, err := core.NewPairPlanner(tor, cfg)
+	if err != nil {
+		return ExtValidationResult{}, err
+	}
+	proxies := pl.SelectProxies(src, dst)
+
+	sizes := []int64{1 << 20, 8 << 20}
+	if !opt.Quick {
+		sizes = append(sizes, 32<<20)
+	}
+	var res ExtValidationResult
+	for _, proxied := range []bool{false, true} {
+		for _, bytes := range sizes {
+			// Flow model.
+			e, err := netsim.NewEngine(netsim.NewNetwork(tor, flowP.LinkBandwidth), flowP)
+			if err != nil {
+				return res, err
+			}
+			if !proxied {
+				e.Submit(netsim.FlowSpec{Src: src, Dst: dst, Bytes: bytes})
+			} else {
+				per := bytes / int64(len(proxies))
+				for _, pr := range proxies {
+					l1 := e.Submit(netsim.FlowSpec{Src: src, Dst: pr.Proxy, Bytes: per, Links: pr.Leg1.Links})
+					e.Submit(netsim.FlowSpec{Src: pr.Proxy, Dst: dst, Bytes: per, Links: pr.Leg2.Links,
+						DependsOn: []netsim.FlowID{l1}, ExtraDelay: flowP.ProxyForwardOverhead})
+				}
+			}
+			fmk, err := e.Run()
+			if err != nil {
+				return res, err
+			}
+			// Packet model.
+			s, err := packetsim.New(tor, pktP, 3)
+			if err != nil {
+				return res, err
+			}
+			if !proxied {
+				s.Submit(packetsim.MessageSpec{Src: src, Dst: dst, Bytes: bytes, Zone: routing.ZoneDeterministic})
+			} else {
+				per := bytes / int64(len(proxies))
+				for _, pr := range proxies {
+					m1 := s.Submit(packetsim.MessageSpec{Src: src, Dst: pr.Proxy, Bytes: per, Links: pr.Leg1.Links})
+					s.Submit(packetsim.MessageSpec{Src: pr.Proxy, Dst: dst, Bytes: per, Links: pr.Leg2.Links,
+						DependsOn: []packetsim.MessageID{m1}, ExtraDelay: pktP.SenderOverhead + 10e-6})
+				}
+			}
+			pmk, err := s.Run()
+			if err != nil {
+				return res, err
+			}
+			fth := netsim.Throughput(bytes, fmk) / 1e9
+			pth := packetsim.Throughput(bytes, pmk) / 1e9
+			name := "direct"
+			if proxied {
+				name = "4 proxies"
+			}
+			diff := (fth - pth) / fth * 100
+			if diff < 0 {
+				diff = -diff
+			}
+			res.Rows = append(res.Rows, ExtValidationRow{
+				Scenario: name, Bytes: bytes,
+				FlowGBps: fth, PacketGBps: pth, DiffPct: diff,
+			})
+		}
+	}
+	return res, nil
+}
+
+// ExtInsituResult runs the Fig. 10 comparison on bursts produced by a
+// real in-situ analysis (threshold extraction over a synthetic field)
+// instead of synthetic per-rank size distributions.
+type ExtInsituResult struct {
+	Rows []ExtInsituRow
+}
+
+// ExtInsituRow is one scale's outcome.
+type ExtInsituRow struct {
+	Cores         int
+	BurstGB       float64
+	RanksWithData float64 // fraction
+	OursGBps      float64
+	DefaultGBps   float64
+}
+
+// insituRankGrids factorizes the rank count into the 3-D process grids
+// the field decomposition uses.
+var insituRankGrids = map[int][3]int{
+	2048:  {16, 16, 8},
+	8192:  {32, 16, 16},
+	32768: {32, 32, 32},
+}
+
+// ExtInsitu runs E5: organically sparse bursts from threshold analysis.
+func ExtInsitu(opt Options) (ExtInsituResult, error) {
+	p := opt.params()
+	scales := []int{2048, 8192, 32768}
+	if opt.Quick {
+		scales = []int{2048}
+	}
+	const subBlockBytes = 32 << 10
+	const threshold = 0.35
+	var res ExtInsituResult
+	for _, cores := range scales {
+		shape, err := ShapeForCores(cores)
+		if err != nil {
+			return res, err
+		}
+		rig, err := newIORig(shape, 16, p)
+		if err != nil {
+			return res, err
+		}
+		g := insituRankGrids[cores]
+		grid, err := field.NewGrid(6*g[0], 6*g[1], 6*g[2], g[0], g[1], g[2])
+		if err != nil {
+			return res, err
+		}
+		fld, err := field.Synthesize(grid, 6, int64(cores))
+		if err != nil {
+			return res, err
+		}
+		data := fld.ExtractSizes(threshold, subBlockBytes)
+		if len(data) != rig.job.NumRanks() {
+			return res, fmt.Errorf("experiments: field grid yields %d ranks, job has %d", len(data), rig.job.NumRanks())
+		}
+		withData, _ := field.Sparsity(data, grid.CellsPerRank(), subBlockBytes)
+		row := ExtInsituRow{
+			Cores:         cores,
+			BurstGB:       float64(workload.Total(data)) / 1e9,
+			RanksWithData: withData,
+		}
+		if row.OursGBps, err = aggThroughput(rig, data, true); err != nil {
+			return res, err
+		}
+		if row.DefaultGBps, err = aggThroughput(rig, data, false); err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

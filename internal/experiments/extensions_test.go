@@ -1,0 +1,108 @@
+package experiments
+
+import "testing"
+
+func TestExtStorage(t *testing.T) {
+	res, err := ExtStorage(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	devnull, ample, scarce := res.Rows[0], res.Rows[1], res.Rows[2]
+	// Ours always beats the default within a sink configuration where
+	// the network is the constraint.
+	if devnull.OursGBps <= devnull.DefaultGBps {
+		t.Fatal("devnull: ours should win")
+	}
+	// A scarce server tier caps everything and compresses the gap.
+	if scarce.OursGBps >= ample.OursGBps {
+		t.Fatalf("scarce servers (%.1f) should be slower than ample (%.1f)",
+			scarce.OursGBps, ample.OursGBps)
+	}
+	gapDevnull := devnull.OursGBps / devnull.DefaultGBps
+	gapScarce := scarce.OursGBps / scarce.DefaultGBps
+	if gapScarce >= gapDevnull {
+		t.Fatalf("the aggregation win should shrink when servers bind: devnull %.2fx, scarce %.2fx",
+			gapDevnull, gapScarce)
+	}
+}
+
+func TestExtMapping(t *testing.T) {
+	res, err := ExtMapping(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.OursGBps <= 0 || row.DefGBps <= 0 {
+			t.Fatalf("empty throughput in %+v", row)
+		}
+		// Topology-aware aggregation must win under both mappings — its
+		// balance does not depend on where the data sits.
+		if row.OursGBps <= row.DefGBps {
+			t.Fatalf("mapping %s: ours %.2f did not beat default %.2f",
+				row.Mapping, row.OursGBps, row.DefGBps)
+		}
+	}
+}
+
+func TestExtPipeline(t *testing.T) {
+	res, err := ExtPipeline(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Direct.Points) - 1
+	d := res.Direct.Points[last].GBps
+	plain2 := res.PlainK2.Points[last].GBps
+	piped2 := res.PipedK2.Points[last].GBps
+	piped4 := res.PipedK4.Points[last].GBps
+	// The paper's future-work claim: pipelining makes k=2 profitable.
+	if plain2 > d*1.05 {
+		t.Fatalf("plain k=2 (%.2f) should not beat direct (%.2f)", plain2, d)
+	}
+	if piped2 <= d {
+		t.Fatalf("pipelined k=2 (%.2f) should beat direct (%.2f)", piped2, d)
+	}
+	if piped4 <= piped2 {
+		t.Fatalf("pipelined k=4 (%.2f) should beat pipelined k=2 (%.2f)", piped4, piped2)
+	}
+}
+
+func TestExtValidation(t *testing.T) {
+	res, err := ExtValidation(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.DiffPct > 10 {
+			t.Fatalf("%s at %d bytes: flow %.2f vs packet %.2f GB/s (%.1f%% apart)",
+				row.Scenario, row.Bytes, row.FlowGBps, row.PacketGBps, row.DiffPct)
+		}
+	}
+}
+
+func TestExtInsitu(t *testing.T) {
+	res, err := ExtInsitu(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.RanksWithData <= 0 || row.RanksWithData > 0.7 {
+			t.Fatalf("in-situ burst not sparse: %.2f of ranks hold data", row.RanksWithData)
+		}
+		if row.OursGBps <= row.DefaultGBps {
+			t.Fatalf("at %d cores ours %.2f did not beat default %.2f",
+				row.Cores, row.OursGBps, row.DefaultGBps)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"bgqflow/internal/collio"
+	"bgqflow/internal/core"
+	"bgqflow/internal/workload"
+)
+
+const eightMB = 8 << 20
+
+// Fig8 reproduces the Pattern 1 histogram: 1,024 ranks with sizes drawn
+// uniformly from [0, 8MB].
+func Fig8(seed int64) workload.Histogram {
+	return workload.NewHistogram(workload.Uniform(1024, eightMB, seed), 16, eightMB)
+}
+
+// Fig9 reproduces the Pattern 2 histogram: 1,024 ranks with
+// Pareto-distributed sizes in [0, 8MB].
+func Fig9(seed int64) workload.Histogram {
+	return workload.NewHistogram(workload.Pattern2(1024, eightMB, seed), 16, eightMB)
+}
+
+// ScalePoint is one weak-scaling sample.
+type ScalePoint struct {
+	Cores int
+	GBps  float64
+}
+
+// ScaleCurve is a named weak-scaling series.
+type ScaleCurve struct {
+	Name   string
+	Points []ScalePoint
+}
+
+// Fig10Result reproduces "Aggregation throughputs on Mira": weak scaling
+// of the aggregation throughput to the I/O nodes for the two sparse
+// patterns, topology-aware dynamic aggregation versus default MPI
+// collective I/O.
+type Fig10Result struct {
+	OursP1    ScaleCurve
+	OursP2    ScaleCurve
+	DefaultP1 ScaleCurve
+	DefaultP2 ScaleCurve
+}
+
+// fig10Scales trims the sweep in quick mode.
+func fig10Scales(quick bool) []int {
+	if quick {
+		return []int{2048, 8192}
+	}
+	out := make([]int, 0, len(WeakScalingShapes))
+	for _, ws := range WeakScalingShapes {
+		out = append(out, ws.Cores)
+	}
+	return out
+}
+
+// aggThroughput runs one aggregation burst and returns GB/s including
+// metadata costs.
+func aggThroughput(rig *ioRig, data []int64, ours bool) (float64, error) {
+	e, err := rig.engine()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	var meta float64
+	if ours {
+		pl, err := core.NewAggPlanner(rig.ios, rig.job, rig.p, core.DefaultAggConfig())
+		if err != nil {
+			return 0, err
+		}
+		plan, err := pl.Plan(e, data)
+		if err != nil {
+			return 0, err
+		}
+		total, meta = plan.TotalBytes, float64(plan.Metadata)
+	} else {
+		pl, err := collio.NewPlanner(rig.ios, rig.job, rig.p, collio.DefaultConfig())
+		if err != nil {
+			return 0, err
+		}
+		plan, err := pl.Plan(e, data)
+		if err != nil {
+			return 0, err
+		}
+		total, meta = plan.TotalBytes, float64(plan.Metadata)
+	}
+	mk, err := e.Run()
+	if err != nil {
+		return 0, err
+	}
+	return float64(total) / (float64(mk) + meta) / 1e9, nil
+}
+
+// Fig10 runs the weak-scaling aggregation comparison.
+func Fig10(opt Options) (Fig10Result, error) {
+	p := opt.params()
+	res := Fig10Result{
+		OursP1:    ScaleCurve{Name: "Our approach: Pattern 1"},
+		OursP2:    ScaleCurve{Name: "Our approach: Pattern 2"},
+		DefaultP1: ScaleCurve{Name: "MPI Collective IO: Pattern 1"},
+		DefaultP2: ScaleCurve{Name: "MPI Collective IO: Pattern 2"},
+	}
+	for _, cores := range fig10Scales(opt.Quick) {
+		shape, err := ShapeForCores(cores)
+		if err != nil {
+			return res, err
+		}
+		rig, err := newIORig(shape, 16, p)
+		if err != nil {
+			return res, err
+		}
+		n := rig.job.NumRanks()
+		p1 := workload.Uniform(n, eightMB, int64(cores))
+		p2 := workload.Pattern2(n, eightMB, int64(cores)+1)
+		for _, run := range []struct {
+			data  []int64
+			ours  bool
+			curve *ScaleCurve
+		}{
+			{p1, true, &res.OursP1},
+			{p2, true, &res.OursP2},
+			{p1, false, &res.DefaultP1},
+			{p2, false, &res.DefaultP2},
+		} {
+			gbps, err := aggThroughput(rig, run.data, run.ours)
+			if err != nil {
+				return res, err
+			}
+			run.curve.Points = append(run.curve.Points, ScalePoint{cores, gbps})
+		}
+	}
+	return res, nil
+}
+
+// Fig11Result reproduces the HACC I/O application benchmark: write
+// throughput to the I/O nodes, customized aggregator selection versus
+// default MPI collective I/O, 8,192 to 131,072 cores.
+type Fig11Result struct {
+	Ours    ScaleCurve
+	Default ScaleCurve
+	// BurstGB records the burst size at each scale.
+	BurstGB []float64
+}
+
+// haccParticlesPerWriter weak-scales the paper's 2 GB - 85 GB burst
+// range: each writer holds ~6.5 MB of particle records.
+const haccParticlesPerWriter = 171_000
+
+func fig11Scales(quick bool) []int {
+	if quick {
+		return []int{8192}
+	}
+	return []int{8192, 16384, 32768, 65536, 131072}
+}
+
+// Fig11 runs the HACC I/O comparison.
+func Fig11(opt Options) (Fig11Result, error) {
+	p := opt.params()
+	res := Fig11Result{
+		Ours:    ScaleCurve{Name: "Customized selection of aggregators"},
+		Default: ScaleCurve{Name: "Default MPI collective I/O"},
+	}
+	for _, cores := range fig11Scales(opt.Quick) {
+		shape, err := ShapeForCores(cores)
+		if err != nil {
+			return res, err
+		}
+		rig, err := newIORig(shape, 16, p)
+		if err != nil {
+			return res, err
+		}
+		data := workload.HACC(rig.job.NumRanks(), haccParticlesPerWriter)
+		res.BurstGB = append(res.BurstGB, float64(workload.Total(data))/1e9)
+		ours, err := aggThroughput(rig, data, true)
+		if err != nil {
+			return res, err
+		}
+		def, err := aggThroughput(rig, data, false)
+		if err != nil {
+			return res, err
+		}
+		res.Ours.Points = append(res.Ours.Points, ScalePoint{cores, ours})
+		res.Default.Points = append(res.Default.Points, ScalePoint{cores, def})
+	}
+	return res, nil
+}

@@ -1,0 +1,169 @@
+// Package field is the in-situ analysis substrate the paper's
+// introduction motivates: a simulation holds a distributed 3-D scalar
+// field (think vorticity magnitude), an in-situ analysis thresholds it
+// to find regions of interest, and only the cells above the threshold
+// are written out. Because interesting structures are spatially
+// concentrated, the per-rank output sizes are naturally sparse and
+// heavy-tailed — the organic origin of the paper's Pattern 2.
+//
+// The field is synthesized as a sum of Gaussian blobs over a periodic
+// unit cube plus a small deterministic ripple, decomposed into per-rank
+// bricks by a 3-D rank grid.
+package field
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Grid describes the global cell grid and its decomposition onto ranks.
+type Grid struct {
+	// Cells per global axis.
+	NX, NY, NZ int
+	// Ranks per axis; rank (i,j,k) owns the brick at that position.
+	PX, PY, PZ int
+}
+
+// NewGrid validates a decomposition: the rank grid must divide the cell
+// grid exactly.
+func NewGrid(nx, ny, nz, px, py, pz int) (Grid, error) {
+	g := Grid{nx, ny, nz, px, py, pz}
+	if nx < 1 || ny < 1 || nz < 1 || px < 1 || py < 1 || pz < 1 {
+		return g, fmt.Errorf("field: non-positive grid %+v", g)
+	}
+	if nx%px != 0 || ny%py != 0 || nz%pz != 0 {
+		return g, fmt.Errorf("field: rank grid %dx%dx%d does not divide cell grid %dx%dx%d",
+			px, py, pz, nx, ny, nz)
+	}
+	return g, nil
+}
+
+// NumRanks returns the rank count of the decomposition.
+func (g Grid) NumRanks() int { return g.PX * g.PY * g.PZ }
+
+// CellsPerRank returns the cells in one brick.
+func (g Grid) CellsPerRank() int {
+	return (g.NX / g.PX) * (g.NY / g.PY) * (g.NZ / g.PZ)
+}
+
+// brickOrigin returns rank r's brick origin in cells.
+func (g Grid) brickOrigin(r int) (x0, y0, z0 int) {
+	bx, by, bz := g.NX/g.PX, g.NY/g.PY, g.NZ/g.PZ
+	k := r % g.PZ
+	j := (r / g.PZ) % g.PY
+	i := r / (g.PZ * g.PY)
+	return i * bx, j * by, k * bz
+}
+
+// Blob is one Gaussian structure in the unit cube.
+type Blob struct {
+	CX, CY, CZ float64 // center
+	Sigma      float64 // width
+	Amp        float64 // peak amplitude
+}
+
+// Field is a synthesized scalar field.
+type Field struct {
+	Grid  Grid
+	Blobs []Blob
+}
+
+// Synthesize builds a field with nBlobs random Gaussian structures,
+// deterministically in the seed.
+func Synthesize(g Grid, nBlobs int, seed int64) (*Field, error) {
+	if nBlobs < 0 {
+		return nil, fmt.Errorf("field: negative blob count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Field{Grid: g}
+	for i := 0; i < nBlobs; i++ {
+		f.Blobs = append(f.Blobs, Blob{
+			CX:    rng.Float64(),
+			CY:    rng.Float64(),
+			CZ:    rng.Float64(),
+			Sigma: 0.02 + 0.06*rng.Float64(),
+			Amp:   0.5 + rng.Float64(),
+		})
+	}
+	return f, nil
+}
+
+// At evaluates the field at a point of the periodic unit cube.
+func (f *Field) At(x, y, z float64) float64 {
+	v := 0.02 * (math.Sin(9*2*math.Pi*x) * math.Sin(7*2*math.Pi*y) * math.Sin(5*2*math.Pi*z))
+	for _, b := range f.Blobs {
+		dx := periodicDist(x, b.CX)
+		dy := periodicDist(y, b.CY)
+		dz := periodicDist(z, b.CZ)
+		r2 := dx*dx + dy*dy + dz*dz
+		v += b.Amp * math.Exp(-r2/(2*b.Sigma*b.Sigma))
+	}
+	return v
+}
+
+func periodicDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// CountAbove counts cells in rank r's brick whose field value exceeds
+// the threshold, evaluating at cell centers.
+func (f *Field) CountAbove(r int, threshold float64) int {
+	g := f.Grid
+	if r < 0 || r >= g.NumRanks() {
+		panic(fmt.Sprintf("field: rank %d outside grid of %d ranks", r, g.NumRanks()))
+	}
+	bx, by, bz := g.NX/g.PX, g.NY/g.PY, g.NZ/g.PZ
+	x0, y0, z0 := g.brickOrigin(r)
+	count := 0
+	for i := 0; i < bx; i++ {
+		x := (float64(x0+i) + 0.5) / float64(g.NX)
+		for j := 0; j < by; j++ {
+			y := (float64(y0+j) + 0.5) / float64(g.NY)
+			for k := 0; k < bz; k++ {
+				z := (float64(z0+k) + 0.5) / float64(g.NZ)
+				if f.At(x, y, z) > threshold {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// ExtractSizes runs the in-situ threshold analysis on every rank's brick
+// and returns the per-rank output sizes: cells above the threshold times
+// bytesPerCell (value + location encoding). This slice feeds directly
+// into the aggregation planners.
+func (f *Field) ExtractSizes(threshold float64, bytesPerCell int) []int64 {
+	if bytesPerCell < 1 {
+		panic("field: bytesPerCell must be positive")
+	}
+	out := make([]int64, f.Grid.NumRanks())
+	for r := range out {
+		out[r] = int64(f.CountAbove(r, threshold)) * int64(bytesPerCell)
+	}
+	return out
+}
+
+// Sparsity summarizes an extraction: the fraction of ranks with any
+// output and the output fraction of the dense field.
+func Sparsity(sizes []int64, cellsPerRank int, bytesPerCell int) (ranksWithData, volumeFraction float64) {
+	if len(sizes) == 0 {
+		return 0, 0
+	}
+	n := 0
+	var total int64
+	for _, s := range sizes {
+		if s > 0 {
+			n++
+		}
+		total += s
+	}
+	dense := int64(len(sizes)) * int64(cellsPerRank) * int64(bytesPerCell)
+	return float64(n) / float64(len(sizes)), float64(total) / float64(dense)
+}

@@ -1,0 +1,186 @@
+package field
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func grid(t *testing.T) Grid {
+	t.Helper()
+	g, err := NewGrid(64, 64, 64, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(64, 64, 64, 7, 8, 8); err == nil {
+		t.Error("non-dividing rank grid accepted")
+	}
+	if _, err := NewGrid(0, 64, 64, 1, 1, 1); err == nil {
+		t.Error("zero cells accepted")
+	}
+	if _, err := NewGrid(64, 64, 64, 1, 0, 1); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}
+
+func TestGridCounts(t *testing.T) {
+	g := grid(t)
+	if g.NumRanks() != 512 {
+		t.Fatalf("NumRanks = %d", g.NumRanks())
+	}
+	if g.CellsPerRank() != 512 {
+		t.Fatalf("CellsPerRank = %d", g.CellsPerRank())
+	}
+}
+
+func TestBrickOriginsTile(t *testing.T) {
+	g := grid(t)
+	seen := map[[3]int]bool{}
+	for r := 0; r < g.NumRanks(); r++ {
+		x, y, z := g.brickOrigin(r)
+		key := [3]int{x, y, z}
+		if seen[key] {
+			t.Fatalf("brick origin %v duplicated", key)
+		}
+		seen[key] = true
+		if x%8 != 0 || y%8 != 0 || z%8 != 0 || x >= 64 || y >= 64 || z >= 64 {
+			t.Fatalf("bad origin %v", key)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	g := grid(t)
+	a, _ := Synthesize(g, 5, 42)
+	b, _ := Synthesize(g, 5, 42)
+	for i := range a.Blobs {
+		if a.Blobs[i] != b.Blobs[i] {
+			t.Fatal("same seed gave different blobs")
+		}
+	}
+	if _, err := Synthesize(g, -1, 0); err == nil {
+		t.Fatal("negative blobs accepted")
+	}
+}
+
+func TestFieldPeaksAtBlobCenters(t *testing.T) {
+	g := grid(t)
+	f := &Field{Grid: g, Blobs: []Blob{{CX: 0.5, CY: 0.5, CZ: 0.5, Sigma: 0.05, Amp: 1}}}
+	center := f.At(0.5, 0.5, 0.5)
+	far := f.At(0.0, 0.0, 0.0)
+	if center <= far {
+		t.Fatalf("field at blob center %g not above far point %g", center, far)
+	}
+	if center < 0.9 {
+		t.Fatalf("blob peak %g, want ~1", center)
+	}
+}
+
+func TestPeriodicDist(t *testing.T) {
+	if d := periodicDist(0.1, 0.9); math.Abs(d-0.2) > 1e-12 {
+		t.Fatalf("wrap distance %g, want 0.2", d)
+	}
+	if d := periodicDist(0.3, 0.4); math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("distance %g, want 0.1", d)
+	}
+}
+
+func TestExtractSizesSparse(t *testing.T) {
+	g := grid(t)
+	f, _ := Synthesize(g, 4, 7)
+	sizes := f.ExtractSizes(0.4, 16)
+	ranksWithData, volume := Sparsity(sizes, g.CellsPerRank(), 16)
+	if ranksWithData <= 0 || ranksWithData > 0.6 {
+		t.Fatalf("ranks with data %.2f, want sparse (blobs are concentrated)", ranksWithData)
+	}
+	if volume <= 0 || volume > 0.4 {
+		t.Fatalf("volume fraction %.3f, want well below dense", volume)
+	}
+}
+
+func TestExtractSizesThresholdMonotone(t *testing.T) {
+	g := grid(t)
+	f, _ := Synthesize(g, 4, 9)
+	low := f.ExtractSizes(0.2, 1)
+	high := f.ExtractSizes(0.8, 1)
+	var lowTotal, highTotal int64
+	for r := range low {
+		if high[r] > low[r] {
+			t.Fatalf("rank %d: raising the threshold increased output", r)
+		}
+		lowTotal += low[r]
+		highTotal += high[r]
+	}
+	if highTotal >= lowTotal {
+		t.Fatal("raising the threshold should shrink the burst")
+	}
+}
+
+func TestCountAboveBounds(t *testing.T) {
+	g := grid(t)
+	f, _ := Synthesize(g, 3, 1)
+	for r := 0; r < g.NumRanks(); r += 37 {
+		c := f.CountAbove(r, 0.3)
+		if c < 0 || c > g.CellsPerRank() {
+			t.Fatalf("rank %d count %d outside [0,%d]", r, c, g.CellsPerRank())
+		}
+	}
+}
+
+func TestCountAbovePanicsOutOfRange(t *testing.T) {
+	g := grid(t)
+	f, _ := Synthesize(g, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	f.CountAbove(g.NumRanks(), 0.5)
+}
+
+func TestSparsityEmpty(t *testing.T) {
+	r, v := Sparsity(nil, 1, 1)
+	if r != 0 || v != 0 {
+		t.Fatal("empty sparsity should be zero")
+	}
+}
+
+// Property: total extracted cells equal the sum over ranks of per-brick
+// counts (no cell lost or double counted across the decomposition).
+func TestPropertyExtractConsistent(t *testing.T) {
+	g, err := NewGrid(16, 16, 16, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, _ := Synthesize(g, 2, 3)
+	check := func(thRaw uint8) bool {
+		th := float64(thRaw) / 255
+		sizes := f0.ExtractSizes(th, 1)
+		var fromRanks int64
+		for _, s := range sizes {
+			fromRanks += s
+		}
+		// Count globally by walking every cell.
+		var global int64
+		for i := 0; i < g.NX; i++ {
+			for j := 0; j < g.NY; j++ {
+				for k := 0; k < g.NZ; k++ {
+					x := (float64(i) + 0.5) / float64(g.NX)
+					y := (float64(j) + 0.5) / float64(g.NY)
+					z := (float64(k) + 0.5) / float64(g.NZ)
+					if f0.At(x, y, z) > th {
+						global++
+					}
+				}
+			}
+		}
+		return fromRanks == global
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package fluid
+
+import (
+	"testing"
+
+	"bgqflow/internal/core"
+	"bgqflow/internal/ionet"
+	"bgqflow/internal/mpisim"
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/routing"
+	"bgqflow/internal/torus"
+	"bgqflow/internal/workload"
+)
+
+func rig(t *testing.T) (*netsim.Network, netsim.Params) {
+	t.Helper()
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	p := netsim.DefaultParams()
+	return netsim.NewNetwork(tor, p.LinkBandwidth), p
+}
+
+func TestNewEstimatorValidates(t *testing.T) {
+	net, p := rig(t)
+	p.LinkBandwidth = 0
+	if _, err := NewEstimator(net, p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestAddValidates(t *testing.T) {
+	net, p := rig(t)
+	e, _ := NewEstimator(net, p)
+	if err := e.Add(FlowDesc{Bytes: -1}); err == nil {
+		t.Error("negative size accepted")
+	}
+	if err := e.Add(FlowDesc{Bytes: 1, Stage: -1}); err == nil {
+		t.Error("negative stage accepted")
+	}
+	if err := e.Add(FlowDesc{Bytes: 1, Links: []int{1 << 30}}); err == nil {
+		t.Error("unknown link accepted")
+	}
+}
+
+func TestSingleFlowBoundIsExact(t *testing.T) {
+	net, p := rig(t)
+	tor := net.Torus()
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	r := routing.DeterministicRoute(tor, src, dst)
+	const bytes = 16 << 20
+
+	est, _ := NewEstimator(net, p)
+	if err := est.Add(FlowDesc{Bytes: bytes, Links: r.Links}); err != nil {
+		t.Fatal(err)
+	}
+	bound := est.SerializedMakespan()
+
+	e, _ := netsim.NewEngine(net, p)
+	e.Submit(netsim.FlowSpec{Src: src, Dst: dst, Bytes: bytes})
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(mk) / float64(bound)
+	if ratio < 0.999 || ratio > 1.001 {
+		t.Fatalf("single uncontended flow: simulated %g, bound %g", float64(mk), float64(bound))
+	}
+}
+
+func TestBoundNeverExceedsSimulatedMakespan(t *testing.T) {
+	// Lower-bound property on an aggregation plan: estimate <= simulate.
+	tor := torus.MustNew(torus.Shape{4, 4, 4, 4, 2})
+	p := netsim.DefaultParams()
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	ios, err := ionet.Build(net, ionet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, _ := mpisim.NewJob(tor, 16)
+	data := workload.Uniform(job.NumRanks(), 8<<20, 17)
+
+	e, _ := netsim.NewEngine(net, p)
+	pl, err := core.NewAggPlanner(ios, job, p, core.DefaultAggConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pl.Plan(e, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the same plan shape in the estimator: stage 0 = sends to
+	// aggregators, stage 1 = aggregator ION writes.
+	est, _ := NewEstimator(net, p)
+	_, aggs := pl.AggregatorsFor(plan.TotalBytes)
+	perNode := make([]int64, tor.Size())
+	for r, d := range data {
+		perNode[job.NodeOf(r)] += d
+	}
+	next := 0
+	for n, b := range perNode {
+		if b == 0 {
+			continue
+		}
+		ag := aggs[next%len(aggs)]
+		next++
+		r := routing.DeterministicRoute(tor, torus.NodeID(n), ag.Node)
+		if err := est.Add(FlowDesc{Bytes: b, Links: r.Links, Stage: 0}); err != nil {
+			t.Fatal(err)
+		}
+		links, _ := ios.WriteRouteVia(ag.Node, ag.Pset, ag.Bridge)
+		if err := est.Add(FlowDesc{Bytes: b, Links: links, Stage: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bound := est.LowerBound()
+	if float64(bound) > float64(mk)*1.0001 {
+		t.Fatalf("lower bound %g exceeds simulated makespan %g", float64(bound), float64(mk))
+	}
+	// The point estimate should bracket the simulation within ~±30%.
+	estMk := est.PipelinedMakespan()
+	ratio := float64(mk) / float64(estMk)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("estimate %g vs simulated %g (ratio %.2f)", float64(estMk), float64(mk), ratio)
+	}
+}
+
+func TestSerializedAddsStages(t *testing.T) {
+	net, p := rig(t)
+	est, _ := NewEstimator(net, p)
+	tor := net.Torus()
+	r1 := routing.DeterministicRoute(tor, 0, 8)
+	r2 := routing.DeterministicRoute(tor, 8, 16)
+	est.Add(FlowDesc{Bytes: 8 << 20, Links: r1.Links, Stage: 0})
+	est.Add(FlowDesc{Bytes: 8 << 20, Links: r2.Links, Stage: 1})
+	s0, s1 := est.StageTime(0), est.StageTime(1)
+	if got := est.SerializedMakespan(); got != s0+s1 {
+		t.Fatalf("serialized %g != %g + %g", float64(got), float64(s0), float64(s1))
+	}
+	if pip := est.PipelinedMakespan(); pip >= s0+s1 {
+		t.Fatalf("pipelined %g should be below serialized %g", float64(pip), float64(s0+s1))
+	}
+}
+
+func TestLocalCopyUsesMemcpyRate(t *testing.T) {
+	net, p := rig(t)
+	est, _ := NewEstimator(net, p)
+	est.Add(FlowDesc{Bytes: 1 << 30}) // no links
+	got := est.StageTime(0)
+	want := float64(p.SenderOverhead+p.ReceiverOverhead) + float64(1<<30)/p.LocalCopyBandwidth
+	if float64(got) < want*0.999 || float64(got) > want*1.001 {
+		t.Fatalf("local copy stage time %g, want %g", float64(got), want)
+	}
+}
+
+func TestStageAccounting(t *testing.T) {
+	net, p := rig(t)
+	est, _ := NewEstimator(net, p)
+	est.Add(FlowDesc{Bytes: 1, Stage: 0})
+	est.Add(FlowDesc{Bytes: 1, Stage: 2})
+	if est.Stages() != 3 {
+		t.Fatalf("Stages() = %d", est.Stages())
+	}
+	if est.Flows(0) != 1 || est.Flows(1) != 0 || est.Flows(2) != 1 {
+		t.Fatal("per-stage flow counts wrong")
+	}
+	if est.StageTime(99) != 0 || est.Flows(-1) != 0 {
+		t.Fatal("out-of-range stage should be zero")
+	}
+}

@@ -1,0 +1,28 @@
+package hacc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal checks the record codec is total on 38-byte inputs and
+// bit-stable through a marshal round trip.
+func FuzzUnmarshal(f *testing.F) {
+	seed := make([]byte, RecordBytes)
+	f.Add(seed)
+	f.Add(bytes.Repeat([]byte{0xFF}, RecordBytes))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := Unmarshal(raw)
+		if err != nil {
+			if len(raw) >= RecordBytes {
+				t.Fatal("long buffer rejected")
+			}
+			return
+		}
+		buf := make([]byte, RecordBytes)
+		p.MarshalTo(buf)
+		if !bytes.Equal(buf, raw[:RecordBytes]) {
+			t.Fatal("record not bit-stable through round trip")
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// Package hacc is a miniature stand-in for the HACC (Hardware/Hybrid
+// Accelerated Cosmology Code) workload the paper uses as its application
+// benchmark. It evolves particles in a periodic box with a leapfrog
+// integrator under a cheap self-attraction approximation and serializes
+// checkpoints in HACC I/O's record layout: per particle three positions,
+// three velocities and the potential as float32, a 64-bit particle ID
+// and a 16-bit mask — 38 bytes per record.
+//
+// Physics fidelity is irrelevant to the paper (HACC I/O itself is "an
+// I/O benchmark written to evaluate performance of the I/O system for
+// HACC"); what matters is producing the right volume of realistically
+// structured bytes at checkpoint time, which this package does.
+package hacc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// RecordBytes is the serialized size of one particle record:
+// 7 float32 + uint64 + uint16.
+const RecordBytes = 7*4 + 8 + 2
+
+// Particle is one tracer particle.
+type Particle struct {
+	X, Y, Z    float32
+	VX, VY, VZ float32
+	Phi        float32
+	ID         uint64
+	Mask       uint16
+}
+
+// MarshalTo writes the particle's 38-byte record into buf.
+func (p Particle) MarshalTo(buf []byte) {
+	if len(buf) < RecordBytes {
+		panic(fmt.Sprintf("hacc: buffer %d too small for a %d-byte record", len(buf), RecordBytes))
+	}
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], math.Float32bits(p.X))
+	le.PutUint32(buf[4:], math.Float32bits(p.Y))
+	le.PutUint32(buf[8:], math.Float32bits(p.Z))
+	le.PutUint32(buf[12:], math.Float32bits(p.VX))
+	le.PutUint32(buf[16:], math.Float32bits(p.VY))
+	le.PutUint32(buf[20:], math.Float32bits(p.VZ))
+	le.PutUint32(buf[24:], math.Float32bits(p.Phi))
+	le.PutUint64(buf[28:], p.ID)
+	le.PutUint16(buf[36:], p.Mask)
+}
+
+// Unmarshal reads a particle record from buf.
+func Unmarshal(buf []byte) (Particle, error) {
+	if len(buf) < RecordBytes {
+		return Particle{}, fmt.Errorf("hacc: record truncated at %d bytes", len(buf))
+	}
+	le := binary.LittleEndian
+	return Particle{
+		X:    math.Float32frombits(le.Uint32(buf[0:])),
+		Y:    math.Float32frombits(le.Uint32(buf[4:])),
+		Z:    math.Float32frombits(le.Uint32(buf[8:])),
+		VX:   math.Float32frombits(le.Uint32(buf[12:])),
+		VY:   math.Float32frombits(le.Uint32(buf[16:])),
+		VZ:   math.Float32frombits(le.Uint32(buf[20:])),
+		Phi:  math.Float32frombits(le.Uint32(buf[24:])),
+		ID:   le.Uint64(buf[28:]),
+		Mask: le.Uint16(buf[36:]),
+	}, nil
+}
+
+// Sim is one rank's particle population.
+type Sim struct {
+	BoxSize   float32
+	particles []Particle
+	step      int
+}
+
+// NewSim creates n particles uniformly placed in a periodic box with
+// small random velocities, deterministically in the seed. IDs are
+// globally unique when each rank passes a distinct idBase.
+func NewSim(n int, boxSize float32, idBase uint64, seed int64) (*Sim, error) {
+	if n < 0 || boxSize <= 0 {
+		return nil, fmt.Errorf("hacc: invalid n=%d boxSize=%g", n, boxSize)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Sim{BoxSize: boxSize, particles: make([]Particle, n)}
+	for i := range s.particles {
+		s.particles[i] = Particle{
+			X:  rng.Float32() * boxSize,
+			Y:  rng.Float32() * boxSize,
+			Z:  rng.Float32() * boxSize,
+			VX: (rng.Float32() - 0.5) * 0.01 * boxSize,
+			VY: (rng.Float32() - 0.5) * 0.01 * boxSize,
+			VZ: (rng.Float32() - 0.5) * 0.01 * boxSize,
+			ID: idBase + uint64(i),
+		}
+	}
+	return s, nil
+}
+
+// NumParticles returns the population size.
+func (s *Sim) NumParticles() int { return len(s.particles) }
+
+// Step advances the population one leapfrog step: a kick toward the box
+// center scaled by 1/r (a crude bound-structure proxy) and a periodic
+// drift. It also refreshes each particle's potential field.
+func (s *Sim) Step(dt float32) {
+	s.step++
+	c := s.BoxSize / 2
+	for i := range s.particles {
+		p := &s.particles[i]
+		dx, dy, dz := c-p.X, c-p.Y, c-p.Z
+		r2 := dx*dx + dy*dy + dz*dz + 1e-3*s.BoxSize*s.BoxSize
+		inv := float32(1) / r2
+		p.VX += dx * inv * dt
+		p.VY += dy * inv * dt
+		p.VZ += dz * inv * dt
+		p.X = wrap(p.X+p.VX*dt, s.BoxSize)
+		p.Y = wrap(p.Y+p.VY*dt, s.BoxSize)
+		p.Z = wrap(p.Z+p.VZ*dt, s.BoxSize)
+		p.Phi = -inv
+	}
+}
+
+func wrap(x, box float32) float32 {
+	for x < 0 {
+		x += box
+	}
+	for x >= box {
+		x -= box
+	}
+	return x
+}
+
+// CheckpointBytes returns the serialized size of a checkpoint.
+func (s *Sim) CheckpointBytes() int64 {
+	return int64(len(s.particles)) * RecordBytes
+}
+
+// Checkpoint serializes every particle record to w and returns the byte
+// count. Writing to io.Discard reproduces the paper's /dev/null setup.
+func (s *Sim) Checkpoint(w io.Writer) (int64, error) {
+	buf := make([]byte, RecordBytes)
+	var total int64
+	for _, p := range s.particles {
+		p.MarshalTo(buf)
+		n, err := w.Write(buf)
+		total += int64(n)
+		if err != nil {
+			return total, fmt.Errorf("hacc: checkpoint write: %w", err)
+		}
+	}
+	return total, nil
+}
+
+// ReadCheckpoint parses records back from r until EOF.
+func ReadCheckpoint(r io.Reader) ([]Particle, error) {
+	var out []Particle
+	buf := make([]byte, RecordBytes)
+	for {
+		_, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, fmt.Errorf("hacc: checkpoint read: %w", err)
+		}
+		p, err := Unmarshal(buf)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}
+
+// Bounds reports whether every particle sits inside the periodic box —
+// an integrator invariant.
+func (s *Sim) Bounds() bool {
+	for _, p := range s.particles {
+		if p.X < 0 || p.X >= s.BoxSize || p.Y < 0 || p.Y >= s.BoxSize || p.Z < 0 || p.Z >= s.BoxSize {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,161 @@
+package hacc
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"bgqflow/internal/workload"
+)
+
+func TestRecordBytesMatchesWorkloadConstant(t *testing.T) {
+	if RecordBytes != workload.HACCRecordBytes {
+		t.Fatalf("hacc.RecordBytes %d != workload.HACCRecordBytes %d", RecordBytes, workload.HACCRecordBytes)
+	}
+	if RecordBytes != 38 {
+		t.Fatalf("RecordBytes = %d, want 38", RecordBytes)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := Particle{X: 1.5, Y: -2.25, Z: 0.001, VX: 9, VY: -8, VZ: 7, Phi: -0.5, ID: 123456789012345, Mask: 0xBEEF}
+	buf := make([]byte, RecordBytes)
+	p.MarshalTo(buf)
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip: got %+v want %+v", got, p)
+	}
+}
+
+func TestMarshalShortBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Particle{}.MarshalTo(make([]byte, 10))
+}
+
+func TestUnmarshalShortBuffer(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(-1, 1, 0, 0); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewSim(10, 0, 0, 0); err == nil {
+		t.Error("zero box accepted")
+	}
+}
+
+func TestNewSimDeterministic(t *testing.T) {
+	a, _ := NewSim(100, 64, 0, 42)
+	b, _ := NewSim(100, 64, 0, 42)
+	var bufA, bufB bytes.Buffer
+	if _, err := a.Checkpoint(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Checkpoint(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("same seed produced different populations")
+	}
+}
+
+func TestCheckpointSizeAndContent(t *testing.T) {
+	s, _ := NewSim(321, 64, 1000, 7)
+	if s.CheckpointBytes() != 321*RecordBytes {
+		t.Fatalf("CheckpointBytes = %d", s.CheckpointBytes())
+	}
+	var buf bytes.Buffer
+	n, err := s.Checkpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != s.CheckpointBytes() || int64(buf.Len()) != n {
+		t.Fatalf("wrote %d bytes, want %d", n, s.CheckpointBytes())
+	}
+	back, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 321 {
+		t.Fatalf("read back %d particles", len(back))
+	}
+	if back[0].ID != 1000 || back[320].ID != 1320 {
+		t.Fatalf("IDs not preserved: %d..%d", back[0].ID, back[320].ID)
+	}
+}
+
+func TestCheckpointToDiscard(t *testing.T) {
+	s, _ := NewSim(1000, 64, 0, 3)
+	n, err := s.Checkpoint(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000*RecordBytes {
+		t.Fatalf("wrote %d", n)
+	}
+}
+
+func TestStepKeepsParticlesInBox(t *testing.T) {
+	s, _ := NewSim(500, 32, 0, 11)
+	for i := 0; i < 50; i++ {
+		s.Step(0.1)
+		if !s.Bounds() {
+			t.Fatalf("particle escaped the box at step %d", i)
+		}
+	}
+	if s.NumParticles() != 500 {
+		t.Fatal("particle count changed")
+	}
+}
+
+func TestStepChangesState(t *testing.T) {
+	s, _ := NewSim(10, 32, 0, 5)
+	var before, after bytes.Buffer
+	s.Checkpoint(&before)
+	s.Step(0.1)
+	s.Checkpoint(&after)
+	if bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("Step left the population unchanged")
+	}
+}
+
+// Property: marshal/unmarshal round trips for arbitrary field values.
+func TestPropertyRecordRoundTrip(t *testing.T) {
+	f := func(x, y, z, vx, vy, vz, phi float32, id uint64, mask uint16) bool {
+		p := Particle{X: x, Y: y, Z: z, VX: vx, VY: vy, VZ: vz, Phi: phi, ID: id, Mask: mask}
+		buf := make([]byte, RecordBytes)
+		p.MarshalTo(buf)
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		// NaN != NaN, so compare bit patterns via re-marshal.
+		buf2 := make([]byte, RecordBytes)
+		got.MarshalTo(buf2)
+		return bytes.Equal(buf, buf2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCheckpoint(b *testing.B) {
+	s, _ := NewSim(100000, 64, 0, 1)
+	b.SetBytes(s.CheckpointBytes())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Checkpoint(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

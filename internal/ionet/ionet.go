@@ -1,0 +1,175 @@
+// Package ionet models the Blue Gene/Q I/O subsystem on top of a netsim
+// network: psets (groups of 128 compute nodes), bridge nodes (two per
+// pset), and the 11th links from bridge nodes to I/O nodes.
+//
+// I/O traffic on the BG/Q is routed deterministically from a compute node
+// to its statically assigned default bridge node over the torus, then over
+// that bridge's 11th link to the I/O node. The paper's I/O benchmarks
+// write to /dev/null, so the I/O path ends at the I/O node; all contention
+// of interest is on the torus legs and the 11th links, which is what this
+// package models.
+package ionet
+
+import (
+	"fmt"
+
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/routing"
+	"bgqflow/internal/torus"
+)
+
+// Config sizes the I/O subsystem.
+type Config struct {
+	// PsetSize is the number of compute nodes per pset (BG/Q: 128).
+	PsetSize int
+	// BridgesPerPset is the number of bridge nodes per pset (BG/Q: 2).
+	BridgesPerPset int
+	// IONLinkBandwidth is the capacity of each 11th link, bytes/second.
+	IONLinkBandwidth float64
+}
+
+// DefaultConfig returns the BG/Q values.
+func DefaultConfig() Config {
+	return Config{PsetSize: 128, BridgesPerPset: 2, IONLinkBandwidth: 1.8e9}
+}
+
+// Pset is one I/O grouping: a rectangular box of compute nodes, its bridge
+// nodes, and the I/O node they uplink to.
+type Pset struct {
+	Index   int
+	Box     torus.Box
+	Bridges []torus.NodeID
+	// uplinks[i] is the netsim link ID of Bridges[i]'s 11th link.
+	uplinks []int
+}
+
+// ION identifies an I/O node; there is one per pset.
+type ION int
+
+// System is the built I/O topology for one partition.
+type System struct {
+	cfg        Config
+	tor        *torus.Torus
+	net        *netsim.Network
+	psets      []Pset
+	nodePset   []int          // node -> pset index
+	nodeBridge []torus.NodeID // node -> default bridge node
+	nodeUplink []int          // node -> default bridge's 11th-link ID
+	nodeBrIdx  []int          // node -> default bridge index within pset
+}
+
+// Build carves the partition into psets, places bridge nodes, registers
+// the 11th links on the network, and assigns every compute node its
+// default bridge. The pset count must divide the partition into equal
+// rectangular blocks (true for all BG/Q partition geometries).
+func Build(net *netsim.Network, cfg Config) (*System, error) {
+	tor := net.Torus()
+	if cfg.PsetSize < 1 || tor.Size()%cfg.PsetSize != 0 {
+		return nil, fmt.Errorf("ionet: pset size %d does not divide partition size %d", cfg.PsetSize, tor.Size())
+	}
+	if cfg.BridgesPerPset < 1 || cfg.PsetSize%cfg.BridgesPerPset != 0 {
+		return nil, fmt.Errorf("ionet: %d bridges per pset does not divide pset size %d", cfg.BridgesPerPset, cfg.PsetSize)
+	}
+	if cfg.IONLinkBandwidth <= 0 {
+		return nil, fmt.Errorf("ionet: ION link bandwidth %g must be positive", cfg.IONLinkBandwidth)
+	}
+	nPsets := tor.Size() / cfg.PsetSize
+	psetBoxes, err := torus.WholeBox(tor).Blocks(nPsets)
+	if err != nil {
+		return nil, fmt.Errorf("ionet: cannot carve %d psets from %v: %w", nPsets, tor.Shape(), err)
+	}
+	s := &System{
+		cfg:        cfg,
+		tor:        tor,
+		net:        net,
+		nodePset:   make([]int, tor.Size()),
+		nodeBridge: make([]torus.NodeID, tor.Size()),
+		nodeUplink: make([]int, tor.Size()),
+		nodeBrIdx:  make([]int, tor.Size()),
+	}
+	for pi, box := range psetBoxes {
+		ps := Pset{Index: pi, Box: box}
+		bridgeBlocks, err := box.Blocks(cfg.BridgesPerPset)
+		if err != nil {
+			return nil, fmt.Errorf("ionet: cannot place %d bridges in pset %v: %w", cfg.BridgesPerPset, box, err)
+		}
+		for bi, bb := range bridgeBlocks {
+			bridge := tor.ID(bb.Corner())
+			uplink := net.AddLink(
+				fmt.Sprintf("pset%d/bridge%d->ion%d", pi, bi, pi),
+				cfg.IONLinkBandwidth)
+			ps.Bridges = append(ps.Bridges, bridge)
+			ps.uplinks = append(ps.uplinks, uplink)
+			for _, n := range bb.Nodes(tor) {
+				s.nodePset[n] = pi
+				s.nodeBridge[n] = bridge
+				s.nodeUplink[n] = uplink
+				s.nodeBrIdx[n] = bi
+			}
+		}
+		s.psets = append(s.psets, ps)
+	}
+	return s, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// NumPsets returns the number of psets (equal to the number of I/O nodes).
+func (s *System) NumPsets() int { return len(s.psets) }
+
+// NumIONodes returns the number of I/O nodes available to the partition.
+func (s *System) NumIONodes() int { return len(s.psets) }
+
+// Pset returns pset i.
+func (s *System) Pset(i int) *Pset { return &s.psets[i] }
+
+// PsetOf returns the pset containing node n.
+func (s *System) PsetOf(n torus.NodeID) *Pset { return &s.psets[s.nodePset[n]] }
+
+// IONOf returns the I/O node that node n's default path leads to.
+func (s *System) IONOf(n torus.NodeID) ION { return ION(s.nodePset[n]) }
+
+// DefaultBridge returns node n's statically assigned bridge node.
+func (s *System) DefaultBridge(n torus.NodeID) torus.NodeID { return s.nodeBridge[n] }
+
+// DefaultPath returns node n's default pset index and bridge index — the
+// (pi, bi) pair its unassisted writes travel through.
+func (s *System) DefaultPath(n torus.NodeID) (pi, bi int) {
+	return s.nodePset[n], s.nodeBrIdx[n]
+}
+
+// Uplink returns the 11th-link ID of bridge index bi within pset pi.
+func (p *Pset) Uplink(bi int) int { return p.uplinks[bi] }
+
+// WriteRoute returns the full link path of a default-path write from node
+// n to its I/O node: the deterministic torus route to n's default bridge,
+// then the bridge's 11th link. The returned destination is the bridge node
+// (the flow's last compute-fabric endpoint).
+func (s *System) WriteRoute(n torus.NodeID) (links []int, bridge torus.NodeID) {
+	bridge = s.nodeBridge[n]
+	r := routing.DeterministicRoute(s.tor, n, bridge)
+	links = make([]int, 0, len(r.Links)+1)
+	links = append(links, r.Links...)
+	links = append(links, s.nodeUplink[n])
+	return links, bridge
+}
+
+// WriteRouteVia returns the write path from node n through a specific
+// bridge of a specific pset (used by aggregators that are assigned a
+// bridge explicitly to balance the two 11th links of their pset).
+func (s *System) WriteRouteVia(n torus.NodeID, pi, bi int) (links []int, bridge torus.NodeID) {
+	ps := &s.psets[pi]
+	bridge = ps.Bridges[bi]
+	r := routing.DeterministicRoute(s.tor, n, bridge)
+	links = make([]int, 0, len(r.Links)+1)
+	links = append(links, r.Links...)
+	links = append(links, ps.uplinks[bi])
+	return links, bridge
+}
+
+// PsetAggregateIOBandwidth returns the maximum I/O bandwidth of one pset
+// (the sum of its 11th links), e.g. 3.6 GB/s usable on the BG/Q.
+func (s *System) PsetAggregateIOBandwidth() float64 {
+	return float64(s.cfg.BridgesPerPset) * s.cfg.IONLinkBandwidth
+}

@@ -1,0 +1,43 @@
+package ionet
+
+import (
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/sim"
+	"bgqflow/internal/torus"
+)
+
+// Sink abstracts where a write burst ends. The paper's benchmarks write
+// to /dev/null on the I/O node (DevNull); the storage package provides a
+// GPFS-like sink that continues over the InfiniBand fabric to file
+// servers, reproducing the full Figure 1 path.
+type Sink interface {
+	// WriteFlows builds the flow path for one write of bytes at file
+	// offset off, issued by node n through pset pi / bridge bi. It
+	// returns the compute-fabric leg to the I/O node, plus any
+	// continuation flows beyond the ION; every continuation is to be
+	// submitted depending on the fabric leg (store-and-forward at the
+	// I/O node) and continuations run in parallel with each other
+	// (stripes to different servers). When continuations is empty the
+	// fabric leg is the final delivery. ExtraDelay fields come
+	// pre-filled with the sink's forwarding costs.
+	WriteFlows(n torus.NodeID, pi, bi int, off, bytes int64) (fabric netsim.FlowSpec, continuations []netsim.FlowSpec)
+}
+
+// DevNull is the paper's evaluation sink: the write path ends at the I/O
+// node (data is discarded there), so each write is a single flow over
+// the torus route to the bridge plus the 11th link.
+type DevNull struct {
+	S *System
+	// ForwardDelay is charged at the aggregator before the write leaves
+	// (the user-space receive-then-write turnaround).
+	ForwardDelay sim.Duration
+}
+
+// WriteFlows implements Sink.
+func (d DevNull) WriteFlows(n torus.NodeID, pi, bi int, off, bytes int64) (netsim.FlowSpec, []netsim.FlowSpec) {
+	links, bridge := d.S.WriteRouteVia(n, pi, bi)
+	return netsim.FlowSpec{
+		Src: n, Dst: bridge, Bytes: bytes, Links: links,
+		ExtraDelay: d.ForwardDelay,
+	}, nil
+}

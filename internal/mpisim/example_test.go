@@ -1,0 +1,38 @@
+package mpisim_test
+
+import (
+	"fmt"
+
+	"bgqflow/internal/mpisim"
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/torus"
+)
+
+// An SPMD program: rank 0 sends to rank 1, which acknowledges. The
+// runtime executes the goroutines in virtual time on the simulated
+// torus.
+func ExampleRuntime_Run() {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	params := netsim.DefaultParams()
+	job, _ := mpisim.NewJob(tor, 1)
+	rt, _ := mpisim.NewRuntime(job, netsim.NewNetwork(tor, params.LinkBandwidth), params)
+
+	_, err := rt.Run(func(r *mpisim.Rank) error {
+		switch r.ID() {
+		case 0:
+			if err := r.Send(1, 1<<20); err != nil {
+				return err
+			}
+			_, err := r.Recv(1)
+			return err
+		case 1:
+			if _, err := r.Recv(0); err != nil {
+				return err
+			}
+			return r.Send(0, 64)
+		}
+		return nil
+	})
+	fmt.Println("ping-pong ok:", err == nil)
+	// Output: ping-pong ok: true
+}

@@ -1,0 +1,121 @@
+package mpisim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bgqflow/internal/torus"
+)
+
+func TestDefaultMappingIsBlock(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	j, err := NewJob(tor, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Order() != "ABCDET" {
+		t.Fatalf("default order %q", j.Order())
+	}
+	for r := 0; r < j.NumRanks(); r += 97 {
+		if j.NodeOf(r) != torus.NodeID(r/16) {
+			t.Fatalf("rank %d on node %d, want %d (block mapping)", r, j.NodeOf(r), r/16)
+		}
+	}
+}
+
+func TestTFirstMappingIsRoundRobin(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	j, err := NewJobWithMapping(tor, 4, "TABCDE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With T slowest, ranks 0..127 land on nodes 0..127 (one per node),
+	// then rank 128 wraps back to node 0.
+	for r := 0; r < 128; r++ {
+		if j.NodeOf(r) != torus.NodeID(r) {
+			t.Fatalf("rank %d on node %d, want %d (round-robin)", r, j.NodeOf(r), r)
+		}
+	}
+	if j.NodeOf(128) != 0 {
+		t.Fatalf("rank 128 on node %d, want 0", j.NodeOf(128))
+	}
+}
+
+func TestMappingValidation(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	for _, bad := range []MapOrder{"ABCDE", "ABCDEF", "AABDET", "ABCDEX", "ABCDETT"} {
+		if _, err := NewJobWithMapping(tor, 2, bad); err == nil {
+			t.Errorf("mapping %q accepted", bad)
+		}
+	}
+	if _, err := NewJobWithMapping(tor, 0, "ABCDET"); err == nil {
+		t.Error("zero ranks per node accepted")
+	}
+}
+
+func TestMappingLowercaseAccepted(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2}) // 2-D torus: letters A, B, T
+	if _, err := NewJobWithMapping(tor, 2, "tab"); err != nil {
+		t.Fatalf("lowercase mapping rejected: %v", err)
+	}
+}
+
+// Property: every mapping is a bijection — each node hosts exactly
+// ranksPerNode ranks and every rank has exactly one node.
+func TestPropertyMappingBijective(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	orders := []MapOrder{"ABCDET", "TABCDE", "EDCBAT", "TEDCBA", "CTDEAB"}
+	f := func(oi uint8, rpnRaw uint8) bool {
+		order := orders[int(oi)%len(orders)]
+		rpn := int(rpnRaw%4) + 1
+		j, err := NewJobWithMapping(tor, rpn, order)
+		if err != nil {
+			return false
+		}
+		counts := make(map[torus.NodeID]int)
+		for r := 0; r < j.NumRanks(); r++ {
+			counts[j.NodeOf(r)]++
+		}
+		if len(counts) != tor.Size() {
+			return false
+		}
+		for _, c := range counts {
+			if c != rpn {
+				return false
+			}
+		}
+		// RanksOn is consistent with NodeOf.
+		for n := torus.NodeID(0); int(n) < tor.Size(); n += 17 {
+			for _, r := range j.RanksOn(n) {
+				if j.NodeOf(r) != n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingChangesDataPlacement(t *testing.T) {
+	// The point of mapping: the same rank-indexed burst lands on
+	// different nodes under different orders.
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	block, _ := NewJobWithMapping(tor, 16, "ABCDET")
+	rr, _ := NewJobWithMapping(tor, 16, "TABCDE")
+	// Ranks 0..15: one node under block, 16 nodes under round-robin.
+	nodesBlock := map[torus.NodeID]bool{}
+	nodesRR := map[torus.NodeID]bool{}
+	for r := 0; r < 16; r++ {
+		nodesBlock[block.NodeOf(r)] = true
+		nodesRR[rr.NodeOf(r)] = true
+	}
+	if len(nodesBlock) != 1 {
+		t.Fatalf("block mapping spread 16 ranks over %d nodes", len(nodesBlock))
+	}
+	if len(nodesRR) != 16 {
+		t.Fatalf("round-robin mapping spread 16 ranks over %d nodes", len(nodesRR))
+	}
+}

@@ -1,0 +1,132 @@
+package mpisim
+
+import "fmt"
+
+// Rank-level collectives: classic algorithms written against the Send/
+// Recv primitives, so their cost emerges from the simulated network
+// rather than from an analytic price. They complement CollectiveModel
+// (fast pricing) and the flow-DAG builders (plan-level) with the version
+// an application programmer would write.
+
+// Bcast implements a binomial-tree broadcast over all ranks: root's
+// payload of the given size reaches every rank. Every rank must call it
+// with the same root and size.
+func (r *Rank) Bcast(root int, bytes int64) error {
+	n := r.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("mpisim: Bcast root %d", root)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("mpisim: negative Bcast size")
+	}
+	// Rotate so root is virtual rank 0.
+	vr := (r.id - root + n) % n
+	abs := func(v int) int { return (v + root) % n }
+	// Receive once from the parent, then forward to children.
+	if vr != 0 {
+		parent := vr
+		span := 1
+		for parent&span == 0 {
+			span <<= 1
+		}
+		if _, err := r.Recv(abs(vr &^ span)); err != nil {
+			return err
+		}
+	}
+	// Children: vr + span for spans above vr's lowest set bit.
+	low := vr & (-vr)
+	if vr == 0 {
+		low = 1 << 62
+	}
+	// Send in decreasing span order (largest subtree first), matching
+	// the binomial broadcast.
+	start := 1
+	for start < n {
+		start <<= 1
+	}
+	for span := start >> 1; span >= 1; span >>= 1 {
+		if span >= low {
+			continue
+		}
+		child := vr + span
+		if child < n {
+			if err := r.Send(abs(child), bytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce implements a binomial-tree reduction to root: every rank
+// contributes bytes and the combined payload lands at root. The
+// reduction operator itself is free (compute is not modeled here); the
+// communication pattern is what costs.
+func (r *Rank) Reduce(root int, bytes int64) error {
+	n := r.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("mpisim: Reduce root %d", root)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("mpisim: negative Reduce size")
+	}
+	vr := (r.id - root + n) % n
+	abs := func(v int) int { return (v + root) % n }
+	// Mirror of Bcast: receive from children smallest span first, then
+	// send to the parent.
+	low := vr & (-vr)
+	if vr == 0 {
+		low = 1 << 62
+	}
+	for span := 1; span < n; span <<= 1 {
+		if span >= low {
+			break
+		}
+		child := vr + span
+		if child < n {
+			if _, err := r.Recv(abs(child)); err != nil {
+				return err
+			}
+		}
+	}
+	if vr != 0 {
+		span := 1
+		for vr&span == 0 {
+			span <<= 1
+		}
+		return r.Send(abs(vr&^span), bytes)
+	}
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast from rank 0.
+func (r *Rank) Allreduce(bytes int64) error {
+	if err := r.Reduce(0, bytes); err != nil {
+		return err
+	}
+	return r.Bcast(0, bytes)
+}
+
+// RingAllgather implements the bandwidth-optimal ring allgather: in n-1
+// steps every rank forwards the chunk it just received to its +1
+// neighbor, so every rank ends with all n chunks of the given size.
+func (r *Rank) RingAllgather(chunkBytes int64) error {
+	if chunkBytes < 0 {
+		return fmt.Errorf("mpisim: negative RingAllgather size")
+	}
+	n := r.Size()
+	if n == 1 {
+		return nil
+	}
+	next := (r.id + 1) % n
+	prev := (r.id + n - 1) % n
+	for step := 0; step < n-1; step++ {
+		if err := r.Send(next, chunkBytes); err != nil {
+			return err
+		}
+		if _, err := r.Recv(prev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,573 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"bgqflow/internal/routing"
+	"bgqflow/internal/sim"
+	"bgqflow/internal/torus"
+)
+
+// FlowID identifies a flow submitted to an Engine.
+type FlowID int
+
+// FlowSpec describes one message transfer.
+type FlowSpec struct {
+	// Src and Dst are the endpoint nodes. If they are equal the flow is a
+	// node-local copy and uses no links.
+	Src, Dst torus.NodeID
+
+	// Bytes is the message size. Zero-byte flows complete after their
+	// endpoint overheads; they are useful as pure synchronization points.
+	Bytes int64
+
+	// Links is the route. When nil and Src != Dst, the engine computes
+	// the BG/Q default deterministic route. Callers building I/O flows
+	// append extra link IDs (bridge-to-ION links) explicitly.
+	Links []int
+
+	// DependsOn lists flows that must complete before this flow is
+	// released. This expresses store-and-forward: a proxy's second-leg
+	// flow depends on the corresponding first-leg flow.
+	DependsOn []FlowID
+
+	// ExtraDelay is charged once at release time in addition to the
+	// sender overhead; transfer plans use it for the user-space proxy
+	// forwarding cost.
+	ExtraDelay sim.Duration
+
+	// Label tags the flow in results and diagnostics.
+	Label string
+
+	// OnComplete, when set, runs as the flow completes (after the
+	// receiver overhead, before dependents are released). Used by the
+	// SPMD runtime to unblock rank goroutines.
+	OnComplete func()
+}
+
+// FlowResult reports the timeline of a completed flow.
+type FlowResult struct {
+	Released    sim.Time // dependencies satisfied
+	Activated   sim.Time // sender overhead paid, transfer started
+	TransferEnd sim.Time // last byte left the wire
+	Completed   sim.Time // receiver overhead paid, dependents released
+	Bytes       int64
+	Done        bool
+}
+
+type flowState uint8
+
+const (
+	statePending  flowState = iota // waiting on dependencies
+	stateDelayed                   // released, paying sender overhead
+	stateActive                    // transferring
+	stateDraining                  // transfer done, paying receiver overhead
+	stateDone
+)
+
+type flow struct {
+	id         FlowID
+	spec       FlowSpec
+	links      []int
+	unmetDeps  int
+	dependents []FlowID
+	state      flowState
+	remaining  float64 // bytes left to transfer
+	rate       float64 // current allocation, bytes/second
+	cap        float64 // per-flow rate cap
+	lastUpdate sim.Time
+	endEvent   sim.EventID
+	hasEnd     bool
+	res        FlowResult
+	visit      uint64 // component-BFS epoch stamp
+}
+
+// Engine executes a DAG of flows over a Network and reports per-flow
+// timing. Submit all flows, then call Run once.
+type Engine struct {
+	net   *Network
+	p     Params
+	clock *sim.Engine
+
+	flows     []*flow
+	linkFlows [][]*flow // active flows per link
+	linkVisit []uint64  // component-BFS epoch stamps per link
+	linkBytes []float64 // cumulative bytes carried per link
+	linkIndex []int32   // scratch: link ID -> local index in waterfill
+	epoch     uint64
+
+	// Reallocation requests arriving at the same virtual instant are
+	// batched into one sweep: N simultaneous flow activations (e.g. a
+	// whole exchange phase releasing at once) cost one water-filling
+	// pass instead of N.
+	pendingFlows   []*flow
+	pendingLinks   []int
+	sweepScheduled bool
+
+	active      int // flows not yet done
+	ran         bool
+	interactive bool
+
+	// sweepObserver, when set, runs after every reallocation sweep; test
+	// code uses it to audit the rate assignment (fairness invariants).
+	sweepObserver func(now sim.Time)
+}
+
+// NewEngine creates an engine over net with parameters p.
+func NewEngine(net *Network, p Params) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		net:       net,
+		p:         p,
+		clock:     sim.NewEngine(),
+		linkFlows: make([][]*flow, net.NumLinks()),
+		linkVisit: make([]uint64, net.NumLinks()),
+		linkBytes: make([]float64, net.NumLinks()),
+		linkIndex: make([]int32, net.NumLinks()),
+	}, nil
+}
+
+// Params returns the engine's parameters.
+func (e *Engine) Params() Params { return e.p }
+
+// Network returns the engine's network.
+func (e *Engine) Network() *Network { return e.net }
+
+// Submit registers a flow and returns its ID. All dependencies must refer
+// to already-submitted flows. Submit panics after Run has been called,
+// unless the engine is in interactive mode (BeginInteractive), where
+// flows are released as soon as their dependencies allow.
+func (e *Engine) Submit(spec FlowSpec) FlowID {
+	if e.ran && !e.interactive {
+		panic("netsim: Submit after Run")
+	}
+	if spec.Bytes < 0 {
+		panic(fmt.Sprintf("netsim: negative flow size %d", spec.Bytes))
+	}
+	id := FlowID(len(e.flows))
+	f := &flow{id: id, spec: spec, cap: e.p.PerFlowBandwidth}
+	switch {
+	case spec.Links != nil:
+		// Explicit routes are honored even for Src == Dst (e.g. a
+		// bridge node writing over its own 11th link).
+		f.links = spec.Links
+		if len(f.links) == 0 {
+			f.cap = e.p.LocalCopyBandwidth
+		}
+	case spec.Src == spec.Dst:
+		f.cap = e.p.LocalCopyBandwidth
+	default:
+		f.links = routing.DeterministicRoute(e.net.Torus(), spec.Src, spec.Dst).Links
+	}
+	for _, l := range f.links {
+		if l < 0 || l >= e.net.NumLinks() {
+			panic(fmt.Sprintf("netsim: flow %d routed over unknown link %d", id, l))
+		}
+		if e.net.LinkFailed(l) {
+			panic(fmt.Sprintf("netsim: flow %d routed over failed link %d (%s) — plan around failures with routing.RouteAvoiding",
+				id, l, e.net.LinkName(l)))
+		}
+	}
+	for _, dep := range spec.DependsOn {
+		if int(dep) < 0 || int(dep) >= len(e.flows) {
+			panic(fmt.Sprintf("netsim: flow %d depends on unknown flow %d", id, dep))
+		}
+		d := e.flows[dep]
+		if d.state != stateDone {
+			d.dependents = append(d.dependents, id)
+			f.unmetDeps++
+		}
+	}
+	e.flows = append(e.flows, f)
+	e.active++
+	if e.interactive && f.unmetDeps == 0 {
+		e.release(f)
+	}
+	return id
+}
+
+// Run executes all submitted flows and returns the makespan (time from
+// start to the completion of the last flow). It returns an error when the
+// dependency graph leaves flows unreleased (a cycle).
+func (e *Engine) Run() (sim.Duration, error) {
+	if e.ran {
+		panic("netsim: Run called twice")
+	}
+	e.ran = true
+	for _, f := range e.flows {
+		if f.unmetDeps == 0 {
+			e.release(f)
+		}
+	}
+	end := e.clock.Run()
+	if e.active > 0 {
+		return 0, fmt.Errorf("netsim: %d of %d flows never completed (dependency cycle)", e.active, len(e.flows))
+	}
+	return sim.Duration(end), nil
+}
+
+// Result returns a flow's timing after Run.
+func (e *Engine) Result(id FlowID) FlowResult { return e.flows[id].res }
+
+// Spec returns the FlowSpec a flow was submitted with.
+func (e *Engine) Spec(id FlowID) FlowSpec { return e.flows[id].spec }
+
+// NumFlows returns the number of submitted flows.
+func (e *Engine) NumFlows() int { return len(e.flows) }
+
+// LinkBytes returns the cumulative bytes carried by each link during the
+// run, indexed by link ID. The slice is live; do not modify it.
+func (e *Engine) LinkBytes() []float64 { return e.linkBytes }
+
+// release starts a flow's sender-overhead countdown.
+func (e *Engine) release(f *flow) {
+	f.state = stateDelayed
+	f.res.Released = e.clock.Now()
+	delay := e.p.SenderOverhead + f.spec.ExtraDelay
+	e.clock.After(delay, func(*sim.Engine) { e.activate(f) })
+}
+
+// activate puts a flow on its links and reallocates its component.
+func (e *Engine) activate(f *flow) {
+	f.state = stateActive
+	f.res.Activated = e.clock.Now()
+	f.remaining = float64(f.spec.Bytes)
+	f.lastUpdate = e.clock.Now()
+	if f.spec.Bytes == 0 {
+		e.transferEnd(f)
+		return
+	}
+	for _, l := range f.links {
+		e.linkFlows[l] = append(e.linkFlows[l], f)
+	}
+	e.requestRealloc(f, f.links)
+}
+
+// transferEnd fires when the last byte leaves the wire: the flow frees its
+// links immediately and completes after receiver-side costs.
+func (e *Engine) transferEnd(f *flow) {
+	f.state = stateDraining
+	f.hasEnd = false
+	f.res.TransferEnd = e.clock.Now()
+	// Charge the final segment of progress to the link byte counters
+	// before leaving the links.
+	for _, l := range f.links {
+		e.linkBytes[l] += f.remaining
+	}
+	f.remaining = 0
+	for _, l := range f.links {
+		e.removeFromLink(l, f)
+	}
+	// Freed capacity benefits the rest of the component.
+	if len(f.links) > 0 {
+		e.requestRealloc(nil, f.links)
+	}
+	tail := e.p.ReceiverOverhead + sim.Duration(float64(e.p.HopLatency)*float64(len(f.links)))
+	e.clock.After(tail, func(*sim.Engine) { e.finish(f) })
+}
+
+func (e *Engine) finish(f *flow) {
+	f.state = stateDone
+	f.res.Completed = e.clock.Now()
+	f.res.Bytes = f.spec.Bytes
+	f.res.Done = true
+	e.active--
+	if f.spec.OnComplete != nil {
+		f.spec.OnComplete()
+	}
+	for _, dep := range f.dependents {
+		d := e.flows[dep]
+		d.unmetDeps--
+		if d.unmetDeps == 0 && d.state == statePending {
+			e.release(d)
+		}
+	}
+}
+
+func (e *Engine) removeFromLink(l int, f *flow) {
+	s := e.linkFlows[l]
+	for i, g := range s {
+		if g == f {
+			s[i] = s[len(s)-1]
+			e.linkFlows[l] = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// requestRealloc queues a reallocation covering the given seed flow and
+// links and schedules a single sweep at the current instant. All requests
+// made at the same virtual time share one sweep, which runs after every
+// other event at this instant (FIFO ordering of same-time events).
+func (e *Engine) requestRealloc(f *flow, links []int) {
+	if f != nil {
+		e.pendingFlows = append(e.pendingFlows, f)
+	}
+	e.pendingLinks = append(e.pendingLinks, links...)
+	if !e.sweepScheduled {
+		e.sweepScheduled = true
+		e.clock.After(0, func(*sim.Engine) { e.sweep() })
+	}
+}
+
+func (e *Engine) sweep() {
+	e.sweepScheduled = false
+	flows, links := e.component(e.pendingFlows, e.pendingLinks)
+	e.pendingFlows = e.pendingFlows[:0]
+	e.pendingLinks = e.pendingLinks[:0]
+	if len(flows) > 0 {
+		e.waterfill(flows, links)
+	}
+	if e.sweepObserver != nil {
+		e.sweepObserver(e.clock.Now())
+	}
+}
+
+// SetSweepObserver installs a callback run after every rate
+// reallocation; use FlowRate/ActiveFlowIDs from inside it to audit the
+// allocation. Intended for tests and instrumentation.
+func (e *Engine) SetSweepObserver(fn func(now sim.Time)) { e.sweepObserver = fn }
+
+// FlowRate reports a flow's current rate; active is false when the flow
+// is not currently transferring.
+func (e *Engine) FlowRate(id FlowID) (rate float64, active bool) {
+	f := e.flows[id]
+	if f.state != stateActive {
+		return 0, false
+	}
+	return f.rate, true
+}
+
+// FlowRouteLinks returns the links a flow occupies (its planned route).
+func (e *Engine) FlowRouteLinks(id FlowID) []int {
+	return append([]int(nil), e.flows[id].links...)
+}
+
+// ActiveFlowIDs returns the flows currently transferring.
+func (e *Engine) ActiveFlowIDs() []FlowID {
+	var out []FlowID
+	for _, f := range e.flows {
+		if f.state == stateActive {
+			out = append(out, f.id)
+		}
+	}
+	return out
+}
+
+// FlowRateCap reports a flow's endpoint rate cap.
+func (e *Engine) FlowRateCap(id FlowID) float64 { return e.flows[id].cap }
+
+// component gathers, by BFS over shared links, all active flows and links
+// reachable from the seeds. Because rate allocation is per-link, flows in
+// different components cannot affect each other, so reallocation is scoped
+// to one component — this keeps large sparse runs fast.
+func (e *Engine) component(seedFlows []*flow, seedLinks []int) ([]*flow, []int) {
+	e.epoch++
+	ep := e.epoch
+	var flows []*flow
+	var links []int
+	var flowQueue []*flow
+
+	addLink := func(l int) {
+		if e.linkVisit[l] == ep {
+			return
+		}
+		e.linkVisit[l] = ep
+		links = append(links, l)
+		for _, g := range e.linkFlows[l] {
+			if g.visit != ep {
+				g.visit = ep
+				flows = append(flows, g)
+				flowQueue = append(flowQueue, g)
+			}
+		}
+	}
+	for _, f := range seedFlows {
+		if f.visit != ep && f.state == stateActive {
+			f.visit = ep
+			flows = append(flows, f)
+			flowQueue = append(flowQueue, f)
+		}
+	}
+	for _, l := range seedLinks {
+		addLink(l)
+	}
+	for len(flowQueue) > 0 {
+		f := flowQueue[len(flowQueue)-1]
+		flowQueue = flowQueue[:len(flowQueue)-1]
+		for _, l := range f.links {
+			addLink(l)
+		}
+	}
+	return flows, links
+}
+
+// waterfill assigns max-min fair rates to the component's flows: the
+// common rate level of unfrozen flows rises until a link saturates or a
+// flow hits its rate cap; those flows freeze; repeat. Before changing
+// rates it charges the progress made at the old rates.
+func (e *Engine) waterfill(flows []*flow, links []int) {
+	now := e.clock.Now()
+
+	// Charge progress at old rates.
+	for _, f := range flows {
+		if dt := float64(now - f.lastUpdate); dt > 0 && f.rate > 0 {
+			moved := f.rate * dt
+			if moved > f.remaining {
+				moved = f.remaining
+			}
+			f.remaining -= moved
+			for _, l := range f.links {
+				e.linkBytes[l] += moved
+			}
+		}
+		f.lastUpdate = now
+	}
+
+	// Local link indices (dense scratch; only component links are read
+	// back, so no invalidation between sweeps is needed).
+	idx := e.linkIndex
+	for i, l := range links {
+		idx[l] = int32(i)
+	}
+	load := make([]float64, len(links))    // frozen load per link
+	unfrozen := make([]int, len(links))    // unfrozen flow count per link
+	capLeft := make([]float64, len(links)) // capacity per link
+	aliveLinks := make([]int, 0, len(links))
+	for i, l := range links {
+		capLeft[i] = e.net.Capacity(l)
+		unfrozen[i] = len(e.linkFlows[l])
+		if unfrozen[i] > 0 {
+			aliveLinks = append(aliveLinks, i)
+		}
+	}
+	newRate := make([]float64, len(flows))
+	aliveFlows := make([]int, len(flows))
+	for i := range aliveFlows {
+		aliveFlows[i] = i
+	}
+
+	const relEps = 1e-9
+	for len(aliveFlows) > 0 {
+		// Find the level at which the next constraint binds, compacting
+		// away links with no unfrozen flows.
+		level := math.Inf(1)
+		kept := aliveLinks[:0]
+		for _, i := range aliveLinks {
+			if unfrozen[i] == 0 {
+				continue
+			}
+			kept = append(kept, i)
+			if s := (capLeft[i] - load[i]) / float64(unfrozen[i]); s < level {
+				level = s
+			}
+		}
+		aliveLinks = kept
+		for _, fi := range aliveFlows {
+			if c := flows[fi].cap; c < level {
+				level = c
+			}
+		}
+		if level < 0 {
+			level = 0
+		}
+		// Freeze every flow bound at this level, compacting the rest.
+		eps := level*relEps + 1e-15
+		keptFlows := aliveFlows[:0]
+		for _, fi := range aliveFlows {
+			f := flows[fi]
+			bound := f.cap <= level+eps
+			if !bound {
+				for _, l := range f.links {
+					i := idx[l]
+					if unfrozen[i] > 0 && (capLeft[i]-load[i])/float64(unfrozen[i]) <= level+eps {
+						bound = true
+						break
+					}
+				}
+			}
+			if !bound {
+				keptFlows = append(keptFlows, fi)
+				continue
+			}
+			newRate[fi] = level
+			for _, l := range f.links {
+				i := idx[l]
+				load[i] += level
+				unfrozen[i]--
+			}
+		}
+		if len(keptFlows) == len(aliveFlows) {
+			panic("netsim: waterfill made no progress")
+		}
+		aliveFlows = keptFlows
+	}
+
+	// Apply rates and (re)schedule completion events. When a flow's rate
+	// is unchanged its previously scheduled completion time is still
+	// exact, so the event is kept.
+	for fi, f := range flows {
+		r := newRate[fi]
+		if r <= 0 {
+			panic(fmt.Sprintf("netsim: flow %d allocated zero rate", f.id))
+		}
+		if f.hasEnd && r == f.rate {
+			continue
+		}
+		if f.hasEnd {
+			e.clock.Cancel(f.endEvent)
+		}
+		f.rate = r
+		dt := sim.Duration(f.remaining / f.rate)
+		ff := f
+		f.endEvent = e.clock.After(dt, func(*sim.Engine) { e.transferEnd(ff) })
+		f.hasEnd = true
+	}
+}
+
+// BeginInteractive switches the engine to interactive mode: Run becomes
+// unavailable, flows are released on Submit, and the caller advances
+// virtual time with StepClock / ScheduleAt. This is the mode the SPMD
+// runtime (mpisim.Runtime) drives the engine in.
+func (e *Engine) BeginInteractive() {
+	if e.ran {
+		panic("netsim: BeginInteractive after Run")
+	}
+	e.ran = true
+	e.interactive = true
+}
+
+// StepClock fires the next pending event and reports whether one fired.
+// Interactive mode only.
+func (e *Engine) StepClock() bool {
+	if !e.interactive {
+		panic("netsim: StepClock outside interactive mode")
+	}
+	return e.clock.Step()
+}
+
+// PendingEvents reports how many events are queued. Interactive mode.
+func (e *Engine) PendingEvents() int { return e.clock.Pending() }
+
+// Now reports the engine's virtual time.
+func (e *Engine) Now() sim.Time { return e.clock.Now() }
+
+// ScheduleAfter schedules fn on the engine clock (interactive mode):
+// timers, barrier releases, compute phases.
+func (e *Engine) ScheduleAfter(d sim.Duration, fn func()) {
+	if !e.interactive {
+		panic("netsim: ScheduleAfter outside interactive mode")
+	}
+	e.clock.After(d, func(*sim.Engine) { fn() })
+}
+
+// Throughput converts bytes moved over a duration into bytes/second.
+func Throughput(bytes int64, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(d)
+}

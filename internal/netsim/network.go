@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"fmt"
+
+	"bgqflow/internal/torus"
+)
+
+// Network is the set of capacity-limited directed links flows run over:
+// the torus links of a partition plus any registered extra links (such as
+// the 11th links from bridge nodes to I/O nodes).
+//
+// Link IDs are dense integers: IDs below Torus().NumTorusLinks() are torus
+// links (see torus.LinkID); IDs at or above it are extra links in order of
+// registration.
+type Network struct {
+	t        *torus.Torus
+	capacity []float64
+	failed   []bool
+	names    map[int]string // extra-link names for diagnostics
+}
+
+// NewNetwork builds the link table for torus t with per-direction torus
+// link capacity linkBandwidth (bytes/second).
+func NewNetwork(t *torus.Torus, linkBandwidth float64) *Network {
+	n := &Network{
+		t:        t,
+		capacity: make([]float64, t.NumTorusLinks()),
+		names:    make(map[int]string),
+	}
+	for i := range n.capacity {
+		n.capacity[i] = linkBandwidth
+	}
+	return n
+}
+
+// Torus returns the underlying torus.
+func (n *Network) Torus() *torus.Torus { return n.t }
+
+// NumLinks returns the total number of links, torus plus extra.
+func (n *Network) NumLinks() int { return len(n.capacity) }
+
+// NumTorusLinks returns the number of torus links (extra links have IDs at
+// or beyond this value).
+func (n *Network) NumTorusLinks() int { return n.t.NumTorusLinks() }
+
+// AddLink registers an extra link with the given capacity and returns its
+// ID. The name labels the link in diagnostics.
+func (n *Network) AddLink(name string, capacity float64) int {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: extra link %q has capacity %g", name, capacity))
+	}
+	id := len(n.capacity)
+	n.capacity = append(n.capacity, capacity)
+	n.names[id] = name
+	return id
+}
+
+// Capacity returns the capacity of link id in bytes/second.
+func (n *Network) Capacity(id int) float64 { return n.capacity[id] }
+
+// FailLink marks a link failed. Flows submitted over failed links are
+// rejected (fail-stop): fault handling belongs to the planning layer,
+// which routes around failures with routing.RouteAvoiding.
+func (n *Network) FailLink(id int) {
+	if n.failed == nil {
+		n.failed = make([]bool, len(n.capacity))
+	}
+	n.failed[id] = true
+}
+
+// LinkFailed reports whether a link is marked failed.
+func (n *Network) LinkFailed(id int) bool {
+	return n.failed != nil && id < len(n.failed) && n.failed[id]
+}
+
+// HasFailures reports whether any link is failed.
+func (n *Network) HasFailures() bool {
+	for _, f := range n.failed {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// FailedFunc returns a predicate suitable for routing.RouteAvoiding.
+func (n *Network) FailedFunc() func(int) bool {
+	return n.LinkFailed
+}
+
+// LinkName renders a link for diagnostics.
+func (n *Network) LinkName(id int) string {
+	if id < n.t.NumTorusLinks() {
+		return n.t.LinkString(id)
+	}
+	if name, ok := n.names[id]; ok {
+		return name
+	}
+	return fmt.Sprintf("extra-link-%d", id)
+}

@@ -1,0 +1,24 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"bgqflow/internal/routing"
+	"bgqflow/internal/torus"
+)
+
+func ExampleDeterministicRoute() {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	r := routing.DeterministicRoute(tor, 0, torus.NodeID(tor.Size()-1))
+	fmt.Println(routing.DescribeRoute(tor, r))
+	// Output: (0,0,0,0,0) -C -D +A +B +E (1,1,3,3,1)
+}
+
+func ExampleSelectZone() {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	fmt.Println(routing.SelectZone(tor, 0, 127, 512))
+	fmt.Println(routing.SelectZone(tor, 0, 127, 16<<10))
+	// Output:
+	// zone3(fixed-order)
+	// zone2(deterministic)
+}

@@ -1,0 +1,111 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"bgqflow/internal/torus"
+)
+
+func TestRouteAvoidingNilPredicateIsDefault(t *testing.T) {
+	tor := mira128()
+	r, err := RouteAvoiding(tor, 0, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DeterministicRoute(tor, 0, 100)
+	if len(r.Links) != len(d.Links) {
+		t.Fatal("nil predicate should give the default route")
+	}
+	for i := range r.Links {
+		if r.Links[i] != d.Links[i] {
+			t.Fatal("nil predicate should give the default route")
+		}
+	}
+}
+
+func TestRouteAvoidingDodgesFailedLink(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{4, 4, 4, 4, 2})
+	src := tor.ID(torus.Coord{0, 0, 0, 0, 0})
+	dst := tor.ID(torus.Coord{1, 1, 0, 0, 0})
+	def := DeterministicRoute(tor, src, dst)
+	dead := def.Links[0]
+	failed := func(l int) bool { return l == dead }
+	r, err := RouteAvoiding(tor, src, dst, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range r.Links {
+		if l == dead {
+			t.Fatal("route crosses the failed link")
+		}
+	}
+	if r.Hops() != tor.HopDistance(src, dst) {
+		t.Fatalf("fault-avoiding route not minimal: %d hops", r.Hops())
+	}
+	// Walk it to the destination.
+	cur := tor.Coord(src)
+	for _, l := range r.Links {
+		from, dim, dir := tor.LinkFrom(l)
+		if from != tor.ID(cur) {
+			t.Fatal("route discontinuous")
+		}
+		cur[dim] = tor.Wrap(dim, cur[dim]+int(dir))
+	}
+	if tor.ID(cur) != dst {
+		t.Fatal("route does not reach the destination")
+	}
+}
+
+func TestRouteAvoidingUsesDirectionTies(t *testing.T) {
+	// 1-D ring of 4: 0->2 is a tie; fail the + side, expect the - side.
+	tor := torus.MustNew(torus.Shape{4})
+	plusFirst := tor.LinkID(0, 0, torus.Plus)
+	failed := func(l int) bool { return l == plusFirst }
+	r, err := RouteAvoiding(tor, 0, 2, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, dir := tor.LinkFrom(r.Links[0])
+	if dir != torus.Minus {
+		t.Fatal("route did not take the minus side of the tie")
+	}
+}
+
+func TestRouteAvoidingErrorsWhenCut(t *testing.T) {
+	// 1-D ring of 8: 0->1 has a single minimal route (the + link); fail
+	// it and there is no minimal fault-free route.
+	tor := torus.MustNew(torus.Shape{8})
+	dead := tor.LinkID(0, 0, torus.Plus)
+	if _, err := RouteAvoiding(tor, 0, 1, func(l int) bool { return l == dead }); err == nil {
+		t.Fatal("cut route accepted")
+	}
+}
+
+func TestRouteAvoidingRandomFaults(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{4, 4, 4, 4, 2})
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		// Fail 1% of links.
+		dead := map[int]bool{}
+		for l := 0; l < tor.NumTorusLinks(); l++ {
+			if rng.Intn(100) == 0 {
+				dead[l] = true
+			}
+		}
+		src := torus.NodeID(rng.Intn(tor.Size()))
+		dst := torus.NodeID(rng.Intn(tor.Size()))
+		r, err := RouteAvoiding(tor, src, dst, func(l int) bool { return dead[l] })
+		if err != nil {
+			continue // legitimately cut
+		}
+		for _, l := range r.Links {
+			if dead[l] {
+				t.Fatal("fault-avoiding route crossed a failed link")
+			}
+		}
+		if r.Hops() != tor.HopDistance(src, dst) {
+			t.Fatal("route not minimal")
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoad checks the scenario parser never panics and that accepted
+// configurations re-validate.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"shape": "2x2x4x4x2", "io": {"workload": "pattern1", "approach": "topology-aware"}}`)
+	f.Add(`{"shape": "4x4x4x4x2", "transfer": {"kind": "pair", "src": 0, "dst": 1, "bytes": 1024}}`)
+	f.Add(`{"shape": "2x2"}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, raw string) {
+		cfg, err := Load(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted config fails re-validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,385 @@
+// Package scenario runs user-described experiments from a declarative
+// JSON configuration: a partition geometry, a rank mapping, a workload
+// or transfer description, and the data-movement approach to use. The
+// bgqsim command is a thin wrapper around this package; downstream users
+// embed it to script their own studies.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"bgqflow/internal/collio"
+	"bgqflow/internal/core"
+	"bgqflow/internal/ionet"
+	"bgqflow/internal/mpisim"
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/sim"
+	"bgqflow/internal/stats"
+	"bgqflow/internal/torus"
+	"bgqflow/internal/trace"
+	"bgqflow/internal/workload"
+)
+
+// Config is the root scenario description.
+type Config struct {
+	// Shape is the partition geometry, e.g. "4x4x4x16x2".
+	Shape string `json:"shape"`
+	// RanksPerNode defaults to 16 (the paper's application cores).
+	RanksPerNode int `json:"ranksPerNode"`
+	// Mapping is a BG/Q map order such as "ABCDET" (default) or
+	// "TABCDE".
+	Mapping string `json:"mapping"`
+	// Seed makes workload generation reproducible.
+	Seed int64 `json:"seed"`
+	// CollectTrace attaches a flow-timeline export to the result.
+	CollectTrace bool `json:"collectTrace"`
+	// FailLinks injects link failures before planning; transfer
+	// scenarios plan around them (fault-aware routing).
+	FailLinks []FailLink `json:"failLinks,omitempty"`
+
+	// Exactly one of IO or Transfer must be set.
+	IO       *IOConfig       `json:"io"`
+	Transfer *TransferConfig `json:"transfer"`
+}
+
+// IOConfig describes a write burst and the aggregation approach.
+type IOConfig struct {
+	// Workload is "pattern1", "pattern2", "dense", "hacc", or "file"
+	// (replay a recorded burst from BurstFile).
+	Workload string `json:"workload"`
+	// MaxBytes is the per-rank maximum (patterns) or per-writer size
+	// (hacc, in bytes). Default 8 MB.
+	MaxBytes int64 `json:"maxBytes"`
+	// BurstFile is the path of a workload.Burst JSON recording, used
+	// when Workload is "file". Recordings with a different rank count
+	// are tiled/truncated to fit the job.
+	BurstFile string `json:"burstFile,omitempty"`
+	// Approach is "topology-aware" (the paper's Algorithm 2) or
+	// "collective-io" (the default MPI path).
+	Approach string `json:"approach"`
+}
+
+// FailLink names a directed torus link to fail: the link leaving a node
+// along a dimension (0-based) in a direction (+1 or -1).
+type FailLink struct {
+	Node int `json:"node"`
+	Dim  int `json:"dim"`
+	Dir  int `json:"dir"`
+}
+
+// TransferConfig describes a point-to-point or group transfer.
+type TransferConfig struct {
+	// Kind is "pair" or "group".
+	Kind string `json:"kind"`
+	// Bytes is the message size per pair.
+	Bytes int64 `json:"bytes"`
+	// Src and Dst are node IDs for "pair".
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// SrcBox/DstBox are boxes for "group": origin and extent arrays.
+	SrcOrigin []int `json:"srcOrigin"`
+	SrcExtent []int `json:"srcExtent"`
+	DstOrigin []int `json:"dstOrigin"`
+	DstExtent []int `json:"dstExtent"`
+	// Proxies: -1 direct, 0 auto, >0 forced group count.
+	Proxies int `json:"proxies"`
+}
+
+// Result is what a scenario run reports.
+type Result struct {
+	// GBps is the headline throughput: per-pair for transfers,
+	// burst-aggregate for I/O.
+	GBps float64
+	// MakespanMS is the simulated wall time of the data movement.
+	MakespanMS float64
+	// Mode describes what the planner decided.
+	Mode string
+	// UplinkImbalance is max/mean over ION uplinks (I/O scenarios).
+	UplinkImbalance float64
+	// Notes carries human-readable detail lines.
+	Notes []string
+	// Trace is the flow-timeline export when CollectTrace was set.
+	Trace *trace.Export
+}
+
+// Load decodes and validates a configuration.
+func Load(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("scenario: parse: %w", err)
+	}
+	return c, c.Validate()
+}
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if c.Shape == "" {
+		return fmt.Errorf("scenario: shape is required")
+	}
+	if _, err := torus.ParseShape(c.Shape); err != nil {
+		return err
+	}
+	if c.RanksPerNode == 0 {
+		c.RanksPerNode = 16
+	}
+	if c.RanksPerNode < 0 {
+		return fmt.Errorf("scenario: ranksPerNode %d", c.RanksPerNode)
+	}
+	if (c.IO == nil) == (c.Transfer == nil) {
+		return fmt.Errorf("scenario: exactly one of io / transfer must be set")
+	}
+	if c.IO != nil {
+		switch c.IO.Workload {
+		case "pattern1", "pattern2", "dense", "hacc":
+		case "file":
+			if c.IO.BurstFile == "" {
+				return fmt.Errorf("scenario: workload \"file\" requires burstFile")
+			}
+		default:
+			return fmt.Errorf("scenario: unknown workload %q", c.IO.Workload)
+		}
+		switch c.IO.Approach {
+		case "topology-aware", "collective-io":
+		default:
+			return fmt.Errorf("scenario: unknown approach %q", c.IO.Approach)
+		}
+		if c.IO.MaxBytes == 0 {
+			c.IO.MaxBytes = 8 << 20
+		}
+		if c.IO.MaxBytes < 0 {
+			return fmt.Errorf("scenario: maxBytes %d", c.IO.MaxBytes)
+		}
+	}
+	if c.Transfer != nil {
+		switch c.Transfer.Kind {
+		case "pair", "group":
+		default:
+			return fmt.Errorf("scenario: unknown transfer kind %q", c.Transfer.Kind)
+		}
+		if c.Transfer.Bytes < 1 {
+			return fmt.Errorf("scenario: transfer bytes %d", c.Transfer.Bytes)
+		}
+	}
+	return nil
+}
+
+// Run executes the scenario.
+func Run(c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	shape, err := torus.ParseShape(c.Shape)
+	if err != nil {
+		return Result{}, err
+	}
+	tor, err := torus.New(shape)
+	if err != nil {
+		return Result{}, err
+	}
+	params := netsim.DefaultParams()
+	if c.Transfer != nil {
+		return runTransfer(tor, params, c)
+	}
+	return runIO(tor, params, c)
+}
+
+func applyFailures(tor *torus.Torus, net *netsim.Network, fails []FailLink) error {
+	for _, fl := range fails {
+		if fl.Node < 0 || fl.Node >= tor.Size() || fl.Dim < 0 || fl.Dim >= tor.Dims() {
+			return fmt.Errorf("scenario: bad failLink %+v", fl)
+		}
+		dir := torus.Plus
+		switch fl.Dir {
+		case 1:
+		case -1:
+			dir = torus.Minus
+		default:
+			return fmt.Errorf("scenario: failLink dir %d must be +1 or -1", fl.Dir)
+		}
+		net.FailLink(tor.LinkID(torus.NodeID(fl.Node), fl.Dim, dir))
+	}
+	return nil
+}
+
+func runTransfer(tor *torus.Torus, params netsim.Params, c Config) (Result, error) {
+	net := netsim.NewNetwork(tor, params.LinkBandwidth)
+	if err := applyFailures(tor, net, c.FailLinks); err != nil {
+		return Result{}, err
+	}
+	e, err := netsim.NewEngine(net, params)
+	if err != nil {
+		return Result{}, err
+	}
+	t := c.Transfer
+	var res Result
+	attachTrace := func(mk sim.Duration) error {
+		if !c.CollectTrace {
+			return nil
+		}
+		ex, err := trace.BuildExport(e, mk, nil)
+		if err != nil {
+			return err
+		}
+		res.Trace = &ex
+		return nil
+	}
+	switch t.Kind {
+	case "pair":
+		if t.Src < 0 || t.Src >= tor.Size() || t.Dst < 0 || t.Dst >= tor.Size() {
+			return res, fmt.Errorf("scenario: pair endpoints outside torus of %d nodes", tor.Size())
+		}
+		cfg := core.DefaultProxyConfig()
+		if t.Proxies < 0 {
+			cfg.Threshold = 1 << 62
+		} else if t.Proxies > 0 {
+			cfg.MaxProxies = t.Proxies
+			cfg.MinProxies = 1
+			cfg.Threshold = 0
+		}
+		pl, err := core.NewPairPlanner(tor, cfg)
+		if err != nil {
+			return res, err
+		}
+		if net.HasFailures() {
+			pl.SetFaults(net.FailedFunc())
+			res.Notes = append(res.Notes, fmt.Sprintf("%d links failed; planning around them", len(c.FailLinks)))
+		}
+		plan, err := pl.PlanPair(e, torus.NodeID(t.Src), torus.NodeID(t.Dst), t.Bytes)
+		if err != nil {
+			return res, err
+		}
+		mk, err := e.Run()
+		if err != nil {
+			return res, err
+		}
+		res.GBps = netsim.Throughput(t.Bytes, mk) / 1e9
+		res.MakespanMS = float64(mk) * 1e3
+		res.Mode = fmt.Sprintf("%v (%d proxies)", plan.Mode, len(plan.Proxies))
+		return res, attachTrace(mk)
+	case "group":
+		sBox, err := torus.NewBox(tor, t.SrcOrigin, t.SrcExtent)
+		if err != nil {
+			return res, fmt.Errorf("scenario: srcBox: %w", err)
+		}
+		dBox, err := torus.NewBox(tor, t.DstOrigin, t.DstExtent)
+		if err != nil {
+			return res, fmt.Errorf("scenario: dstBox: %w", err)
+		}
+		cfg := core.DefaultProxyConfig()
+		if t.Proxies < 0 {
+			cfg.Threshold = 1 << 62
+		}
+		gp, err := core.NewGroupPlanner(tor, cfg)
+		if err != nil {
+			return res, err
+		}
+		if t.Proxies > 0 {
+			gp.ForceGroups = t.Proxies
+		}
+		plan, err := gp.Plan(e, sBox, dBox, t.Bytes)
+		if err != nil {
+			return res, err
+		}
+		mk, err := e.Run()
+		if err != nil {
+			return res, err
+		}
+		res.GBps = netsim.Throughput(t.Bytes, mk) / 1e9
+		res.MakespanMS = float64(mk) * 1e3
+		res.Mode = fmt.Sprintf("%v groups=%v directPairs=%d", plan.Mode, plan.Groups, plan.DirectPairs)
+		return res, attachTrace(mk)
+	}
+	return res, fmt.Errorf("scenario: unreachable transfer kind")
+}
+
+func runIO(tor *torus.Torus, params netsim.Params, c Config) (Result, error) {
+	var res Result
+	net := netsim.NewNetwork(tor, params.LinkBandwidth)
+	ios, err := ionet.Build(net, ionet.DefaultConfig())
+	if err != nil {
+		return res, err
+	}
+	mapping := mpisim.DefaultMapOrder
+	if c.Mapping != "" {
+		mapping = mpisim.MapOrder(c.Mapping)
+	}
+	job, err := mpisim.NewJobWithMapping(tor, c.RanksPerNode, mapping)
+	if err != nil {
+		return res, err
+	}
+	var data []int64
+	switch c.IO.Workload {
+	case "pattern1":
+		data = workload.Uniform(job.NumRanks(), c.IO.MaxBytes, c.Seed)
+	case "pattern2":
+		data = workload.Pattern2(job.NumRanks(), c.IO.MaxBytes, c.Seed)
+	case "dense":
+		data = workload.Dense(job.NumRanks(), c.IO.MaxBytes)
+	case "hacc":
+		data = workload.HACC(job.NumRanks(), c.IO.MaxBytes/workload.HACCRecordBytes)
+	case "file":
+		f, err := os.Open(c.IO.BurstFile)
+		if err != nil {
+			return res, fmt.Errorf("scenario: %w", err)
+		}
+		burst, err := workload.ReadBurst(f)
+		f.Close()
+		if err != nil {
+			return res, err
+		}
+		data = burst.FitToRanks(job.NumRanks())
+	}
+	e, err := netsim.NewEngine(net, params)
+	if err != nil {
+		return res, err
+	}
+	var total int64
+	var meta float64
+	switch c.IO.Approach {
+	case "topology-aware":
+		pl, err := core.NewAggPlanner(ios, job, params, core.DefaultAggConfig())
+		if err != nil {
+			return res, err
+		}
+		plan, err := pl.Plan(e, data)
+		if err != nil {
+			return res, err
+		}
+		total, meta = plan.TotalBytes, float64(plan.Metadata)
+		res.Mode = fmt.Sprintf("topology-aware: %d aggregators (%d/pset), %d senders",
+			plan.NumAggregators, plan.AggPerPset, plan.Senders)
+	case "collective-io":
+		pl, err := collio.NewPlanner(ios, job, params, collio.DefaultConfig())
+		if err != nil {
+			return res, err
+		}
+		plan, err := pl.Plan(e, data)
+		if err != nil {
+			return res, err
+		}
+		total, meta = plan.TotalBytes, float64(plan.Metadata)
+		res.Mode = fmt.Sprintf("collective-io: %d aggregators, %d rounds", plan.NumAggregators, plan.Rounds)
+	}
+	mk, err := e.Run()
+	if err != nil {
+		return res, err
+	}
+	res.GBps = float64(total) / (float64(mk) + meta) / 1e9
+	res.MakespanMS = (float64(mk) + meta) * 1e3
+	res.UplinkImbalance = stats.ImbalanceRatio(trace.UplinkLoads(e, ios))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("burst %.2f GB over %d ranks (%s mapping)", float64(total)/1e9, job.NumRanks(), job.Order()))
+	if c.CollectTrace {
+		ex, err := trace.BuildExport(e, mk, nil)
+		if err != nil {
+			return res, err
+		}
+		res.Trace = &ex
+	}
+	return res, nil
+}

@@ -1,0 +1,192 @@
+// Package sim provides a minimal deterministic discrete-event simulation
+// engine. It is the clock substrate for the flow-level network simulator in
+// package netsim.
+//
+// The engine maintains virtual time as a float64 number of seconds and a
+// priority queue of scheduled events. Events scheduled for the same instant
+// fire in FIFO order (scheduling order), which keeps runs deterministic.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the run.
+type Time float64
+
+// Duration is a span of virtual time, in seconds.
+type Duration float64
+
+const (
+	// Forever is a time later than any event the engine will ever fire.
+	Forever Time = math.MaxFloat64
+)
+
+// Microseconds returns the duration expressed in microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) * 1e6 }
+
+// Seconds returns the duration as a plain float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Handler is a callback run when an event fires. It receives the engine so
+// it can schedule follow-up events.
+type Handler func(*Engine)
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  Handler
+	// index within the heap, maintained by the heap interface; -1 when
+	// the event has been removed (cancelled or fired).
+	index int
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+	running bool
+	stopped bool
+}
+
+// NewEngine returns an engine with virtual time set to zero and an empty
+// event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPastEvent is returned by At when an event is scheduled before the
+// current virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// At schedules fn to run at absolute time t. Scheduling an event in the
+// past panics: virtual time is monotone and such a bug must not pass
+// silently.
+func (e *Engine) At(t Time, fn Handler) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("%v: at=%g now=%g", ErrPastEvent, float64(t), float64(e.now)))
+	}
+	ev := &event{at: t, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run d seconds from now. Negative durations are
+// clamped to zero so rounding error in computed delays cannot panic.
+func (e *Engine) After(d Duration, fn Handler) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+Time(d), fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false if it already fired or was cancelled earlier).
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, id.ev.index)
+	id.ev.index = -1
+	return true
+}
+
+// Stop makes Run return after the currently executing event handler
+// finishes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue drains or Stop is
+// called. It returns the final virtual time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Forever)
+}
+
+// RunUntil executes events in time order until the queue drains, Stop is
+// called, or the next event lies strictly after deadline. If the run halts
+// at the deadline with events still pending, virtual time is advanced to
+// the deadline. It returns the final virtual time.
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: Run re-entered from an event handler")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.fired++
+		next.fn(e)
+	}
+	if deadline != Forever && e.now < deadline && len(e.queue) == 0 {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Step fires exactly one event if any is pending and reports whether one
+// fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*event)
+	e.now = next.at
+	e.fired++
+	next.fn(e)
+	return true
+}

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		e.At(at, func(e *Engine) { order = append(order, e.Now()) })
+	}
+	e.Run()
+	want := []Time{1, 2, 3, 4, 5}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, order[i], want[i])
+		}
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO among same-time events)", i, got, i)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.At(10, func(e *Engine) {
+		e.After(5, func(e *Engine) { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 15 {
+		t.Fatalf("nested After fired at %v, want 15", fired)
+	}
+}
+
+func TestAfterNegativeClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var fired Time = -1
+	e.At(10, func(e *Engine) {
+		e.After(-3, func(e *Engine) { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 10 {
+		t.Fatalf("negative After fired at %v, want 10", fired)
+	}
+}
+
+func TestPastEventPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func(e *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling at t=5 while now=10 did not panic")
+			}
+		}()
+		e.At(5, func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.At(3, func(*Engine) { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFireReturnsFalse(t *testing.T) {
+	e := NewEngine()
+	id := e.At(1, func(*Engine) {})
+	e.Run()
+	if e.Cancel(id) {
+		t.Fatal("Cancel returned true for an already-fired event")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	var ids []EventID
+	for _, at := range []Time{1, 2, 3, 4, 5, 6, 7, 8} {
+		at := at
+		ids = append(ids, e.At(at, func(e *Engine) { order = append(order, e.Now()) }))
+	}
+	e.Cancel(ids[3]) // t=4
+	e.Cancel(ids[6]) // t=7
+	e.Run()
+	want := []Time{1, 2, 3, 5, 6, 8}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func(e *Engine) {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	end := e.Run()
+	if count != 4 {
+		t.Fatalf("fired %d events after Stop, want 4", count)
+	}
+	if end != 4 {
+		t.Fatalf("Run returned %v, want 4", end)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending() = %d after Stop, want 6", e.Pending())
+	}
+}
+
+func TestRunUntilDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func(e *Engine) { fired = append(fired, e.Now()) })
+	}
+	end := e.RunUntil(5.5)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events by deadline 5.5, want 5", len(fired))
+	}
+	if end != 5.5 {
+		t.Fatalf("RunUntil returned %v, want 5.5", end)
+	}
+	// Resume to the end.
+	end = e.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events total, want 10", len(fired))
+	}
+	if end != 10 {
+		t.Fatalf("final time %v, want 10", end)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	end := e.RunUntil(42)
+	if end != 42 {
+		t.Fatalf("RunUntil on empty queue returned %v, want 42", end)
+	}
+	if e.Now() != 42 {
+		t.Fatalf("Now() = %v, want 42", e.Now())
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func(*Engine) { n++ })
+	e.At(2, func(*Engine) { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.At(Time(i), func(*Engine) {})
+	}
+	e.Run()
+	if e.Fired() != 17 {
+		t.Fatalf("Fired() = %d, want 17", e.Fired())
+	}
+}
+
+// Property: for any set of scheduled times, events fire in nondecreasing
+// time order and all of them fire.
+func TestPropertyTimeOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			e.At(at, func(e *Engine) { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		// Same multiset of times.
+		want := make([]Time, len(raw))
+		for i, r := range raw {
+			want[i] = Time(r)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cascading events (each schedules the next) advance time
+// monotonically and terminate.
+func TestPropertyCascade(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		steps := rng.Intn(200) + 1
+		var last Time = -1
+		var chain func(remaining int) Handler
+		chain = func(remaining int) Handler {
+			return func(e *Engine) {
+				if e.Now() < last {
+					t.Fatalf("time went backwards: %v -> %v", last, e.Now())
+				}
+				last = e.Now()
+				if remaining > 0 {
+					e.After(Duration(rng.Float64()), chain(remaining-1))
+				}
+			}
+		}
+		e.At(0, chain(steps))
+		e.Run()
+		if e.Pending() != 0 {
+			t.Fatalf("cascade left %d pending events", e.Pending())
+		}
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%97), func(*Engine) {})
+		}
+		e.Run()
+	}
+}

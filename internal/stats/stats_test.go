@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.Stddev-2.1381) > 1e-3 {
+		t.Fatalf("stddev = %g", s.Stddev)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("P%g = %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestPercentilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	if got := ImbalanceRatio([]float64{1, 1, 1, 1}); got != 1 {
+		t.Fatalf("balanced ratio = %g", got)
+	}
+	if got := ImbalanceRatio([]float64{0, 0, 4}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("skewed ratio = %g", got)
+	}
+	if got := ImbalanceRatio(nil); got != 0 {
+		t.Fatalf("empty ratio = %g", got)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512B",
+		1 << 10:   "1KB",
+		256 << 10: "256KB",
+		8 << 20:   "8MB",
+		2 << 30:   "2GB",
+		1500:      "1500B",
+	}
+	for b, want := range cases {
+		if got := HumanBytes(b); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestGBps(t *testing.T) {
+	if GBps(1.8e9) != 1.8 {
+		t.Fatal("GBps conversion wrong")
+	}
+}
+
+func TestTableWrite(t *testing.T) {
+	tb := Table{Title: "demo", Headers: []string{"size", "GB/s"}}
+	tb.AddRow("1KB", "0.02")
+	tb.AddRow("128MB", "3.20")
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "size", "128MB", "3.20", "----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		a := math.Mod(math.Abs(p1), 100)
+		b := math.Mod(math.Abs(p2), 100)
+		if a > b {
+			a, b = b, a
+		}
+		lo, hi := Percentile(raw, a), Percentile(raw, b)
+		if lo > hi {
+			return false
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		return lo >= sorted[0] && hi <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package storage models the tier behind the I/O nodes in the paper's
+// Figure 1: each ION uplinks into a QDR InfiniBand switch complex that
+// fans out to GPFS file servers. A write that reaches an I/O node is
+// forwarded over the ION's IB link and striped across the file servers
+// in fixed-size blocks, each server ingesting at its own service rate.
+//
+// The paper's evaluation stops at the ION (/dev/null); this package is
+// the natural extension a production deployment needs, and the harness
+// uses it for the storage-tier extension experiment: with a real file
+// system behind the IONs, the aggregation win shrinks exactly when the
+// servers — not the torus or the 11th links — become the bottleneck.
+package storage
+
+import (
+	"fmt"
+
+	"bgqflow/internal/ionet"
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/sim"
+	"bgqflow/internal/torus"
+)
+
+// Config sizes the storage tier.
+type Config struct {
+	// Servers is the number of GPFS file servers.
+	Servers int
+	// IONIBBandwidth is each I/O node's InfiniBand uplink rate
+	// (QDR 4x: ~4 GB/s).
+	IONIBBandwidth float64
+	// ServerBandwidth is one file server's ingest rate.
+	ServerBandwidth float64
+	// StripeBytes is the GPFS block size writes are striped with.
+	StripeBytes int64
+	// ForwardDelay is the ION's I/O-forwarding turnaround per request.
+	ForwardDelay sim.Duration
+}
+
+// DefaultConfig returns a Mira-era configuration scaled to the partition
+// (the experiments override Servers to match the machine fraction).
+func DefaultConfig() Config {
+	return Config{
+		Servers:         16,
+		IONIBBandwidth:  4e9,
+		ServerBandwidth: 2.5e9,
+		StripeBytes:     8 << 20,
+		ForwardDelay:    30e-6,
+	}
+}
+
+// System is the built storage tier over an ionet.System.
+type System struct {
+	cfg     Config
+	ios     *ionet.System
+	ionIB   []int // per-ION IB link
+	servers []int // per-server ingest link
+}
+
+// Build registers the IB and server links on the network.
+func Build(net *netsim.Network, ios *ionet.System, cfg Config) (*System, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("storage: %d servers", cfg.Servers)
+	}
+	if cfg.IONIBBandwidth <= 0 || cfg.ServerBandwidth <= 0 {
+		return nil, fmt.Errorf("storage: non-positive bandwidth")
+	}
+	if cfg.StripeBytes < 1 {
+		return nil, fmt.Errorf("storage: stripe %d", cfg.StripeBytes)
+	}
+	if cfg.ForwardDelay < 0 {
+		return nil, fmt.Errorf("storage: negative forward delay")
+	}
+	s := &System{cfg: cfg, ios: ios}
+	for pi := 0; pi < ios.NumIONodes(); pi++ {
+		s.ionIB = append(s.ionIB, net.AddLink(fmt.Sprintf("ion%d->ib", pi), cfg.IONIBBandwidth))
+	}
+	for sv := 0; sv < cfg.Servers; sv++ {
+		s.servers = append(s.servers, net.AddLink(fmt.Sprintf("ib->fs%d", sv), cfg.ServerBandwidth))
+	}
+	return s, nil
+}
+
+// Config returns the tier's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// NumServers returns the file-server count.
+func (s *System) NumServers() int { return len(s.servers) }
+
+// ServerFor maps a file offset to the striped server index.
+func (s *System) ServerFor(off int64) int {
+	if off < 0 {
+		panic(fmt.Sprintf("storage: negative offset %d", off))
+	}
+	return int((off / s.cfg.StripeBytes) % int64(len(s.servers)))
+}
+
+// ServerLink returns the ingest link of server sv.
+func (s *System) ServerLink(sv int) int { return s.servers[sv] }
+
+// IONIBLink returns the IB uplink of ION pi.
+func (s *System) IONIBLink(pi int) int { return s.ionIB[pi] }
+
+// WriteFlows implements ionet.Sink: the compute-fabric leg to the ION,
+// then — store-and-forward at the ION — one IB+server continuation per
+// stripe segment the byte range covers.
+func (s *System) WriteFlows(n torus.NodeID, pi, bi int, off, bytes int64) (netsim.FlowSpec, []netsim.FlowSpec) {
+	links, bridge := s.ios.WriteRouteVia(n, pi, bi)
+	fabric := netsim.FlowSpec{
+		Src: n, Dst: bridge, Bytes: bytes, Links: links,
+		ExtraDelay: s.cfg.ForwardDelay,
+	}
+	var conts []netsim.FlowSpec
+	for _, seg := range splitStripes(off, bytes, s.cfg.StripeBytes) {
+		conts = append(conts, netsim.FlowSpec{
+			Src: bridge, Dst: bridge, Bytes: seg.bytes,
+			Links:      []int{s.ionIB[pi], s.servers[s.ServerFor(seg.off)]},
+			ExtraDelay: s.cfg.ForwardDelay,
+		})
+	}
+	return fabric, conts
+}
+
+type stripeSeg struct {
+	off, bytes int64
+}
+
+// splitStripes cuts [off, off+bytes) at stripe boundaries.
+func splitStripes(off, bytes, stripe int64) []stripeSeg {
+	var out []stripeSeg
+	for bytes > 0 {
+		end := (off/stripe + 1) * stripe
+		n := end - off
+		if n > bytes {
+			n = bytes
+		}
+		out = append(out, stripeSeg{off, n})
+		off += n
+		bytes -= n
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package torus_test
+
+import (
+	"fmt"
+
+	"bgqflow/internal/torus"
+)
+
+func ExampleNew() {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	fmt.Println(tor.Shape(), tor.Size(), "nodes,", tor.NumTorusLinks(), "directed links")
+	// Output: 2x2x4x4x2 128 nodes, 1280 directed links
+}
+
+func ExampleTorus_Displacement() {
+	tor := torus.MustNew(torus.Shape{16})
+	hops, dir := tor.Displacement(0, 2, 14)
+	fmt.Printf("2 -> 14 on a 16-ring: %d hops going %v\n", hops, dir)
+	// Output: 2 -> 14 on a 16-ring: 4 hops going -
+}
+
+func ExampleBox_Blocks() {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	blocks, _ := torus.WholeBox(tor).Blocks(4)
+	fmt.Println(len(blocks), "blocks of", blocks[0].Size(), "nodes")
+	// Output: 4 blocks of 32 nodes
+}

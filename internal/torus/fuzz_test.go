@@ -1,0 +1,29 @@
+package torus
+
+import "testing"
+
+// FuzzParseShape checks that arbitrary shape strings either error or
+// produce a shape that round-trips through String and builds a torus.
+func FuzzParseShape(f *testing.F) {
+	for _, seed := range []string{"2x2x4x4x2", "4x4x4x16x2", "1", "8x8", "x", "0x1", "-1x2", "axb", "1x2x3x4x5x6x7x8", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		shape, err := ParseShape(s)
+		if err != nil {
+			return
+		}
+		if shape.Size() < 1 {
+			t.Fatalf("parsed shape %v has size %d", shape, shape.Size())
+		}
+		tor, err := New(shape)
+		if err != nil {
+			t.Fatalf("parsed shape %v rejected by New: %v", shape, err)
+		}
+		// Round trip a coordinate.
+		id := NodeID(tor.Size() - 1)
+		if tor.ID(tor.Coord(id)) != id {
+			t.Fatal("coordinate round trip failed")
+		}
+	})
+}

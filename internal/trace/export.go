@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/sim"
+)
+
+// FlowRecord is one flow's timeline in an exported trace.
+type FlowRecord struct {
+	ID          int     `json:"id"`
+	Src         int     `json:"src"`
+	Dst         int     `json:"dst"`
+	Bytes       int64   `json:"bytes"`
+	Label       string  `json:"label,omitempty"`
+	ReleasedS   float64 `json:"released"`
+	ActivatedS  float64 `json:"activated"`
+	TransferEnd float64 `json:"transferEnd"`
+	CompletedS  float64 `json:"completed"`
+}
+
+// LinkRecord is one link's total load in an exported trace.
+type LinkRecord struct {
+	ID    int     `json:"id"`
+	Name  string  `json:"name"`
+	Bytes float64 `json:"bytes"`
+	Util  float64 `json:"util"`
+}
+
+// Export is a machine-readable run summary for external tooling
+// (timeline viewers, notebooks).
+type Export struct {
+	MakespanS float64      `json:"makespan"`
+	Flows     []FlowRecord `json:"flows"`
+	Links     []LinkRecord `json:"links"` // loaded links only
+}
+
+// BuildExport collects the run's flow timelines and link loads. specs,
+// when non-nil, must be the FlowSpecs in submission order; pass nil to
+// read them back from the engine.
+func BuildExport(e *netsim.Engine, makespan sim.Duration, specs []netsim.FlowSpec) (Export, error) {
+	if specs == nil {
+		specs = make([]netsim.FlowSpec, e.NumFlows())
+		for i := range specs {
+			specs[i] = e.Spec(netsim.FlowID(i))
+		}
+	}
+	if len(specs) != e.NumFlows() {
+		return Export{}, fmt.Errorf("trace: %d specs for %d flows", len(specs), e.NumFlows())
+	}
+	ex := Export{MakespanS: float64(makespan)}
+	for i, spec := range specs {
+		r := e.Result(netsim.FlowID(i))
+		ex.Flows = append(ex.Flows, FlowRecord{
+			ID:          i,
+			Src:         int(spec.Src),
+			Dst:         int(spec.Dst),
+			Bytes:       spec.Bytes,
+			Label:       spec.Label,
+			ReleasedS:   float64(r.Released),
+			ActivatedS:  float64(r.Activated),
+			TransferEnd: float64(r.TransferEnd),
+			CompletedS:  float64(r.Completed),
+		})
+	}
+	for l, b := range e.LinkBytes() {
+		if b <= 0 {
+			continue
+		}
+		ex.Links = append(ex.Links, LinkRecord{
+			ID:    l,
+			Name:  e.Network().LinkName(l),
+			Bytes: b,
+			Util:  LinkUtilization(e, makespan, l),
+		})
+	}
+	return ex, nil
+}
+
+// WriteJSON serializes the export.
+func (ex Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ex)
+}
+
+// ReadExport parses a previously written export.
+func ReadExport(r io.Reader) (Export, error) {
+	var ex Export
+	if err := json.NewDecoder(r).Decode(&ex); err != nil {
+		return ex, fmt.Errorf("trace: parse export: %w", err)
+	}
+	return ex, nil
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/torus"
+)
+
+func TestBuildExportAndRoundTrip(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	p := netsim.DefaultParams()
+	e, err := netsim.NewEngine(netsim.NewNetwork(tor, p.LinkBandwidth), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []netsim.FlowSpec{
+		{Src: 0, Dst: 9, Bytes: 1 << 20, Label: "a"},
+		{Src: 3, Dst: 77, Bytes: 2 << 20, Label: "b"},
+	}
+	var ids []netsim.FlowID
+	for _, s := range specs {
+		ids = append(ids, e.Submit(s))
+	}
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ids
+	ex, err := BuildExport(e, mk, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Flows) != 2 {
+		t.Fatalf("%d flow records", len(ex.Flows))
+	}
+	if ex.Flows[0].Label != "a" || ex.Flows[1].Bytes != 2<<20 {
+		t.Fatal("flow records wrong")
+	}
+	if len(ex.Links) == 0 {
+		t.Fatal("no link records")
+	}
+	for _, lr := range ex.Links {
+		if lr.Bytes <= 0 || lr.Util < 0 || lr.Util > 1+1e-9 {
+			t.Fatalf("bad link record %+v", lr)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ex.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MakespanS != ex.MakespanS || len(back.Flows) != len(ex.Flows) || len(back.Links) != len(ex.Links) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestBuildExportSpecMismatch(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	p := netsim.DefaultParams()
+	e, _ := netsim.NewEngine(netsim.NewNetwork(tor, p.LinkBandwidth), p)
+	e.Submit(netsim.FlowSpec{Src: 0, Dst: 1, Bytes: 1})
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildExport(e, mk, make([]netsim.FlowSpec, 5)); err == nil {
+		t.Fatal("spec count mismatch accepted")
+	}
+	// nil specs read back from the engine.
+	ex, err := BuildExport(e, mk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Flows) != 1 {
+		t.Fatalf("engine-sourced export has %d flows", len(ex.Flows))
+	}
+}
+
+func TestReadExportBadJSON(t *testing.T) {
+	if _, err := ReadExport(bytes.NewBufferString("{")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

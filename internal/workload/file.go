@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Burst is the serialized form of a write burst: per-rank byte counts.
+// It lets users replay recorded application bursts through the scenario
+// runner instead of the synthetic patterns.
+type Burst struct {
+	// Description is free-form provenance (application, timestep, ...).
+	Description string `json:"description,omitempty"`
+	// Sizes is bytes per world rank.
+	Sizes []int64 `json:"sizes"`
+}
+
+// WriteBurst serializes a burst as JSON.
+func WriteBurst(w io.Writer, b Burst) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(b)
+}
+
+// ReadBurst parses a burst and validates it.
+func ReadBurst(r io.Reader) (Burst, error) {
+	var b Burst
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return b, fmt.Errorf("workload: parse burst: %w", err)
+	}
+	if len(b.Sizes) == 0 {
+		return b, fmt.Errorf("workload: burst has no sizes")
+	}
+	for i, s := range b.Sizes {
+		if s < 0 {
+			return b, fmt.Errorf("workload: rank %d has negative size %d", i, s)
+		}
+	}
+	return b, nil
+}
+
+// FitToRanks adapts a recorded burst to a job with n ranks: truncating a
+// longer recording, or tiling a shorter one (the usual ways a trace from
+// one scale is replayed at another). The result is a fresh slice.
+func (b Burst) FitToRanks(n int) []int64 {
+	if n < 0 {
+		panic(fmt.Sprintf("workload: FitToRanks(%d)", n))
+	}
+	out := make([]int64, n)
+	if len(b.Sizes) == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = b.Sizes[i%len(b.Sizes)]
+	}
+	return out
+}

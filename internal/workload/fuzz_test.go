@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBurst checks the burst parser never panics and accepts only
+// well-formed recordings.
+func FuzzReadBurst(f *testing.F) {
+	f.Add([]byte(`{"sizes": [1, 2, 3]}`))
+	f.Add([]byte(`{"description": "x", "sizes": [0]}`))
+	f.Add([]byte(`{"sizes": []}`))
+	f.Add([]byte(`{"sizes": [-1]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		b, err := ReadBurst(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if len(b.Sizes) == 0 {
+			t.Fatal("accepted burst with no sizes")
+		}
+		for _, s := range b.Sizes {
+			if s < 0 {
+				t.Fatal("accepted negative size")
+			}
+		}
+		// FitToRanks must be total on accepted bursts.
+		if got := b.FitToRanks(7); len(got) != 7 {
+			t.Fatal("FitToRanks wrong length")
+		}
+	})
+}
