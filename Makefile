@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test verify bench quick
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verification: full build + tests, plus the race detector over
+# the two packages that run worker pools (see ROADMAP.md).
+verify: build
+	$(GO) test ./...
+	$(GO) test -race ./internal/experiments ./internal/netsim
+
+# Fast smoke run of every figure.
+quick:
+	$(GO) run ./cmd/bgqbench -quick -run all
+
+# Figure benchmarks with allocation counts, then a bgqbench run that
+# writes BENCH_<date>.json and prints a one-line comparison against the
+# most recent previous BENCH_*.json (the performance trajectory).
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+	./scripts/bench.sh

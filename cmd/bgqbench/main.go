@@ -5,15 +5,27 @@
 // Usage:
 //
 //	bgqbench [-run fig5|fig6|fig7|fig8|fig9|fig10|fig11|ablations|all] [-quick]
+//	         [-parallel N] [-json out.json] [-compare prev.json]
+//	         [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // -quick trims the sweeps (fewer message sizes, smaller top scale) for a
-// fast smoke run; the default regenerates the full figures.
+// fast smoke run; the default regenerates the full figures. -parallel
+// bounds the worker pool used to evaluate independent sweep points (0
+// means one per CPU; results are identical at any setting). -json writes
+// a machine-readable report — per-experiment wall time, simulated
+// seconds, allocation totals, and the rendered rows — and -compare
+// prints a one-line wall-time comparison against a previous report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -21,13 +33,64 @@ import (
 	"bgqflow/internal/stats"
 )
 
+// expReport is one experiment's entry in the -json report.
+type expReport struct {
+	Name       string   `json:"name"`
+	WallMS     float64  `json:"wall_ms"`
+	SimSeconds float64  `json:"sim_seconds"`
+	AllocBytes uint64   `json:"alloc_bytes"`
+	Allocs     uint64   `json:"allocs"`
+	Rows       []string `json:"rows"`
+}
+
+// report is the -json output: enough to track the bench trajectory from
+// run to run (see scripts/bench.sh).
+type report struct {
+	Date        string      `json:"date"`
+	Quick       bool        `json:"quick"`
+	Parallel    int         `json:"parallel"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
+	TotalWallMS float64     `json:"total_wall_ms"`
+	Experiments []expReport `json:"experiments"`
+}
+
 func main() {
 	run := flag.String("run", "all", "which experiment to run: fig5..fig11, ablations, extensions, or all")
 	quick := flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
+	parallel := flag.Int("parallel", 0, "sweep-point workers; 0 = one per CPU, 1 = sequential (same results either way)")
+	jsonOut := flag.String("json", "", "write a machine-readable run report to this file")
+	compare := flag.String("compare", "", "previous -json report to print a wall-time comparison against")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.Quick = *quick
+	opt.Parallel = *parallel
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("trace: %v", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fatal("trace: %v", err)
+		}
+		defer trace.Stop()
+	}
 
 	selected := strings.Split(*run, ",")
 	want := func(name string) bool {
@@ -41,7 +104,7 @@ func main() {
 
 	runners := []struct {
 		name string
-		fn   func(experiments.Options) error
+		fn   func(io.Writer, experiments.Options) error
 	}{
 		{"fig5", printFig5},
 		{"fig6", printFig6},
@@ -53,26 +116,130 @@ func main() {
 		{"ablations", printAblations},
 		{"extensions", printExtensions},
 	}
+	rep := report{
+		Date:       time.Now().Format(time.RFC3339),
+		Quick:      *quick,
+		Parallel:   *parallel,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
 	any := false
 	for _, r := range runners {
 		if !want(r.name) {
 			continue
 		}
 		any = true
-		start := time.Now()
-		if err := r.fn(opt); err != nil {
-			fmt.Fprintf(os.Stderr, "bgqbench: %s: %v\n", r.name, err)
-			os.Exit(1)
+		var buf strings.Builder
+		out := io.Writer(os.Stdout)
+		if *jsonOut != "" {
+			out = io.MultiWriter(os.Stdout, &buf)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+		experiments.ResetSimTime()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := r.fn(out, opt); err != nil {
+			fatal("%s: %v", r.name, err)
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		fmt.Printf("[%s completed in %v]\n\n", r.name, wall.Round(time.Millisecond))
+		rep.TotalWallMS += float64(wall) / float64(time.Millisecond)
+		rep.Experiments = append(rep.Experiments, expReport{
+			Name:       r.name,
+			WallMS:     float64(wall) / float64(time.Millisecond),
+			SimSeconds: experiments.SimTime(),
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+			Allocs:     after.Mallocs - before.Mallocs,
+			Rows:       splitRows(buf.String()),
+		})
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "bgqbench: unknown experiment %q\n", *run)
 		os.Exit(2)
 	}
+
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, rep); err != nil {
+			fatal("json: %v", err)
+		}
+	}
+	if *compare != "" {
+		line, err := compareLine(*compare, rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bgqbench: compare: %v\n", err)
+		} else {
+			fmt.Println(line)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("memprofile: %v", err)
+		}
+	}
 }
 
-func printCurveTable(title, xlabel string, curves ...experiments.Curve) error {
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bgqbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// splitRows turns captured table text into trimmed, non-empty lines.
+func splitRows(s string) []string {
+	var rows []string
+	for _, line := range strings.Split(s, "\n") {
+		if line = strings.TrimRight(line, " "); line != "" {
+			rows = append(rows, line)
+		}
+	}
+	return rows
+}
+
+func writeReport(path string, rep report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// compareLine renders a one-line wall-time comparison against a previous
+// report, matching experiments by name.
+func compareLine(prevPath string, cur report) (string, error) {
+	b, err := os.ReadFile(prevPath)
+	if err != nil {
+		return "", err
+	}
+	var prev report
+	if err := json.Unmarshal(b, &prev); err != nil {
+		return "", fmt.Errorf("%s: %w", prevPath, err)
+	}
+	prevByName := make(map[string]float64, len(prev.Experiments))
+	for _, e := range prev.Experiments {
+		prevByName[e.Name] = e.WallMS
+	}
+	var prevTotal, curTotal float64
+	matched := 0
+	for _, e := range cur.Experiments {
+		if p, ok := prevByName[e.Name]; ok {
+			prevTotal += p
+			curTotal += e.WallMS
+			matched++
+		}
+	}
+	if matched == 0 {
+		return "", fmt.Errorf("%s: no experiments in common", prevPath)
+	}
+	return fmt.Sprintf("bench: %d experiments, %.0f ms now vs %.0f ms in %s (%.2fx)",
+		matched, curTotal, prevTotal, prev.Date, prevTotal/curTotal), nil
+}
+
+func printCurveTable(w io.Writer, title, xlabel string, curves ...experiments.Curve) error {
 	t := stats.Table{Title: title, Headers: []string{xlabel}}
 	for _, c := range curves {
 		t.Headers = append(t.Headers, c.Name+" (GB/s)")
@@ -84,23 +251,23 @@ func printCurveTable(title, xlabel string, curves ...experiments.Curve) error {
 		}
 		t.AddRow(row...)
 	}
-	return t.Write(os.Stdout)
+	return t.Write(w)
 }
 
-func printFig5(opt experiments.Options) error {
+func printFig5(w io.Writer, opt experiments.Options) error {
 	res, err := experiments.Fig5(opt)
 	if err != nil {
 		return err
 	}
 	title := fmt.Sprintf("Fig. 5: point-to-point PUT throughput with and w/o proxies in %v", res.Shape)
-	if err := printCurveTable(title, "size", res.Direct, res.Proxied); err != nil {
+	if err := printCurveTable(w, title, "size", res.Direct, res.Proxied); err != nil {
 		return err
 	}
-	fmt.Printf("crossover (proxied first wins): %s\n", stats.HumanBytes(res.Crossover))
+	fmt.Fprintf(w, "crossover (proxied first wins): %s\n", stats.HumanBytes(res.Crossover))
 	return nil
 }
 
-func printFig6(opt experiments.Options) error {
+func printFig6(w io.Writer, opt experiments.Options) error {
 	res, err := experiments.Fig6(opt)
 	if err != nil {
 		return err
@@ -111,35 +278,35 @@ func printFig6(opt experiments.Options) error {
 	}
 	title := fmt.Sprintf("Fig. 6: group-to-group PUT throughput, 2x256 nodes in %v (proxy groups: %s)",
 		res.Shape, strings.Join(names, " "))
-	if err := printCurveTable(title, "size", res.Direct, res.Proxied); err != nil {
+	if err := printCurveTable(w, title, "size", res.Direct, res.Proxied); err != nil {
 		return err
 	}
-	fmt.Printf("crossover (proxied first wins): %s\n", stats.HumanBytes(res.Crossover))
+	fmt.Fprintf(w, "crossover (proxied first wins): %s\n", stats.HumanBytes(res.Crossover))
 	return nil
 }
 
-func printFig7(opt experiments.Options) error {
+func printFig7(w io.Writer, opt experiments.Options) error {
 	res, err := experiments.Fig7(opt)
 	if err != nil {
 		return err
 	}
 	title := fmt.Sprintf("Fig. 7: throughput vs number of proxy groups, 2x32 nodes in %v", res.Shape)
-	return printCurveTable(title, "size", res.Curves...)
+	return printCurveTable(w, title, "size", res.Curves...)
 }
 
-func printFig8(experiments.Options) error {
-	fmt.Println("Fig. 8: Pattern 1 histogram (1,024 ranks, uniform 0-8MB)")
-	fmt.Print(experiments.Fig8(1).String())
+func printFig8(w io.Writer, _ experiments.Options) error {
+	fmt.Fprintln(w, "Fig. 8: Pattern 1 histogram (1,024 ranks, uniform 0-8MB)")
+	fmt.Fprint(w, experiments.Fig8(1).String())
 	return nil
 }
 
-func printFig9(experiments.Options) error {
-	fmt.Println("Fig. 9: Pattern 2 histogram (1,024 ranks, Pareto 0-8MB)")
-	fmt.Print(experiments.Fig9(1).String())
+func printFig9(w io.Writer, _ experiments.Options) error {
+	fmt.Fprintln(w, "Fig. 9: Pattern 2 histogram (1,024 ranks, Pareto 0-8MB)")
+	fmt.Fprint(w, experiments.Fig9(1).String())
 	return nil
 }
 
-func printScaleTable(title string, curves ...experiments.ScaleCurve) error {
+func printScaleTable(w io.Writer, title string, curves ...experiments.ScaleCurve) error {
 	t := stats.Table{Title: title, Headers: []string{"cores"}}
 	for _, c := range curves {
 		t.Headers = append(t.Headers, c.Name+" (GB/s)")
@@ -151,39 +318,39 @@ func printScaleTable(title string, curves ...experiments.ScaleCurve) error {
 		}
 		t.AddRow(row...)
 	}
-	return t.Write(os.Stdout)
+	return t.Write(w)
 }
 
-func printFig10(opt experiments.Options) error {
+func printFig10(w io.Writer, opt experiments.Options) error {
 	res, err := experiments.Fig10(opt)
 	if err != nil {
 		return err
 	}
-	return printScaleTable("Fig. 10: aggregation throughput to ION /dev/null (weak scaling)",
+	return printScaleTable(w, "Fig. 10: aggregation throughput to ION /dev/null (weak scaling)",
 		res.OursP1, res.OursP2, res.DefaultP1, res.DefaultP2)
 }
 
-func printFig11(opt experiments.Options) error {
+func printFig11(w io.Writer, opt experiments.Options) error {
 	res, err := experiments.Fig11(opt)
 	if err != nil {
 		return err
 	}
-	if err := printScaleTable("Fig. 11: HACC I/O write throughput to ION /dev/null",
+	if err := printScaleTable(w, "Fig. 11: HACC I/O write throughput to ION /dev/null",
 		res.Ours, res.Default); err != nil {
 		return err
 	}
 	for i, gb := range res.BurstGB {
-		fmt.Printf("  burst at %d cores: %.1f GB\n", res.Ours.Points[i].Cores, gb)
+		fmt.Fprintf(w, "  burst at %d cores: %.1f GB\n", res.Ours.Points[i].Cores, gb)
 	}
 	return nil
 }
 
-func printAblations(opt experiments.Options) error {
+func printAblations(w io.Writer, opt experiments.Options) error {
 	a1, err := experiments.AblationThreshold(opt)
 	if err != nil {
 		return err
 	}
-	if err := printCurveTable("Ablation A1: gain over direct vs message size per proxy count (Eq. 5 check)",
+	if err := printCurveTable(w, "Ablation A1: gain over direct vs message size per proxy count (Eq. 5 check)",
 		"size", a1.Curves...); err != nil {
 		return err
 	}
@@ -192,40 +359,40 @@ func printAblations(opt experiments.Options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nAblation A2: placement at %s: direct %.2f GB/s, link-disjoint (%d proxies) %.2f GB/s, naive random %.2f GB/s\n",
+	fmt.Fprintf(w, "\nAblation A2: placement at %s: direct %.2f GB/s, link-disjoint (%d proxies) %.2f GB/s, naive random %.2f GB/s\n",
 		stats.HumanBytes(a2.Bytes), a2.DirectGBps, a2.DisjointProxies, a2.DisjointGBps, a2.NaiveGBps)
 
 	a3, err := experiments.AblationAggCount(opt)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nAblation A3: aggregator count at %d cores (%.1f GB burst): dynamic (%d/pset) %.2f GB/s",
+	fmt.Fprintf(w, "\nAblation A3: aggregator count at %d cores (%.1f GB burst): dynamic (%d/pset) %.2f GB/s",
 		a3.Cores, a3.BurstGB, a3.DynamicPerPset, a3.DynamicGBps)
 	for _, f := range a3.Fixed {
-		fmt.Printf(", fixed %d/pset %.2f GB/s", f.PerPset, f.GBps)
+		fmt.Fprintf(w, ", fixed %d/pset %.2f GB/s", f.PerPset, f.GBps)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	a4, err := experiments.AblationZones(opt)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nAblation A4: %d concurrent %s messages between one pair, per routing zone:\n",
+	fmt.Fprintf(w, "\nAblation A4: %d concurrent %s messages between one pair, per routing zone:\n",
 		a4.Messages, stats.HumanBytes(a4.Bytes))
 	for _, z := range a4.PerZone {
-		fmt.Printf("  %-28s %.2f GB/s\n", z.Zone, z.GBps)
+		fmt.Fprintf(w, "  %-28s %.2f GB/s\n", z.Zone, z.GBps)
 	}
 
 	a5, err := experiments.AblationRoundSync(opt)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nAblation A5: collective I/O round synchronization at %d cores: synced %.2f GB/s, unsynced %.2f GB/s, ours %.2f GB/s\n",
+	fmt.Fprintf(w, "\nAblation A5: collective I/O round synchronization at %d cores: synced %.2f GB/s, unsynced %.2f GB/s, ours %.2f GB/s\n",
 		a5.Cores, a5.SyncedGBps, a5.UnsyncedGBps, a5.OursGBps)
 	return nil
 }
 
-func printExtensions(opt experiments.Options) error {
+func printExtensions(w io.Writer, opt experiments.Options) error {
 	e1, err := experiments.ExtStorage(opt)
 	if err != nil {
 		return err
@@ -238,7 +405,7 @@ func printExtensions(opt experiments.Options) error {
 		t.AddRow(r.Sink, fmt.Sprintf("%.2f", r.OursGBps), fmt.Sprintf("%.2f", r.DefaultGBps),
 			fmt.Sprintf("%.2fx", r.OursGBps/r.DefaultGBps))
 	}
-	if err := t.Write(os.Stdout); err != nil {
+	if err := t.Write(w); err != nil {
 		return err
 	}
 
@@ -254,7 +421,7 @@ func printExtensions(opt experiments.Options) error {
 		t2.AddRow(r.Mapping, fmt.Sprintf("%.2f", r.OursGBps), fmt.Sprintf("%.2f", r.DefGBps),
 			fmt.Sprintf("%.2fx", r.OursGBps/r.DefGBps))
 	}
-	if err := t2.Write(os.Stdout); err != nil {
+	if err := t2.Write(w); err != nil {
 		return err
 	}
 
@@ -262,8 +429,8 @@ func printExtensions(opt experiments.Options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println()
-	if err := printCurveTable("Extension E3: pipelined store-and-forward (paper future work)",
+	fmt.Fprintln(w)
+	if err := printCurveTable(w, "Extension E3: pipelined store-and-forward (paper future work)",
 		"size", e3.Direct, e3.PlainK2, e3.PipedK2, e3.PipedK4); err != nil {
 		return err
 	}
@@ -281,7 +448,7 @@ func printExtensions(opt experiments.Options) error {
 			fmt.Sprintf("%.3f", r.FlowGBps), fmt.Sprintf("%.3f", r.PacketGBps),
 			fmt.Sprintf("%.1f%%", r.DiffPct))
 	}
-	if err := t4.Write(os.Stdout); err != nil {
+	if err := t4.Write(w); err != nil {
 		return err
 	}
 
@@ -299,5 +466,5 @@ func printExtensions(opt experiments.Options) error {
 			fmt.Sprintf("%.2f", r.OursGBps), fmt.Sprintf("%.2f", r.DefaultGBps),
 			fmt.Sprintf("%.2fx", r.OursGBps/r.DefaultGBps))
 	}
-	return t5.Write(os.Stdout)
+	return t5.Write(w)
 }

@@ -35,22 +35,34 @@ func AblationThreshold(opt Options) (AblationThresholdResult, error) {
 	directCfg := core.DefaultProxyConfig()
 	directCfg.Threshold = 1 << 62
 
-	for _, k := range []int{2, 3, 4} {
+	ks := []int{2, 3, 4}
+	sizes := messageSizes(opt.Quick)
+	vals := make([]float64, len(ks)*len(sizes))
+	err = forEachPoint(opt, len(vals), func(i int) error {
+		k := ks[i/len(sizes)]
+		size := sizes[i%len(sizes)]
 		cfg := core.DefaultProxyConfig()
 		cfg.Threshold = 0
 		cfg.MinProxies = k
 		cfg.MaxProxies = k
+		d, _, err := runPair(tor, p, directCfg, src, dst, size)
+		if err != nil {
+			return err
+		}
+		pr, _, err := runPair(tor, p, cfg, src, dst, size)
+		if err != nil {
+			return err
+		}
+		vals[i] = pr / d
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for ki, k := range ks {
 		c := Curve{Name: ksuffix(k)}
-		for _, size := range messageSizes(opt.Quick) {
-			d, _, err := runPair(tor, p, directCfg, src, dst, size)
-			if err != nil {
-				return res, err
-			}
-			pr, _, err := runPair(tor, p, cfg, src, dst, size)
-			if err != nil {
-				return res, err
-			}
-			c.Points = append(c.Points, CurvePoint{size, pr / d})
+		for zi, size := range sizes {
+			c.Points = append(c.Points, CurvePoint{size, vals[ki*len(sizes)+zi]})
 		}
 		res.Curves = append(res.Curves, c)
 	}
@@ -86,11 +98,6 @@ func AblationPlacement(opt Options) (AblationPlacementResult, error) {
 
 	directCfg := core.DefaultProxyConfig()
 	directCfg.Threshold = 1 << 62
-	d, _, err := runPair(tor, p, directCfg, src, dst, bytes)
-	if err != nil {
-		return res, err
-	}
-	res.DirectGBps = d / 1e9
 
 	cfg := core.DefaultProxyConfig()
 	cfg.Threshold = 0
@@ -101,38 +108,54 @@ func AblationPlacement(opt Options) (AblationPlacementResult, error) {
 		return res, err
 	}
 	res.DisjointProxies = len(pl.SelectProxies(src, dst))
-	dj, _, err := runPair(tor, p, cfg, src, dst, bytes)
-	if err != nil {
-		return res, err
-	}
-	res.DisjointGBps = dj / 1e9
 
-	// Naive: 4 random intermediate nodes, default deterministic routes
-	// for both legs, no disjointness checks.
-	e, err := newEngine(tor, p)
-	if err != nil {
-		return res, err
-	}
-	rng := rand.New(rand.NewSource(12345))
-	pieces := int64(bytes / 4)
-	for i := 0; i < 4; i++ {
-		var proxy torus.NodeID
-		for {
-			proxy = torus.NodeID(rng.Intn(tor.Size()))
-			if proxy != src && proxy != dst {
-				break
+	// Three independent measurements: direct, disjoint placement, naive
+	// placement. Each point writes its own result field.
+	err = forEachPoint(opt, 3, func(i int) error {
+		switch i {
+		case 0:
+			d, _, err := runPair(tor, p, directCfg, src, dst, bytes)
+			if err != nil {
+				return err
 			}
+			res.DirectGBps = d / 1e9
+		case 1:
+			dj, _, err := runPair(tor, p, cfg, src, dst, bytes)
+			if err != nil {
+				return err
+			}
+			res.DisjointGBps = dj / 1e9
+		case 2:
+			// Naive: 4 random intermediate nodes, default deterministic
+			// routes for both legs, no disjointness checks.
+			e, err := newEngine(tor, p)
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(12345))
+			pieces := int64(bytes / 4)
+			for j := 0; j < 4; j++ {
+				var proxy torus.NodeID
+				for {
+					proxy = torus.NodeID(rng.Intn(tor.Size()))
+					if proxy != src && proxy != dst {
+						break
+					}
+				}
+				l1 := e.Submit(netsim.FlowSpec{Src: src, Dst: proxy, Bytes: pieces})
+				e.Submit(netsim.FlowSpec{Src: proxy, Dst: dst, Bytes: pieces,
+					DependsOn: []netsim.FlowID{l1}, ExtraDelay: p.ProxyForwardOverhead})
+			}
+			mk, err := e.Run()
+			if err != nil {
+				return err
+			}
+			addSimTime(mk)
+			res.NaiveGBps = netsim.Throughput(bytes, mk) / 1e9
 		}
-		l1 := e.Submit(netsim.FlowSpec{Src: src, Dst: proxy, Bytes: pieces})
-		e.Submit(netsim.FlowSpec{Src: proxy, Dst: dst, Bytes: pieces,
-			DependsOn: []netsim.FlowID{l1}, ExtraDelay: p.ProxyForwardOverhead})
-	}
-	mk, err := e.Run()
-	if err != nil {
-		return res, err
-	}
-	res.NaiveGBps = netsim.Throughput(bytes, mk) / 1e9
-	return res, nil
+		return nil
+	})
+	return res, err
 }
 
 // AblationAggCountResult compares the dynamic data-size-driven aggregator
@@ -159,14 +182,21 @@ func AblationAggCount(opt Options) (AblationAggCountResult, error) {
 	if err != nil {
 		return AblationAggCountResult{}, err
 	}
-	rig, err := newIORig(shape, 16, p)
+	probe, err := newIORig(shape, 16, p)
 	if err != nil {
 		return AblationAggCountResult{}, err
 	}
-	data := workload.Uniform(rig.job.NumRanks(), eightMB, 99)
+	data := workload.Uniform(probe.job.NumRanks(), eightMB, 99)
 	res := AblationAggCountResult{Cores: cores, BurstGB: float64(workload.Total(data)) / 1e9}
 
+	// One self-contained point per configuration: each builds its own rig
+	// (sinks and planners register links on the network) and regenerates
+	// the same seeded burst.
 	run := func(cfg core.AggConfig) (float64, int, error) {
+		rig, err := newIORig(shape, 16, p)
+		if err != nil {
+			return 0, 0, err
+		}
 		e, err := rig.engine()
 		if err != nil {
 			return 0, 0, err
@@ -175,7 +205,7 @@ func AblationAggCount(opt Options) (AblationAggCountResult, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		plan, err := pl.Plan(e, data)
+		plan, err := pl.Plan(e, workload.Uniform(rig.job.NumRanks(), eightMB, 99))
 		if err != nil {
 			return 0, 0, err
 		}
@@ -183,25 +213,37 @@ func AblationAggCount(opt Options) (AblationAggCountResult, error) {
 		if err != nil {
 			return 0, 0, err
 		}
+		addSimTime(mk)
 		return float64(plan.TotalBytes) / (float64(mk) + float64(plan.Metadata)) / 1e9, plan.AggPerPset, nil
 	}
 
-	gbps, perPset, err := run(core.DefaultAggConfig())
+	fixedCounts := []int{1, 4, 128}
+	type point struct {
+		gbps    float64
+		perPset int
+	}
+	pts := make([]point, 1+len(fixedCounts))
+	err = forEachPoint(opt, len(pts), func(i int) error {
+		cfg := core.DefaultAggConfig()
+		if i > 0 {
+			cfg = core.AggConfig{MinBytesPerAggregator: 1, MaxAggregatorsPerPset: fixedCounts[i-1]}
+		}
+		gbps, perPset, err := run(cfg)
+		if err != nil {
+			return err
+		}
+		pts[i] = point{gbps, perPset}
+		return nil
+	})
 	if err != nil {
 		return res, err
 	}
-	res.DynamicGBps, res.DynamicPerPset = gbps, perPset
-
-	for _, fixed := range []int{1, 4, 128} {
-		cfg := core.AggConfig{MinBytesPerAggregator: 1, MaxAggregatorsPerPset: fixed}
-		gbps, got, err := run(cfg)
-		if err != nil {
-			return res, err
-		}
+	res.DynamicGBps, res.DynamicPerPset = pts[0].gbps, pts[0].perPset
+	for _, pt := range pts[1:] {
 		res.Fixed = append(res.Fixed, struct {
 			PerPset int
 			GBps    float64
-		}{got, gbps})
+		}{pt.perPset, pt.gbps})
 	}
 	return res, nil
 }
@@ -227,14 +269,15 @@ func AblationRoundSync(opt Options) (AblationRoundSyncResult, error) {
 	if err != nil {
 		return AblationRoundSyncResult{}, err
 	}
-	rig, err := newIORig(shape, 16, p)
-	if err != nil {
-		return AblationRoundSyncResult{}, err
-	}
-	data := workload.Uniform(rig.job.NumRanks(), eightMB, 31)
 	res := AblationRoundSyncResult{Cores: cores}
 
+	// Each point builds its own rig and regenerates the seeded burst, so
+	// the three measurements are independent.
 	runCollio := func(sync bool) (float64, error) {
+		rig, err := newIORig(shape, 16, p)
+		if err != nil {
+			return 0, err
+		}
 		e, err := rig.engine()
 		if err != nil {
 			return 0, err
@@ -245,7 +288,7 @@ func AblationRoundSync(opt Options) (AblationRoundSyncResult, error) {
 		if err != nil {
 			return 0, err
 		}
-		plan, err := pl.Plan(e, data)
+		plan, err := pl.Plan(e, workload.Uniform(rig.job.NumRanks(), eightMB, 31))
 		if err != nil {
 			return 0, err
 		}
@@ -253,18 +296,37 @@ func AblationRoundSync(opt Options) (AblationRoundSyncResult, error) {
 		if err != nil {
 			return 0, err
 		}
+		addSimTime(mk)
 		return float64(plan.TotalBytes) / (float64(mk) + float64(plan.Metadata)) / 1e9, nil
 	}
-	if res.SyncedGBps, err = runCollio(true); err != nil {
-		return res, err
-	}
-	if res.UnsyncedGBps, err = runCollio(false); err != nil {
-		return res, err
-	}
-	if res.OursGBps, err = aggThroughput(rig, data, true); err != nil {
-		return res, err
-	}
-	return res, nil
+	err = forEachPoint(opt, 3, func(i int) error {
+		switch i {
+		case 0:
+			v, err := runCollio(true)
+			if err != nil {
+				return err
+			}
+			res.SyncedGBps = v
+		case 1:
+			v, err := runCollio(false)
+			if err != nil {
+				return err
+			}
+			res.UnsyncedGBps = v
+		case 2:
+			rig, err := newIORig(shape, 16, p)
+			if err != nil {
+				return err
+			}
+			v, err := aggThroughput(rig, workload.Uniform(rig.job.NumRanks(), eightMB, 31), true)
+			if err != nil {
+				return err
+			}
+			res.OursGBps = v
+		}
+		return nil
+	})
+	return res, err
 }
 
 // AblationZonesResult measures how much path diversity each routing zone
@@ -293,14 +355,19 @@ func AblationZones(opt Options) (AblationZonesResult, error) {
 	const messages = 8
 	const bytes = 16 << 20
 	res := AblationZonesResult{Messages: messages, Bytes: bytes}
-	for z := routing.Zone(0); z <= 3; z++ {
+	res.PerZone = make([]struct {
+		Zone routing.Zone
+		GBps float64
+	}, 4)
+	err = forEachPoint(opt, 4, func(i int) error {
+		z := routing.Zone(i)
 		router, err := routing.NewRouter(tor, z, 7)
 		if err != nil {
-			return res, err
+			return err
 		}
 		e, err := newEngine(tor, p)
 		if err != nil {
-			return res, err
+			return err
 		}
 		for m := 0; m < messages; m++ {
 			r := router.Route(src, dst)
@@ -308,12 +375,14 @@ func AblationZones(opt Options) (AblationZonesResult, error) {
 		}
 		mk, err := e.Run()
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.PerZone = append(res.PerZone, struct {
+		addSimTime(mk)
+		res.PerZone[i] = struct {
 			Zone routing.Zone
 			GBps float64
-		}{z, netsim.Throughput(messages*bytes, mk) / 1e9})
-	}
-	return res, nil
+		}{z, netsim.Throughput(messages*bytes, mk) / 1e9}
+		return nil
+	})
+	return res, err
 }

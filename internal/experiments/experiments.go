@@ -25,6 +25,12 @@ type Options struct {
 	// testing.B benchmarks finish fast; the bgqbench command runs full
 	// sweeps.
 	Quick bool
+	// Parallel is the number of worker goroutines used to evaluate
+	// independent sweep points. 0 (the default) means one per CPU; 1
+	// forces sequential execution. Results are identical at any setting:
+	// every point is self-contained and deterministic, and the runner
+	// assembles results in index order.
+	Parallel int
 }
 
 // DefaultOptions returns a full-fidelity configuration.
@@ -145,5 +151,6 @@ func runPair(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, src, dst t
 	if err != nil {
 		return 0, 0, err
 	}
+	addSimTime(mk)
 	return netsim.Throughput(bytes, mk), plan.Mode, nil
 }

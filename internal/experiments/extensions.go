@@ -43,7 +43,10 @@ func ExtStorage(opt Options) (ExtStorageResult, error) {
 	p := opt.params()
 	cores := 32768
 	if opt.Quick {
-		cores = 8192
+		// 4,096 cores is the smallest scale with more than one pset, so
+		// the server-scarcity contrast survives while the smoke run
+		// stays fast.
+		cores = 4096
 	}
 	shape, err := ShapeForCores(cores)
 	if err != nil {
@@ -57,25 +60,30 @@ func ExtStorage(opt Options) (ExtStorageResult, error) {
 	}
 	nio := 0
 	{
-		rig, err := newIORig(shape, 16, p)
+		probe, err := newIORig(shape, 16, p)
 		if err != nil {
 			return res, err
 		}
-		nio = rig.ios.NumIONodes()
+		nio = probe.ios.NumIONodes()
+		data := workload.Uniform(probe.job.NumRanks(), eightMB, int64(cores))
+		res.BurstGB = float64(workload.Total(data)) / 1e9
 	}
 	cases := []sinkCase{
 		{"devnull (paper)", 0},
 		{"GPFS, ample servers", nio * 2},
 		{"GPFS, scarce servers", maxInt(1, nio/4)},
 	}
-	for _, sc := range cases {
-		// A fresh rig per case: sinks register extra links.
+	// Six self-contained points: (sink case) x (ours, default). Each
+	// builds its own rig — sinks register extra links on the network —
+	// and regenerates the same seeded burst.
+	vals := make([]float64, len(cases)*2)
+	err = forEachPoint(opt, len(vals), func(i int) error {
+		sc := cases[i/2]
 		rig, err := newIORig(shape, 16, p)
 		if err != nil {
-			return res, err
+			return err
 		}
 		data := workload.Uniform(rig.job.NumRanks(), eightMB, int64(cores))
-		res.BurstGB = float64(workload.Total(data)) / 1e9
 		var sink ionet.Sink
 		if sc.servers == 0 {
 			sink = ionet.DevNull{S: rig.ios, ForwardDelay: p.ProxyForwardOverhead}
@@ -84,20 +92,26 @@ func ExtStorage(opt Options) (ExtStorageResult, error) {
 			cfg.Servers = sc.servers
 			st, err := storage.Build(rig.net, rig.ios, cfg)
 			if err != nil {
-				return res, err
+				return err
 			}
 			sink = st
 		}
-		row := ExtStorageRow{Sink: sc.name}
-		row.OursGBps, err = aggThroughputSink(rig, data, true, sink)
+		gbps, err := aggThroughputSink(rig, data, i%2 == 0, sink)
 		if err != nil {
-			return res, err
+			return err
 		}
-		row.DefaultGBps, err = aggThroughputSink(rig, data, false, sink)
-		if err != nil {
-			return res, err
-		}
-		res.Rows = append(res.Rows, row)
+		vals[i] = gbps
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for ci, sc := range cases {
+		res.Rows = append(res.Rows, ExtStorageRow{
+			Sink:        sc.name,
+			OursGBps:    vals[ci*2],
+			DefaultGBps: vals[ci*2+1],
+		})
 	}
 	return res, nil
 }
@@ -142,6 +156,7 @@ func aggThroughputSink(rig *ioRig, data []int64, ours bool, sink ionet.Sink) (fl
 	if err != nil {
 		return 0, err
 	}
+	addSimTime(mk)
 	return float64(total) / (float64(mk) + meta) / 1e9, nil
 }
 
@@ -173,32 +188,44 @@ func ExtMapping(opt Options) (ExtMappingResult, error) {
 		return ExtMappingResult{}, err
 	}
 	res := ExtMappingResult{Cores: cores}
-	for _, mapping := range []mpisim.MapOrder{"ABCDET", "TABCDE"} {
+	mappings := []mpisim.MapOrder{"ABCDET", "TABCDE"}
+	// Four self-contained points: (mapping) x (ours, default), each with
+	// its own mapped rig.
+	vals := make([]float64, len(mappings)*2)
+	err = forEachPoint(opt, len(vals), func(i int) error {
+		mapping := mappings[i/2]
 		tor, err := torus.New(shape)
 		if err != nil {
-			return res, err
+			return err
 		}
 		net := netsim.NewNetwork(tor, p.LinkBandwidth)
 		ios, err := ionet.Build(net, ionet.DefaultConfig())
 		if err != nil {
-			return res, err
+			return err
 		}
 		job, err := mpisim.NewJobWithMapping(tor, 16, mapping)
 		if err != nil {
-			return res, err
+			return err
 		}
 		rig := &ioRig{tor: tor, net: net, ios: ios, job: job, p: p}
 		data := workload.HACC(job.NumRanks(), haccParticlesPerWriter)
-		row := ExtMappingRow{Mapping: string(mapping), Workload: "hacc"}
-		row.OursGBps, err = aggThroughput(rig, data, true)
+		gbps, err := aggThroughput(rig, data, i%2 == 0)
 		if err != nil {
-			return res, err
+			return err
 		}
-		row.DefGBps, err = aggThroughput(rig, data, false)
-		if err != nil {
-			return res, err
-		}
-		res.Rows = append(res.Rows, row)
+		vals[i] = gbps
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for mi, mapping := range mappings {
+		res.Rows = append(res.Rows, ExtMappingRow{
+			Mapping:  string(mapping),
+			Workload: "hacc",
+			OursGBps: vals[mi*2],
+			DefGBps:  vals[mi*2+1],
+		})
 	}
 	return res, nil
 }
@@ -240,27 +267,27 @@ func ExtPipeline(opt Options) (ExtPipelineResult, error) {
 	}
 	directCfg := core.DefaultProxyConfig()
 	directCfg.Threshold = 1 << 62
-	for _, size := range messageSizes(opt.Quick) {
-		d, _, err := runPair(tor, p, directCfg, src, dst, size)
+	sizes := messageSizes(opt.Quick)
+	// Four configurations per size, flattened into independent points.
+	cfgs := []core.ProxyConfig{directCfg, mk(2, false), mk(2, true), mk(4, true)}
+	vals := make([]float64, len(sizes)*len(cfgs))
+	err = forEachPoint(opt, len(vals), func(i int) error {
+		size := sizes[i/len(cfgs)]
+		th, _, err := runPair(tor, p, cfgs[i%len(cfgs)], src, dst, size)
 		if err != nil {
-			return res, err
+			return err
 		}
-		plain2, _, err := runPair(tor, p, mk(2, false), src, dst, size)
-		if err != nil {
-			return res, err
-		}
-		piped2, _, err := runPair(tor, p, mk(2, true), src, dst, size)
-		if err != nil {
-			return res, err
-		}
-		piped4, _, err := runPair(tor, p, mk(4, true), src, dst, size)
-		if err != nil {
-			return res, err
-		}
-		res.Direct.Points = append(res.Direct.Points, CurvePoint{size, d / 1e9})
-		res.PlainK2.Points = append(res.PlainK2.Points, CurvePoint{size, plain2 / 1e9})
-		res.PipedK2.Points = append(res.PipedK2.Points, CurvePoint{size, piped2 / 1e9})
-		res.PipedK4.Points = append(res.PipedK4.Points, CurvePoint{size, piped4 / 1e9})
+		vals[i] = th
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for si, size := range sizes {
+		res.Direct.Points = append(res.Direct.Points, CurvePoint{size, vals[si*4+0] / 1e9})
+		res.PlainK2.Points = append(res.PlainK2.Points, CurvePoint{size, vals[si*4+1] / 1e9})
+		res.PipedK2.Points = append(res.PipedK2.Points, CurvePoint{size, vals[si*4+2] / 1e9})
+		res.PipedK4.Points = append(res.PipedK4.Points, CurvePoint{size, vals[si*4+3] / 1e9})
 	}
 	return res, nil
 }
@@ -304,62 +331,69 @@ func ExtValidation(opt Options) (ExtValidationResult, error) {
 		sizes = append(sizes, 32<<20)
 	}
 	var res ExtValidationResult
-	for _, proxied := range []bool{false, true} {
-		for _, bytes := range sizes {
-			// Flow model.
-			e, err := netsim.NewEngine(netsim.NewNetwork(tor, flowP.LinkBandwidth), flowP)
-			if err != nil {
-				return res, err
-			}
-			if !proxied {
-				e.Submit(netsim.FlowSpec{Src: src, Dst: dst, Bytes: bytes})
-			} else {
-				per := bytes / int64(len(proxies))
-				for _, pr := range proxies {
-					l1 := e.Submit(netsim.FlowSpec{Src: src, Dst: pr.Proxy, Bytes: per, Links: pr.Leg1.Links})
-					e.Submit(netsim.FlowSpec{Src: pr.Proxy, Dst: dst, Bytes: per, Links: pr.Leg2.Links,
-						DependsOn: []netsim.FlowID{l1}, ExtraDelay: flowP.ProxyForwardOverhead})
-				}
-			}
-			fmk, err := e.Run()
-			if err != nil {
-				return res, err
-			}
-			// Packet model.
-			s, err := packetsim.New(tor, pktP, 3)
-			if err != nil {
-				return res, err
-			}
-			if !proxied {
-				s.Submit(packetsim.MessageSpec{Src: src, Dst: dst, Bytes: bytes, Zone: routing.ZoneDeterministic})
-			} else {
-				per := bytes / int64(len(proxies))
-				for _, pr := range proxies {
-					m1 := s.Submit(packetsim.MessageSpec{Src: src, Dst: pr.Proxy, Bytes: per, Links: pr.Leg1.Links})
-					s.Submit(packetsim.MessageSpec{Src: pr.Proxy, Dst: dst, Bytes: per, Links: pr.Leg2.Links,
-						DependsOn: []packetsim.MessageID{m1}, ExtraDelay: pktP.SenderOverhead + 10e-6})
-				}
-			}
-			pmk, err := s.Run()
-			if err != nil {
-				return res, err
-			}
-			fth := netsim.Throughput(bytes, fmk) / 1e9
-			pth := packetsim.Throughput(bytes, pmk) / 1e9
-			name := "direct"
-			if proxied {
-				name = "4 proxies"
-			}
-			diff := (fth - pth) / fth * 100
-			if diff < 0 {
-				diff = -diff
-			}
-			res.Rows = append(res.Rows, ExtValidationRow{
-				Scenario: name, Bytes: bytes,
-				FlowGBps: fth, PacketGBps: pth, DiffPct: diff,
-			})
+	rows := make([]ExtValidationRow, 2*len(sizes))
+	err = forEachPoint(opt, len(rows), func(i int) error {
+		proxied := i/len(sizes) == 1
+		bytes := sizes[i%len(sizes)]
+		// Flow model.
+		e, err := netsim.NewEngine(netsim.NewNetwork(tor, flowP.LinkBandwidth), flowP)
+		if err != nil {
+			return err
 		}
+		if !proxied {
+			e.Submit(netsim.FlowSpec{Src: src, Dst: dst, Bytes: bytes})
+		} else {
+			per := bytes / int64(len(proxies))
+			for _, pr := range proxies {
+				l1 := e.Submit(netsim.FlowSpec{Src: src, Dst: pr.Proxy, Bytes: per, Links: pr.Leg1.Links})
+				e.Submit(netsim.FlowSpec{Src: pr.Proxy, Dst: dst, Bytes: per, Links: pr.Leg2.Links,
+					DependsOn: []netsim.FlowID{l1}, ExtraDelay: flowP.ProxyForwardOverhead})
+			}
+		}
+		fmk, err := e.Run()
+		if err != nil {
+			return err
+		}
+		addSimTime(fmk)
+		// Packet model.
+		s, err := packetsim.New(tor, pktP, 3)
+		if err != nil {
+			return err
+		}
+		if !proxied {
+			s.Submit(packetsim.MessageSpec{Src: src, Dst: dst, Bytes: bytes, Zone: routing.ZoneDeterministic})
+		} else {
+			per := bytes / int64(len(proxies))
+			for _, pr := range proxies {
+				m1 := s.Submit(packetsim.MessageSpec{Src: src, Dst: pr.Proxy, Bytes: per, Links: pr.Leg1.Links})
+				s.Submit(packetsim.MessageSpec{Src: pr.Proxy, Dst: dst, Bytes: per, Links: pr.Leg2.Links,
+					DependsOn: []packetsim.MessageID{m1}, ExtraDelay: pktP.SenderOverhead + 10e-6})
+			}
+		}
+		pmk, err := s.Run()
+		if err != nil {
+			return err
+		}
+		fth := netsim.Throughput(bytes, fmk) / 1e9
+		pth := packetsim.Throughput(bytes, pmk) / 1e9
+		name := "direct"
+		if proxied {
+			name = "4 proxies"
+		}
+		diff := (fth - pth) / fth * 100
+		if diff < 0 {
+			diff = -diff
+		}
+		rows[i] = ExtValidationRow{
+			Scenario: name, Bytes: bytes,
+			FlowGBps: fth, PacketGBps: pth, DiffPct: diff,
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -397,27 +431,31 @@ func ExtInsitu(opt Options) (ExtInsituResult, error) {
 	const subBlockBytes = 32 << 10
 	const threshold = 0.35
 	var res ExtInsituResult
-	for _, cores := range scales {
+	// Two self-contained points per scale: (ours, default), each with its
+	// own rig and its own deterministic field synthesis.
+	rows := make([]ExtInsituRow, len(scales)*2)
+	err := forEachPoint(opt, len(rows), func(i int) error {
+		cores := scales[i/2]
 		shape, err := ShapeForCores(cores)
 		if err != nil {
-			return res, err
+			return err
 		}
 		rig, err := newIORig(shape, 16, p)
 		if err != nil {
-			return res, err
+			return err
 		}
 		g := insituRankGrids[cores]
 		grid, err := field.NewGrid(6*g[0], 6*g[1], 6*g[2], g[0], g[1], g[2])
 		if err != nil {
-			return res, err
+			return err
 		}
 		fld, err := field.Synthesize(grid, 6, int64(cores))
 		if err != nil {
-			return res, err
+			return err
 		}
 		data := fld.ExtractSizes(threshold, subBlockBytes)
 		if len(data) != rig.job.NumRanks() {
-			return res, fmt.Errorf("experiments: field grid yields %d ranks, job has %d", len(data), rig.job.NumRanks())
+			return fmt.Errorf("experiments: field grid yields %d ranks, job has %d", len(data), rig.job.NumRanks())
 		}
 		withData, _ := field.Sparsity(data, grid.CellsPerRank(), subBlockBytes)
 		row := ExtInsituRow{
@@ -425,12 +463,24 @@ func ExtInsitu(opt Options) (ExtInsituResult, error) {
 			BurstGB:       float64(workload.Total(data)) / 1e9,
 			RanksWithData: withData,
 		}
-		if row.OursGBps, err = aggThroughput(rig, data, true); err != nil {
-			return res, err
+		gbps, err := aggThroughput(rig, data, i%2 == 0)
+		if err != nil {
+			return err
 		}
-		if row.DefaultGBps, err = aggThroughput(rig, data, false); err != nil {
-			return res, err
+		if i%2 == 0 {
+			row.OursGBps = gbps
+		} else {
+			row.DefaultGBps = gbps
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for ci := range scales {
+		row := rows[ci*2]
+		row.DefaultGBps = rows[ci*2+1].DefaultGBps
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

@@ -43,10 +43,12 @@ type Fig10Result struct {
 	DefaultP2 ScaleCurve
 }
 
-// fig10Scales trims the sweep in quick mode.
+// fig10Scales trims the sweep in quick mode: two scales keep the
+// weak-scaling shape visible while the smoke run stays in the hundreds
+// of milliseconds.
 func fig10Scales(quick bool) []int {
 	if quick {
-		return []int{2048, 8192}
+		return []int{2048, 4096}
 	}
 	out := make([]int, 0, len(WeakScalingShapes))
 	for _, ws := range WeakScalingShapes {
@@ -89,6 +91,7 @@ func aggThroughput(rig *ioRig, data []int64, ours bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	addSimTime(mk)
 	return float64(total) / (float64(mk) + meta) / 1e9, nil
 }
 
@@ -101,34 +104,45 @@ func Fig10(opt Options) (Fig10Result, error) {
 		DefaultP1: ScaleCurve{Name: "MPI Collective IO: Pattern 1"},
 		DefaultP2: ScaleCurve{Name: "MPI Collective IO: Pattern 2"},
 	}
-	for _, cores := range fig10Scales(opt.Quick) {
+	scales := fig10Scales(opt.Quick)
+	// Four runs per scale — (ours, default) x (pattern 1, pattern 2) —
+	// each a self-contained point with its own rig so every run can
+	// proceed concurrently. Workload seeds depend only on the core count,
+	// so regenerating per point reproduces the sequential inputs exactly.
+	vals := make([]float64, len(scales)*4)
+	err := forEachPoint(opt, len(vals), func(i int) error {
+		cores := scales[i/4]
+		run := i % 4 // 0: ours/P1, 1: ours/P2, 2: default/P1, 3: default/P2
 		shape, err := ShapeForCores(cores)
 		if err != nil {
-			return res, err
+			return err
 		}
 		rig, err := newIORig(shape, 16, p)
 		if err != nil {
-			return res, err
+			return err
 		}
 		n := rig.job.NumRanks()
-		p1 := workload.Uniform(n, eightMB, int64(cores))
-		p2 := workload.Pattern2(n, eightMB, int64(cores)+1)
-		for _, run := range []struct {
-			data  []int64
-			ours  bool
-			curve *ScaleCurve
-		}{
-			{p1, true, &res.OursP1},
-			{p2, true, &res.OursP2},
-			{p1, false, &res.DefaultP1},
-			{p2, false, &res.DefaultP2},
-		} {
-			gbps, err := aggThroughput(rig, run.data, run.ours)
-			if err != nil {
-				return res, err
-			}
-			run.curve.Points = append(run.curve.Points, ScalePoint{cores, gbps})
+		var data []int64
+		if run%2 == 0 {
+			data = workload.Uniform(n, eightMB, int64(cores))
+		} else {
+			data = workload.Pattern2(n, eightMB, int64(cores)+1)
 		}
+		gbps, err := aggThroughput(rig, data, run < 2)
+		if err != nil {
+			return err
+		}
+		vals[i] = gbps
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for ci, cores := range scales {
+		res.OursP1.Points = append(res.OursP1.Points, ScalePoint{cores, vals[ci*4+0]})
+		res.OursP2.Points = append(res.OursP2.Points, ScalePoint{cores, vals[ci*4+1]})
+		res.DefaultP1.Points = append(res.DefaultP1.Points, ScalePoint{cores, vals[ci*4+2]})
+		res.DefaultP2.Points = append(res.DefaultP2.Points, ScalePoint{cores, vals[ci*4+3]})
 	}
 	return res, nil
 }
@@ -161,27 +175,34 @@ func Fig11(opt Options) (Fig11Result, error) {
 		Ours:    ScaleCurve{Name: "Customized selection of aggregators"},
 		Default: ScaleCurve{Name: "Default MPI collective I/O"},
 	}
-	for _, cores := range fig11Scales(opt.Quick) {
+	scales := fig11Scales(opt.Quick)
+	type point struct{ gbps, burstGB float64 }
+	vals := make([]point, len(scales)*2)
+	err := forEachPoint(opt, len(vals), func(i int) error {
+		cores := scales[i/2]
 		shape, err := ShapeForCores(cores)
 		if err != nil {
-			return res, err
+			return err
 		}
 		rig, err := newIORig(shape, 16, p)
 		if err != nil {
-			return res, err
+			return err
 		}
 		data := workload.HACC(rig.job.NumRanks(), haccParticlesPerWriter)
-		res.BurstGB = append(res.BurstGB, float64(workload.Total(data))/1e9)
-		ours, err := aggThroughput(rig, data, true)
+		gbps, err := aggThroughput(rig, data, i%2 == 0)
 		if err != nil {
-			return res, err
+			return err
 		}
-		def, err := aggThroughput(rig, data, false)
-		if err != nil {
-			return res, err
-		}
-		res.Ours.Points = append(res.Ours.Points, ScalePoint{cores, ours})
-		res.Default.Points = append(res.Default.Points, ScalePoint{cores, def})
+		vals[i] = point{gbps, float64(workload.Total(data)) / 1e9}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for ci, cores := range scales {
+		res.BurstGB = append(res.BurstGB, vals[ci*2].burstGB)
+		res.Ours.Points = append(res.Ours.Points, ScalePoint{cores, vals[ci*2].gbps})
+		res.Default.Points = append(res.Default.Points, ScalePoint{cores, vals[ci*2+1].gbps})
 	}
 	return res, nil
 }

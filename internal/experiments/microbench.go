@@ -41,21 +41,32 @@ func Fig5(opt Options) (Fig5Result, error) {
 	proxyCfg.MaxProxies = 4
 	proxyCfg.MinProxies = 1
 
-	for _, size := range messageSizes(opt.Quick) {
+	sizes := messageSizes(opt.Quick)
+	type point struct{ d, pr float64 }
+	pts := make([]point, len(sizes))
+	err = forEachPoint(opt, len(sizes), func(i int) error {
+		size := sizes[i]
 		d, _, err := runPair(tor, p, directCfg, src, dst, size)
 		if err != nil {
-			return res, err
+			return err
 		}
 		pr, mode, err := runPair(tor, p, proxyCfg, src, dst, size)
 		if err != nil {
-			return res, err
+			return err
 		}
 		if mode != core.Proxied {
-			return res, fmt.Errorf("fig5: proxied run fell back to %v at %d bytes", mode, size)
+			return fmt.Errorf("fig5: proxied run fell back to %v at %d bytes", mode, size)
 		}
-		res.Direct.Points = append(res.Direct.Points, CurvePoint{size, d / 1e9})
-		res.Proxied.Points = append(res.Proxied.Points, CurvePoint{size, pr / 1e9})
-		if res.Crossover == 0 && pr > d {
+		pts[i] = point{d, pr}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, size := range sizes {
+		res.Direct.Points = append(res.Direct.Points, CurvePoint{size, pts[i].d / 1e9})
+		res.Proxied.Points = append(res.Proxied.Points, CurvePoint{size, pts[i].pr / 1e9})
+		if res.Crossover == 0 && pts[i].pr > pts[i].d {
 			res.Crossover = size
 		}
 	}
@@ -97,18 +108,29 @@ func Fig6(opt Options) (Fig6Result, error) {
 		Direct:  Curve{Name: "direct"},
 		Proxied: Curve{Name: "3 proxy groups"},
 	}
-	for _, size := range messageSizes(opt.Quick) {
+	sizes := messageSizes(opt.Quick)
+	type point struct{ d, pr float64 }
+	pts := make([]point, len(sizes))
+	err = forEachPoint(opt, len(sizes), func(i int) error {
+		size := sizes[i]
 		d, err := runGroup(tor, p, sBox, tBox, size, -1)
 		if err != nil {
-			return res, err
+			return err
 		}
 		pr, err := runGroup(tor, p, sBox, tBox, size, 0)
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.Direct.Points = append(res.Direct.Points, CurvePoint{size, d / 1e9})
-		res.Proxied.Points = append(res.Proxied.Points, CurvePoint{size, pr / 1e9})
-		if res.Crossover == 0 && pr > d {
+		pts[i] = point{d, pr}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, size := range sizes {
+		res.Direct.Points = append(res.Direct.Points, CurvePoint{size, pts[i].d / 1e9})
+		res.Proxied.Points = append(res.Proxied.Points, CurvePoint{size, pts[i].pr / 1e9})
+		if res.Crossover == 0 && pts[i].pr > pts[i].d {
 			res.Crossover = size
 		}
 	}
@@ -144,6 +166,7 @@ func runGroup(tor *torus.Torus, p netsim.Params, sBox, tBox torus.Box, bytesPerP
 	if err != nil {
 		return 0, err
 	}
+	addSimTime(mk)
 	return netsim.Throughput(bytesPerPair, mk), nil
 }
 
@@ -181,14 +204,24 @@ func Fig7(opt Options) (Fig7Result, error) {
 		{"4 groups as proxies", 4},
 		{"5 groups of proxies", 5},
 	}
-	for _, sw := range sweeps {
+	sizes := messageSizes(opt.Quick)
+	vals := make([]float64, len(sweeps)*len(sizes))
+	err = forEachPoint(opt, len(vals), func(i int) error {
+		sw := sweeps[i/len(sizes)]
+		th, err := runGroup(tor, p, sBox, tBox, sizes[i%len(sizes)], sw.groups)
+		if err != nil {
+			return err
+		}
+		vals[i] = th
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for si, sw := range sweeps {
 		c := Curve{Name: sw.name}
-		for _, size := range messageSizes(opt.Quick) {
-			th, err := runGroup(tor, p, sBox, tBox, size, sw.groups)
-			if err != nil {
-				return res, err
-			}
-			c.Points = append(c.Points, CurvePoint{size, th / 1e9})
+		for zi, size := range sizes {
+			c.Points = append(c.Points, CurvePoint{size, vals[si*len(sizes)+zi] / 1e9})
 		}
 		res.Curves = append(res.Curves, c)
 	}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// withParallel returns quick options pinned to a worker count.
+func withParallel(n int) Options {
+	o := quickOpts()
+	o.Parallel = n
+	return o
+}
+
+// TestParallelMatchesSequential asserts the runner's core guarantee: a
+// parallel run produces byte-identical result rows to a sequential run.
+// Every sweep point is self-contained and deterministic, and results are
+// assembled in index order, so worker count must not leak into output.
+func TestParallelMatchesSequential(t *testing.T) {
+	t.Run("fig5", func(t *testing.T) {
+		seq, err := Fig5(withParallel(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Fig5(withParallel(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("fig5 diverges across worker counts:\nseq: %+v\npar: %+v", seq, par)
+		}
+	})
+	t.Run("fig7", func(t *testing.T) {
+		seq, err := Fig7(withParallel(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Fig7(withParallel(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("fig7 diverges across worker counts:\nseq: %+v\npar: %+v", seq, par)
+		}
+	})
+	t.Run("ablation-threshold", func(t *testing.T) {
+		seq, err := AblationThreshold(withParallel(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := AblationThreshold(withParallel(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("ablation threshold diverges across worker counts:\nseq: %+v\npar: %+v", seq, par)
+		}
+	})
+}
+
+// TestParallelMatchesSequentialIO covers a rig-per-point runner too:
+// Fig10 builds an I/O system per sweep point, so this additionally
+// checks that rig construction is deterministic under concurrency.
+func TestParallelMatchesSequentialIO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("io sweep")
+	}
+	seq, err := Fig10(withParallel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig10(withParallel(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fig10 diverges across worker counts:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

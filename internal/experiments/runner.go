@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bgqflow/internal/sim"
+)
+
+// workers resolves Options.Parallel: non-positive means one worker per
+// available CPU.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachPoint evaluates fn(i) for every i in [0, n) using up to
+// opt.workers() goroutines. Sweep points are self-contained — each builds
+// its own network and engine and seeds any randomness from the point's
+// own parameters — so the runner only has to keep results in index order
+// for output to be identical to a sequential run.
+//
+// fn must write results only into its own index's slot. Error behavior is
+// deterministic too: whatever the schedule, the error returned is the one
+// from the lowest-index failing point, matching what a sequential run
+// would report.
+func forEachPoint(opt Options, n int, fn func(i int) error) error {
+	workers := opt.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simTimeBits accumulates simulated seconds across engine runs (float64
+// bits, updated by CAS so concurrent sweep points can add safely).
+var simTimeBits atomic.Uint64
+
+// addSimTime credits one engine run's makespan to the accumulator.
+func addSimTime(d sim.Duration) {
+	for {
+		old := simTimeBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + float64(d))
+		if simTimeBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ResetSimTime zeroes the simulated-time accumulator. The bench harness
+// calls this before each experiment to report simulated seconds per
+// experiment next to wall time.
+func ResetSimTime() { simTimeBits.Store(0) }
+
+// SimTime returns the simulated seconds accumulated since the last reset.
+func SimTime() float64 { return math.Float64frombits(simTimeBits.Load()) }

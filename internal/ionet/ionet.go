@@ -14,7 +14,6 @@ import (
 	"fmt"
 
 	"bgqflow/internal/netsim"
-	"bgqflow/internal/routing"
 	"bgqflow/internal/torus"
 )
 
@@ -148,7 +147,7 @@ func (p *Pset) Uplink(bi int) int { return p.uplinks[bi] }
 // (the flow's last compute-fabric endpoint).
 func (s *System) WriteRoute(n torus.NodeID) (links []int, bridge torus.NodeID) {
 	bridge = s.nodeBridge[n]
-	r := routing.DeterministicRoute(s.tor, n, bridge)
+	r := s.net.Route(n, bridge)
 	links = make([]int, 0, len(r.Links)+1)
 	links = append(links, r.Links...)
 	links = append(links, s.nodeUplink[n])
@@ -161,7 +160,7 @@ func (s *System) WriteRoute(n torus.NodeID) (links []int, bridge torus.NodeID) {
 func (s *System) WriteRouteVia(n torus.NodeID, pi, bi int) (links []int, bridge torus.NodeID) {
 	ps := &s.psets[pi]
 	bridge = ps.Bridges[bi]
-	r := routing.DeterministicRoute(s.tor, n, bridge)
+	r := s.net.Route(n, bridge)
 	links = make([]int, 0, len(r.Links)+1)
 	links = append(links, r.Links...)
 	links = append(links, ps.uplinks[bi])

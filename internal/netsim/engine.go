@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"bgqflow/internal/routing"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/torus"
 )
@@ -66,6 +65,19 @@ const (
 	stateDone
 )
 
+// flowEvent names the clock event a flow is waiting on. Each flow has at
+// most one pending timer at a time (release -> activate, transfer end ->
+// finish, or the rate-dependent end of an active transfer), so a single
+// kind field on the flow is enough for the engine's allocation-free event
+// dispatch (sim.Callback).
+type flowEvent uint8
+
+const (
+	evActivate flowEvent = iota
+	evTransferEnd
+	evFinish
+)
+
 type flow struct {
 	id         FlowID
 	spec       FlowSpec
@@ -73,9 +85,10 @@ type flow struct {
 	unmetDeps  int
 	dependents []FlowID
 	state      flowState
-	remaining  float64 // bytes left to transfer
-	rate       float64 // current allocation, bytes/second
-	cap        float64 // per-flow rate cap
+	next       flowEvent // which event the pending timer fires
+	remaining  float64   // bytes left to transfer
+	rate       float64   // current allocation, bytes/second
+	cap        float64   // per-flow rate cap
 	lastUpdate sim.Time
 	endEvent   sim.EventID
 	hasEnd     bool
@@ -96,6 +109,23 @@ type Engine struct {
 	linkBytes []float64 // cumulative bytes carried per link
 	linkIndex []int32   // scratch: link ID -> local index in waterfill
 	epoch     uint64
+
+	// Flow structs are carved out of arena blocks so steady-state Submit
+	// performs no per-flow allocation (Reserve pre-sizes everything).
+	arena     []flow
+	arenaUsed int
+
+	// Scratch buffers reused across component/waterfill sweeps; per-sweep
+	// make()s were the simulator's dominant allocation source.
+	compFlows    []*flow
+	compLinks    []int
+	compQueue    []*flow
+	wfLoad       []float64
+	wfCapLeft    []float64
+	wfNewRate    []float64
+	wfUnfrozen   []int
+	wfAliveLinks []int
+	wfAliveFlows []int
 
 	// Reallocation requests arriving at the same virtual instant are
 	// batched into one sweep: N simultaneous flow activations (e.g. a
@@ -130,6 +160,56 @@ func NewEngine(net *Network, p Params) (*Engine, error) {
 	}, nil
 }
 
+// flowArenaBlock is the number of flow structs allocated per arena block.
+const flowArenaBlock = 512
+
+// newFlow hands out the next zeroed flow struct from the arena.
+func (e *Engine) newFlow() *flow {
+	if e.arenaUsed == len(e.arena) {
+		e.arena = make([]flow, flowArenaBlock)
+		e.arenaUsed = 0
+	}
+	f := &e.arena[e.arenaUsed]
+	e.arenaUsed++
+	return f
+}
+
+// Reserve pre-sizes the engine for n further Submit calls so that, with
+// routes cached and dependencies resolved, each of them performs no
+// allocation. Callers that know their flow count (benchmarks, bulk
+// planners) use it to keep Submit off the allocator entirely.
+func (e *Engine) Reserve(n int) {
+	if free := cap(e.flows) - len(e.flows); free < n {
+		grown := make([]*flow, len(e.flows), len(e.flows)+n)
+		copy(grown, e.flows)
+		e.flows = grown
+	}
+	if len(e.arena)-e.arenaUsed < n {
+		e.arena = make([]flow, n)
+		e.arenaUsed = 0
+	}
+}
+
+// OnEvent dispatches a fired clock event to the right flow transition;
+// arg == nil means the batched reallocation sweep. Implementing
+// sim.Callback lets the engine schedule every hot-path event without
+// allocating a closure.
+func (e *Engine) OnEvent(_ *sim.Engine, arg any) {
+	if arg == nil {
+		e.sweep()
+		return
+	}
+	f := arg.(*flow)
+	switch f.next {
+	case evActivate:
+		e.activate(f)
+	case evTransferEnd:
+		e.transferEnd(f)
+	case evFinish:
+		e.finish(f)
+	}
+}
+
 // Params returns the engine's parameters.
 func (e *Engine) Params() Params { return e.p }
 
@@ -148,7 +228,8 @@ func (e *Engine) Submit(spec FlowSpec) FlowID {
 		panic(fmt.Sprintf("netsim: negative flow size %d", spec.Bytes))
 	}
 	id := FlowID(len(e.flows))
-	f := &flow{id: id, spec: spec, cap: e.p.PerFlowBandwidth}
+	f := e.newFlow()
+	f.id, f.spec, f.cap = id, spec, e.p.PerFlowBandwidth
 	switch {
 	case spec.Links != nil:
 		// Explicit routes are honored even for Src == Dst (e.g. a
@@ -160,7 +241,10 @@ func (e *Engine) Submit(spec FlowSpec) FlowID {
 	case spec.Src == spec.Dst:
 		f.cap = e.p.LocalCopyBandwidth
 	default:
-		f.links = routing.DeterministicRoute(e.net.Torus(), spec.Src, spec.Dst).Links
+		// Served from the network's route cache: the default route is a
+		// pure function of the endpoints, and exchanges resubmit the
+		// same pairs every round.
+		f.links = e.net.Route(spec.Src, spec.Dst).Links
 	}
 	for _, l := range f.links {
 		if l < 0 || l >= e.net.NumLinks() {
@@ -227,7 +311,8 @@ func (e *Engine) release(f *flow) {
 	f.state = stateDelayed
 	f.res.Released = e.clock.Now()
 	delay := e.p.SenderOverhead + f.spec.ExtraDelay
-	e.clock.After(delay, func(*sim.Engine) { e.activate(f) })
+	f.next = evActivate
+	e.clock.AfterCall(delay, e, f)
 }
 
 // activate puts a flow on its links and reallocates its component.
@@ -266,7 +351,8 @@ func (e *Engine) transferEnd(f *flow) {
 		e.requestRealloc(nil, f.links)
 	}
 	tail := e.p.ReceiverOverhead + sim.Duration(float64(e.p.HopLatency)*float64(len(f.links)))
-	e.clock.After(tail, func(*sim.Engine) { e.finish(f) })
+	f.next = evFinish
+	e.clock.AfterCall(tail, e, f)
 }
 
 func (e *Engine) finish(f *flow) {
@@ -309,7 +395,7 @@ func (e *Engine) requestRealloc(f *flow, links []int) {
 	e.pendingLinks = append(e.pendingLinks, links...)
 	if !e.sweepScheduled {
 		e.sweepScheduled = true
-		e.clock.After(0, func(*sim.Engine) { e.sweep() })
+		e.clock.AfterCall(0, e, nil)
 	}
 }
 
@@ -363,13 +449,14 @@ func (e *Engine) FlowRateCap(id FlowID) float64 { return e.flows[id].cap }
 // component gathers, by BFS over shared links, all active flows and links
 // reachable from the seeds. Because rate allocation is per-link, flows in
 // different components cannot affect each other, so reallocation is scoped
-// to one component — this keeps large sparse runs fast.
+// to one component — this keeps large sparse runs fast. The returned
+// slices are engine-owned scratch, valid until the next sweep.
 func (e *Engine) component(seedFlows []*flow, seedLinks []int) ([]*flow, []int) {
 	e.epoch++
 	ep := e.epoch
-	var flows []*flow
-	var links []int
-	var flowQueue []*flow
+	flows := e.compFlows[:0]
+	links := e.compLinks[:0]
+	flowQueue := e.compQueue[:0]
 
 	addLink := func(l int) {
 		if e.linkVisit[l] == ep {
@@ -402,6 +489,7 @@ func (e *Engine) component(seedFlows []*flow, seedLinks []int) ([]*flow, []int) 
 			addLink(l)
 		}
 	}
+	e.compFlows, e.compLinks, e.compQueue = flows, links, flowQueue
 	return flows, links
 }
 
@@ -433,10 +521,12 @@ func (e *Engine) waterfill(flows []*flow, links []int) {
 	for i, l := range links {
 		idx[l] = int32(i)
 	}
-	load := make([]float64, len(links))    // frozen load per link
-	unfrozen := make([]int, len(links))    // unfrozen flow count per link
-	capLeft := make([]float64, len(links)) // capacity per link
-	aliveLinks := make([]int, 0, len(links))
+	// Engine-owned scratch, reused across sweeps: load must start at
+	// zero; the others are fully written before being read.
+	load := growFloats(&e.wfLoad, len(links), true)        // frozen load per link
+	unfrozen := growInts(&e.wfUnfrozen, len(links))        // unfrozen flow count per link
+	capLeft := growFloats(&e.wfCapLeft, len(links), false) // capacity per link
+	aliveLinks := e.wfAliveLinks[:0]
 	for i, l := range links {
 		capLeft[i] = e.net.Capacity(l)
 		unfrozen[i] = len(e.linkFlows[l])
@@ -444,8 +534,8 @@ func (e *Engine) waterfill(flows []*flow, links []int) {
 			aliveLinks = append(aliveLinks, i)
 		}
 	}
-	newRate := make([]float64, len(flows))
-	aliveFlows := make([]int, len(flows))
+	newRate := growFloats(&e.wfNewRate, len(flows), false)
+	aliveFlows := growInts(&e.wfAliveFlows, len(flows))
 	for i := range aliveFlows {
 		aliveFlows[i] = i
 	}
@@ -522,10 +612,47 @@ func (e *Engine) waterfill(flows []*flow, links []int) {
 		}
 		f.rate = r
 		dt := sim.Duration(f.remaining / f.rate)
-		ff := f
-		f.endEvent = e.clock.After(dt, func(*sim.Engine) { e.transferEnd(ff) })
+		f.next = evTransferEnd
+		f.endEvent = e.clock.AfterCall(dt, e, f)
 		f.hasEnd = true
 	}
+
+	// Keep the (possibly regrown) compaction scratch for the next sweep.
+	e.wfAliveLinks = aliveLinks[:0]
+	e.wfAliveFlows = aliveFlows[:0]
+}
+
+// growFloats resizes an engine scratch buffer to length n, reusing its
+// backing array when possible; zero clears the prefix.
+func growFloats(buf *[]float64, n int, zero bool) []float64 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]float64, n)
+		*buf = s
+	} else {
+		s = s[:n]
+		*buf = s
+	}
+	if zero {
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	return s
+}
+
+// growInts resizes an int scratch buffer to length n, reusing its backing
+// array when possible. The caller fully overwrites the contents.
+func growInts(buf *[]int, n int) []int {
+	s := *buf
+	if cap(s) < n {
+		s = make([]int, n)
+		*buf = s
+	} else {
+		s = s[:n]
+		*buf = s
+	}
+	return s
 }
 
 // BeginInteractive switches the engine to interactive mode: Run becomes

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"bgqflow/internal/routing"
 	"bgqflow/internal/torus"
 )
 
@@ -18,6 +19,7 @@ type Network struct {
 	capacity []float64
 	failed   []bool
 	names    map[int]string // extra-link names for diagnostics
+	routes   *routing.Cache
 }
 
 // NewNetwork builds the link table for torus t with per-direction torus
@@ -27,6 +29,7 @@ func NewNetwork(t *torus.Torus, linkBandwidth float64) *Network {
 		t:        t,
 		capacity: make([]float64, t.NumTorusLinks()),
 		names:    make(map[int]string),
+		routes:   routing.NewCache(t),
 	}
 	for i := range n.capacity {
 		n.capacity[i] = linkBandwidth
@@ -59,14 +62,28 @@ func (n *Network) AddLink(name string, capacity float64) int {
 // Capacity returns the capacity of link id in bytes/second.
 func (n *Network) Capacity(id int) float64 { return n.capacity[id] }
 
+// Route returns the default deterministic route between two torus nodes,
+// served from the network's route cache while the network is failure-free.
+// The returned Route shares a cached Links slice; treat it as read-only.
+func (n *Network) Route(src, dst torus.NodeID) routing.Route {
+	return n.routes.Route(src, dst)
+}
+
+// RouteCache exposes the network's route cache for instrumentation.
+func (n *Network) RouteCache() *routing.Cache { return n.routes }
+
 // FailLink marks a link failed. Flows submitted over failed links are
 // rejected (fail-stop): fault handling belongs to the planning layer,
-// which routes around failures with routing.RouteAvoiding.
+// which routes around failures with routing.RouteAvoiding. The route
+// cache is purged and disabled (see DESIGN.md §8): after a failure no
+// memoized path may be served, so every subsequent default-route lookup
+// recomputes and the fail-stop check in Engine.Submit sees current state.
 func (n *Network) FailLink(id int) {
 	if n.failed == nil {
 		n.failed = make([]bool, len(n.capacity))
 	}
 	n.failed[id] = true
+	n.routes.Disable()
 }
 
 // LinkFailed reports whether a link is marked failed.

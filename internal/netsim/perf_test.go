@@ -1,0 +1,163 @@
+package netsim
+
+import (
+	"testing"
+
+	"bgqflow/internal/routing"
+	"bgqflow/internal/torus"
+)
+
+// drain steps the interactive clock until no events remain.
+func drain(e *Engine) {
+	for e.StepClock() {
+	}
+}
+
+// BenchmarkEngineSubmitRelease measures the steady-state cost of pushing
+// one flow through its whole lifecycle (submit, release, activate,
+// transfer, finish) on a warm engine: cached route, arena-backed flow
+// struct, freelisted clock events, reused waterfill scratch.
+func BenchmarkEngineSubmitRelease(b *testing.B) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	p := DefaultParams()
+	e, err := NewEngine(NewNetwork(tor, p.LinkBandwidth), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.BeginInteractive()
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	// Warm caches, scratch, and the event freelist.
+	e.Reserve(64 + b.N)
+	for i := 0; i < 64; i++ {
+		e.Submit(FlowSpec{Src: src, Dst: dst, Bytes: 1 << 20})
+		drain(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Submit(FlowSpec{Src: src, Dst: dst, Bytes: 1 << 20})
+		drain(e)
+	}
+}
+
+// TestSubmitReleaseZeroAlloc is the allocation regression guard for the
+// engine hot path: once routes are cached and capacity is reserved,
+// driving a flow from Submit to completion must not allocate at all.
+func TestSubmitReleaseZeroAlloc(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	p := DefaultParams()
+	e, err := NewEngine(NewNetwork(tor, p.LinkBandwidth), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.BeginInteractive()
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	const runs = 100
+	e.Reserve(64 + runs + 8)
+	for i := 0; i < 64; i++ {
+		e.Submit(FlowSpec{Src: src, Dst: dst, Bytes: 1 << 20})
+		drain(e)
+	}
+	avg := testing.AllocsPerRun(runs, func() {
+		e.Submit(FlowSpec{Src: src, Dst: dst, Bytes: 1 << 20})
+		drain(e)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Submit/release allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestFailLinkPurgesRouteCache covers the route cache's invalidation rule
+// (DESIGN.md §8): once a link fails, no memoized route may be served —
+// the cache is purged and disabled, the engine's fail-stop check still
+// fires on default routes over the dead link, and the planning layer's
+// fault-aware routes still submit cleanly.
+func TestFailLinkPurgesRouteCache(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	p := DefaultParams()
+	net := NewNetwork(tor, p.LinkBandwidth)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	// Warm the cache through both entry points.
+	def := net.Route(src, dst)
+	if net.RouteCache().Len() == 0 {
+		t.Fatal("route cache not populated")
+	}
+	if !net.RouteCache().Enabled() {
+		t.Fatal("route cache should start enabled")
+	}
+
+	net.FailLink(def.Links[0])
+
+	if net.RouteCache().Enabled() {
+		t.Fatal("FailLink left the route cache enabled")
+	}
+	if net.RouteCache().Len() != 0 {
+		t.Fatalf("FailLink left %d cached routes behind", net.RouteCache().Len())
+	}
+
+	// Default-route submission over the failed link must still fail stop.
+	e, err := NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Submit over failed link did not panic")
+			}
+		}()
+		e.Submit(FlowSpec{Src: src, Dst: dst, Bytes: 1 << 20})
+	}()
+
+	// The fault-aware planning path still works and is never cached.
+	r, err := routing.RouteAvoiding(tor, src, dst, net.FailedFunc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Submit(FlowSpec{Src: src, Dst: dst, Bytes: 1 << 20, Links: r.Links})
+	if _, err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.RouteCache().Len() != 0 {
+		t.Fatal("disabled cache accumulated routes")
+	}
+}
+
+// TestRouteCacheSharedAcrossEngines checks that successive engines over
+// one network reuse the same memoized routes (the per-run reuse the
+// experiment rigs rely on) and that cached and fresh routes agree.
+func TestRouteCacheSharedAcrossEngines(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	p := DefaultParams()
+	net := NewNetwork(tor, p.LinkBandwidth)
+	src, dst := torus.NodeID(1), torus.NodeID(100)
+	for i := 0; i < 3; i++ {
+		e, err := NewEngine(net, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := e.Submit(FlowSpec{Src: src, Dst: dst, Bytes: 4 << 10})
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := routing.DeterministicRoute(tor, src, dst).Links
+		got := e.FlowRouteLinks(id)
+		if len(got) != len(want) {
+			t.Fatalf("engine %d: %d hops, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("engine %d: cached route differs at hop %d", i, j)
+			}
+		}
+	}
+	hits, _ := net.RouteCache().Stats()
+	if hits < 2 {
+		t.Fatalf("route cache hits = %d, want >= 2 (reuse across engines)", hits)
+	}
+}

@@ -1,0 +1,155 @@
+package routing
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bgqflow/internal/torus"
+)
+
+// cacheKey identifies one cached route: endpoints plus the packed
+// dimension order the route was computed under.
+type cacheKey struct {
+	src, dst torus.NodeID
+	order    uint32
+}
+
+// packOrder encodes a dimension order into a uint32, 4 bits per
+// dimension (1-based so the zero value never collides with a real
+// order). It reports false when the order does not fit (more than 8
+// dimensions), in which case callers skip the cache.
+func packOrder(order []int) (uint32, bool) {
+	if len(order) > 8 {
+		return 0, false
+	}
+	var sig uint32
+	for i, d := range order {
+		sig |= uint32(d+1) << (4 * i)
+	}
+	return sig, true
+}
+
+// Cache memoizes dimension-ordered routes on one torus. Deterministic
+// routes are pure functions of (src, dst, dimension order) on a fixed
+// topology, and the flow simulator asks for the same routes once per
+// flow — across collective I/O rounds, proxy legs, and repeated
+// engine runs over one network — so memoizing them removes the route
+// walk and its allocation from the per-flow hot path.
+//
+// Cached routes share one exactly-sized Links slice per entry: callers
+// must treat Route.Links as read-only. Appending to it is safe (the
+// slice has no spare capacity, so append always copies), which is how
+// ionet extends bridge routes with the 11th link.
+//
+// A Cache is safe for concurrent use. Fault handling: topology changes
+// (failed links) do not change what DeterministicRoute returns, but a
+// layer that plans around failures must not be handed memoized paths
+// either — see Disable, which netsim.Network.FailLink invokes (DESIGN.md
+// §8 documents the invalidation rule).
+type Cache struct {
+	t        *torus.Torus
+	defOrder []int
+	defSig   uint32
+
+	mu       sync.RWMutex
+	routes   map[cacheKey][]int
+	disabled bool
+
+	hits, misses atomic.Uint64
+}
+
+// NewCache returns an empty route cache for torus t.
+func NewCache(t *torus.Torus) *Cache {
+	defOrder := t.DimsByExtentDesc()
+	sig, _ := packOrder(defOrder)
+	return &Cache{
+		t:        t,
+		defOrder: defOrder,
+		defSig:   sig,
+		routes:   make(map[cacheKey][]int),
+	}
+}
+
+// Torus reports the torus the cache routes on.
+func (c *Cache) Torus() *torus.Torus { return c.t }
+
+// Route returns the default deterministic route (longest-to-shortest
+// dimension order) from src to dst, served from the cache when possible.
+func (c *Cache) Route(src, dst torus.NodeID) Route {
+	return c.route(src, dst, c.defOrder, c.defSig)
+}
+
+// RouteWithOrder returns the dimension-ordered route from src to dst
+// visiting dimensions in dimOrder, served from the cache when possible.
+func (c *Cache) RouteWithOrder(src, dst torus.NodeID, dimOrder []int) Route {
+	sig, ok := packOrder(dimOrder)
+	if !ok {
+		return RouteWithOrder(c.t, src, dst, dimOrder)
+	}
+	return c.route(src, dst, dimOrder, sig)
+}
+
+func (c *Cache) route(src, dst torus.NodeID, order []int, sig uint32) Route {
+	key := cacheKey{src, dst, sig}
+	c.mu.RLock()
+	disabled := c.disabled
+	links, ok := c.routes[key]
+	c.mu.RUnlock()
+	if disabled {
+		return RouteWithOrder(c.t, src, dst, order)
+	}
+	if ok {
+		c.hits.Add(1)
+		return Route{Src: src, Dst: dst, Links: links}
+	}
+	c.misses.Add(1)
+	r := RouteWithOrder(c.t, src, dst, order)
+	// Store an exactly-sized copy so callers appending to Links always
+	// reallocate instead of scribbling over the cached slice.
+	links = make([]int, len(r.Links))
+	copy(links, r.Links)
+	c.mu.Lock()
+	if !c.disabled {
+		c.routes[key] = links
+	}
+	c.mu.Unlock()
+	return Route{Src: src, Dst: dst, Links: links}
+}
+
+// Purge drops every cached route but keeps the cache active.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	c.routes = make(map[cacheKey][]int)
+	c.mu.Unlock()
+}
+
+// Disable purges the cache and makes every subsequent lookup compute a
+// fresh route without storing it. The network layer calls this when a
+// link fails: from then on route requests must go through the planning
+// layer's fault-aware paths, never a memoized one.
+func (c *Cache) Disable() {
+	c.mu.Lock()
+	c.disabled = true
+	c.routes = make(map[cacheKey][]int)
+	c.mu.Unlock()
+}
+
+// Enabled reports whether lookups are served from the cache.
+func (c *Cache) Enabled() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return !c.disabled
+}
+
+// Len reports the number of cached routes.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.routes)
+}
+
+// Stats reports cache hits and misses since construction. Lookups made
+// while the cache is disabled count as neither.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

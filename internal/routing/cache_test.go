@@ -1,0 +1,160 @@
+package routing
+
+import (
+	"testing"
+
+	"bgqflow/internal/torus"
+)
+
+func TestCacheMatchesUncachedRoutes(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	c := NewCache(tor)
+	for src := torus.NodeID(0); src < 16; src++ {
+		for _, dst := range []torus.NodeID{0, 1, 63, torus.NodeID(tor.Size() - 1)} {
+			want := DeterministicRoute(tor, src, dst)
+			for pass := 0; pass < 2; pass++ { // miss then hit
+				got := c.Route(src, dst)
+				if len(got.Links) != len(want.Links) {
+					t.Fatalf("cache route %d->%d has %d hops, want %d", src, dst, len(got.Links), len(want.Links))
+				}
+				for i := range want.Links {
+					if got.Links[i] != want.Links[i] {
+						t.Fatalf("cache route %d->%d diverges at hop %d", src, dst, i)
+					}
+				}
+			}
+		}
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats hits=%d misses=%d, want both nonzero", hits, misses)
+	}
+}
+
+func TestCacheRouteWithOrder(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 3, 4})
+	c := NewCache(tor)
+	order := []int{0, 1, 2}
+	want := RouteWithOrder(tor, 0, 23, order)
+	got := c.RouteWithOrder(0, 23, order)
+	gotAgain := c.RouteWithOrder(0, 23, order)
+	for i := range want.Links {
+		if got.Links[i] != want.Links[i] || gotAgain.Links[i] != want.Links[i] {
+			t.Fatalf("ordered cache route diverges at hop %d", i)
+		}
+	}
+	// Distinct orders are distinct entries.
+	other := c.RouteWithOrder(0, 23, []int{2, 1, 0})
+	if len(other.Links) != len(want.Links) {
+		t.Fatalf("minimal routes must have equal hop count: %d vs %d", len(other.Links), len(want.Links))
+	}
+	if c.Len() < 2 {
+		t.Fatalf("cache holds %d entries, want >= 2 (one per order)", c.Len())
+	}
+}
+
+func TestCacheLinksHaveNoSpareCapacity(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	c := NewCache(tor)
+	r := c.Route(0, torus.NodeID(tor.Size()-1))
+	if cap(r.Links) != len(r.Links) {
+		t.Fatalf("cached Links cap %d != len %d; append would corrupt the cache", cap(r.Links), len(r.Links))
+	}
+	// Appending (as ionet does for the 11th link) must not change the
+	// cached entry.
+	_ = append(r.Links, -1)
+	again := c.Route(0, torus.NodeID(tor.Size()-1))
+	for _, l := range again.Links {
+		if l == -1 {
+			t.Fatal("append to a returned route corrupted the cache")
+		}
+	}
+}
+
+func TestCachePurgeAndDisable(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	c := NewCache(tor)
+	c.Route(0, 5)
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatal("purge left entries behind")
+	}
+	if !c.Enabled() {
+		t.Fatal("purge must keep the cache enabled")
+	}
+	c.Route(0, 5)
+	c.Disable()
+	if c.Len() != 0 || c.Enabled() {
+		t.Fatal("disable must purge and deactivate")
+	}
+	// Lookups still work, bypassing the cache.
+	want := DeterministicRoute(tor, 0, 5)
+	got := c.Route(0, 5)
+	for i := range want.Links {
+		if got.Links[i] != want.Links[i] {
+			t.Fatal("disabled cache returned a wrong route")
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored a route")
+	}
+}
+
+func TestCacheConcurrentReaders(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{4, 4, 4, 4, 2})
+	c := NewCache(tor)
+	done := make(chan bool)
+	for w := 0; w < 4; w++ {
+		go func(seed int) {
+			defer func() { done <- true }()
+			for i := 0; i < 200; i++ {
+				src := torus.NodeID((seed*37 + i) % tor.Size())
+				dst := torus.NodeID((seed*91 + i*13) % tor.Size())
+				r := c.Route(src, dst)
+				want := tor.HopDistance(src, dst)
+				if len(r.Links) != want {
+					t.Errorf("route %d->%d has %d hops, want %d", src, dst, len(r.Links), want)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
+
+// BenchmarkRouteCacheHitMiss quantifies the route cache against the raw
+// route walk: "miss" includes the computation plus insertion, "hit" is
+// the steady-state per-flow cost inside Engine.Submit.
+func BenchmarkRouteCacheHitMiss(b *testing.B) {
+	tor := torus.MustNew(torus.Shape{4, 4, 4, 16, 2})
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = DeterministicRoute(tor, src, dst)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		c := NewCache(tor)
+		for i := 0; i < b.N; i++ {
+			s := torus.NodeID(i % tor.Size())
+			c.Purge()
+			_ = c.Route(s, dst)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		c := NewCache(tor)
+		c.Route(src, dst)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = c.Route(src, dst)
+		}
+	})
+}

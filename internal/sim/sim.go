@@ -35,17 +35,36 @@ func (d Duration) Seconds() float64 { return float64(d) }
 // it can schedule follow-up events.
 type Handler func(*Engine)
 
+// Callback is the allocation-free alternative to Handler: a single
+// long-lived receiver implements OnEvent and the per-event state travels
+// in arg (a pointer fits in an interface without heap allocation). Hot
+// schedulers (netsim's per-flow timers) use AtCall/AfterCall with a
+// Callback so steady-state event scheduling allocates nothing.
+type Callback interface {
+	OnEvent(e *Engine, arg any)
+}
+
 type event struct {
 	at  Time
 	seq uint64 // tie-break: FIFO among same-time events
 	fn  Handler
+	cb  Callback
+	arg any
+	// gen increments every time the event struct is recycled through the
+	// engine's freelist, so a stale EventID cannot cancel the event's
+	// next incarnation.
+	gen uint64
 	// index within the heap, maintained by the heap interface; -1 when
 	// the event has been removed (cancelled or fired).
 	index int
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// value is valid and never cancels anything.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 type eventQueue []*event
 
@@ -81,6 +100,7 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	queue   eventQueue
+	free    []*event // recycled event structs
 	nextSeq uint64
 	fired   uint64
 	running bool
@@ -110,13 +130,40 @@ var ErrPastEvent = errors.New("sim: event scheduled in the past")
 // past panics: virtual time is monotone and such a bug must not pass
 // silently.
 func (e *Engine) At(t Time, fn Handler) EventID {
+	return e.schedule(t, fn, nil, nil)
+}
+
+// AtCall schedules cb.OnEvent(e, arg) at absolute time t. Unlike At it
+// captures no closure: with a long-lived cb and a pointer-typed arg the
+// call allocates nothing once the engine's event freelist is warm.
+func (e *Engine) AtCall(t Time, cb Callback, arg any) EventID {
+	return e.schedule(t, nil, cb, arg)
+}
+
+func (e *Engine) schedule(t Time, fn Handler, cb Callback, arg any) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("%v: at=%g now=%g", ErrPastEvent, float64(t), float64(e.now)))
 	}
-	ev := &event{at: t, seq: e.nextSeq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.cb, ev.arg = t, e.nextSeq, fn, cb, arg
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
-	return EventID{ev: ev}
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// recycle returns a popped or cancelled event to the freelist. Bumping gen
+// invalidates every EventID issued for the finished incarnation.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.cb, ev.arg = nil, nil, nil
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn to run d seconds from now. Negative durations are
@@ -128,14 +175,24 @@ func (e *Engine) After(d Duration, fn Handler) EventID {
 	return e.At(e.now+Time(d), fn)
 }
 
+// AfterCall is AtCall relative to the current time; see AtCall for the
+// allocation contract.
+func (e *Engine) AfterCall(d Duration, cb Callback, arg any) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtCall(e.now+Time(d), cb, arg)
+}
+
 // Cancel removes a scheduled event. It reports whether the event was still
 // pending (false if it already fired or was cancelled earlier).
 func (e *Engine) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.index < 0 {
+	if id.ev == nil || id.ev.gen != id.gen || id.ev.index < 0 {
 		return false
 	}
 	heap.Remove(&e.queue, id.ev.index)
 	id.ev.index = -1
+	e.recycle(id.ev)
 	return true
 }
 
@@ -170,12 +227,24 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		heap.Pop(&e.queue)
 		e.now = next.at
 		e.fired++
-		next.fn(e)
+		e.fire(next)
 	}
 	if deadline != Forever && e.now < deadline && len(e.queue) == 0 {
 		e.now = deadline
 	}
 	return e.now
+}
+
+// fire recycles the popped event before invoking its callback, so the
+// handler can immediately reuse the struct for follow-up events.
+func (e *Engine) fire(ev *event) {
+	fn, cb, arg := ev.fn, ev.cb, ev.arg
+	e.recycle(ev)
+	if cb != nil {
+		cb.OnEvent(e, arg)
+		return
+	}
+	fn(e)
 }
 
 // Step fires exactly one event if any is pending and reports whether one
@@ -187,6 +256,6 @@ func (e *Engine) Step() bool {
 	next := heap.Pop(&e.queue).(*event)
 	e.now = next.at
 	e.fired++
-	next.fn(e)
+	e.fire(next)
 	return true
 }

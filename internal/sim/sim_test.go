@@ -291,3 +291,82 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+type recordCB struct {
+	got []any
+	at  []Time
+}
+
+func (r *recordCB) OnEvent(e *Engine, arg any) {
+	r.got = append(r.got, arg)
+	r.at = append(r.at, e.Now())
+}
+
+func TestAfterCallDeliversArg(t *testing.T) {
+	e := NewEngine()
+	cb := &recordCB{}
+	x, y := new(int), new(int)
+	e.AfterCall(2, cb, x)
+	e.AtCall(1, cb, y)
+	e.Run()
+	if len(cb.got) != 2 || cb.got[0] != y || cb.got[1] != x {
+		t.Fatalf("callback args out of order: %v", cb.got)
+	}
+	if cb.at[0] != 1 || cb.at[1] != 2 {
+		t.Fatalf("callback times = %v, want [1 2]", cb.at)
+	}
+}
+
+func TestStaleEventIDCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	cb := &recordCB{}
+	id := e.AfterCall(1, cb, nil)
+	e.Run()
+	// The fired event's struct is recycled; the next scheduled event may
+	// reuse it. The stale ID must not cancel the new event.
+	e.AfterCall(1, cb, nil)
+	if e.Cancel(id) {
+		t.Fatal("stale EventID cancelled a recycled event")
+	}
+	e.Run()
+	if len(cb.got) != 2 {
+		t.Fatalf("fired %d events, want 2", len(cb.got))
+	}
+}
+
+func TestCancelledEventIsRecycled(t *testing.T) {
+	e := NewEngine()
+	cb := &recordCB{}
+	id := e.AfterCall(5, cb, nil)
+	if !e.Cancel(id) {
+		t.Fatal("cancel failed")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double cancel succeeded")
+	}
+	e.AfterCall(1, cb, nil)
+	e.Run()
+	if len(cb.got) != 1 {
+		t.Fatalf("fired %d events, want 1", len(cb.got))
+	}
+}
+
+func TestAfterCallSteadyStateAllocationFree(t *testing.T) {
+	e := NewEngine()
+	cb := &recordCB{}
+	arg := new(int)
+	// Warm the freelist and the heap's capacity.
+	for i := 0; i < 64; i++ {
+		e.AfterCall(1, cb, arg)
+	}
+	e.Run()
+	cb.got, cb.at = cb.got[:0], cb.at[:0]
+	avg := testing.AllocsPerRun(200, func() {
+		e.AfterCall(1, cb, arg)
+		e.Run()
+		cb.got, cb.at = cb.got[:0], cb.at[:0]
+	})
+	if avg != 0 {
+		t.Fatalf("AfterCall+Run allocates %.1f objects/op, want 0", avg)
+	}
+}
