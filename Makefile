@@ -9,10 +9,11 @@ test:
 	$(GO) test ./...
 
 # Tier-1 verification: full build + tests, plus the race detector over
-# the two packages that run worker pools (see ROADMAP.md).
+# the packages that run worker pools or schedule failure events
+# (see ROADMAP.md).
 verify: build
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments ./internal/netsim
+	$(GO) test -race ./internal/experiments ./internal/netsim ./internal/faultinject
 
 # Fast smoke run of every figure.
 quick:

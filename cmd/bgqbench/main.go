@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bgqbench [-run fig5|fig6|fig7|fig8|fig9|fig10|fig11|ablations|all] [-quick]
+//	bgqbench [-run fig5|fig6|fig7|fig8|fig9|fig10|fig11|r1|ablations|all] [-quick]
 //	         [-parallel N] [-json out.json] [-compare prev.json]
 //	         [-cpuprofile f] [-memprofile f] [-trace f]
 //
@@ -55,7 +55,8 @@ type report struct {
 }
 
 func main() {
-	run := flag.String("run", "all", "which experiment to run: fig5..fig11, ablations, extensions, or all")
+	run := flag.String("run", "all", "which experiment to run: fig5..fig11, r1, ablations, extensions, or all")
+	mode := flag.String("mode", "", "alias for -run (e.g. -mode r1)")
 	quick := flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 	parallel := flag.Int("parallel", 0, "sweep-point workers; 0 = one per CPU, 1 = sequential (same results either way)")
 	jsonOut := flag.String("json", "", "write a machine-readable run report to this file")
@@ -92,6 +93,9 @@ func main() {
 		defer trace.Stop()
 	}
 
+	if *mode != "" {
+		run = mode
+	}
 	selected := strings.Split(*run, ",")
 	want := func(name string) bool {
 		for _, s := range selected {
@@ -113,6 +117,7 @@ func main() {
 		{"fig9", printFig9},
 		{"fig10", printFig10},
 		{"fig11", printFig11},
+		{"r1", printR1},
 		{"ablations", printAblations},
 		{"extensions", printExtensions},
 	}
@@ -343,6 +348,30 @@ func printFig11(w io.Writer, opt experiments.Options) error {
 		fmt.Fprintf(w, "  burst at %d cores: %.1f GB\n", res.Ours.Points[i].Cores, gb)
 	}
 	return nil
+}
+
+func printR1(w io.Writer, opt experiments.Options) error {
+	res, err := experiments.R1(opt)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title: fmt.Sprintf("R1: resilience under targeted link failures, %s transfer in %v (seed %d)",
+			stats.HumanBytes(res.Bytes), res.Shape, res.Seed),
+		Headers: []string{"failed links",
+			"direct done", "direct (GB/s)",
+			"proxy done", "proxy (GB/s)",
+			"recovery done", "recovery (GB/s)", "replans"},
+	}
+	pct := func(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+	for _, pt := range res.Points {
+		t.AddRow(fmt.Sprint(pt.FailedLinks),
+			pct(pt.Direct.DeliveredFrac), fmt.Sprintf("%.3f", pt.Direct.GBps),
+			pct(pt.ProxyNoRec.DeliveredFrac), fmt.Sprintf("%.3f", pt.ProxyNoRec.GBps),
+			pct(pt.ProxyRec.DeliveredFrac), fmt.Sprintf("%.3f", pt.ProxyRec.GBps),
+			fmt.Sprint(pt.ProxyRec.Replans))
+	}
+	return t.Write(w)
 }
 
 func printAblations(w io.Writer, opt experiments.Options) error {

@@ -6,6 +6,7 @@ import (
 	"bgqflow/internal/ionet"
 	"bgqflow/internal/mpisim"
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/routing"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/torus"
 )
@@ -198,6 +199,22 @@ func (a *AggPlanner) PlanWithSink(e *netsim.Engine, data []int64, sink ionet.Sin
 		return plan, nil
 	}
 	perPset, aggs := a.AggregatorsFor(total)
+	// Degraded-pset operation: drop aggregators sitting on failed nodes
+	// (their flows could never land) and route gather legs around failed
+	// links below.
+	net := e.Network()
+	if net.HasFailures() {
+		live := aggs[:0]
+		for _, ag := range aggs {
+			if !net.NodeFailed(ag.Node) {
+				live = append(live, ag)
+			}
+		}
+		if len(live) == 0 {
+			return plan, fmt.Errorf("core: every selected aggregator is on a failed node")
+		}
+		aggs = live
+	}
 	plan.AggPerPset = perPset
 	plan.NumAggregators = len(aggs)
 
@@ -217,8 +234,16 @@ func (a *AggPlanner) PlanWithSink(e *netsim.Engine, data []int64, sink ionet.Sin
 		agg := aggs[next%len(aggs)]
 		next++
 		src := torus.NodeID(node)
-		l1 := e.Submit(netsim.FlowSpec{Src: src, Dst: agg.Node, Bytes: bytes,
-			Label: fmt.Sprintf("n%d->agg%d", node, agg.Node)})
+		gather := netsim.FlowSpec{Src: src, Dst: agg.Node, Bytes: bytes,
+			Label: fmt.Sprintf("n%d->agg%d", node, agg.Node)}
+		if net.HasFailures() && src != agg.Node {
+			// Prefer a fault-avoiding gather route; fall back to the
+			// default and let the engine's fail-stop check flag the gap.
+			if r, rerr := routing.RouteAvoiding(a.job.Torus(), src, agg.Node, net.FailedFunc()); rerr == nil {
+				gather.Links = r.Links
+			}
+		}
+		l1 := e.Submit(gather)
 		fabric, conts := sink.WriteFlows(agg.Node, agg.Pset, agg.Bridge, offset[node], bytes)
 		fabric.DependsOn = []netsim.FlowID{l1}
 		fabric.Label = fmt.Sprintf("agg%d->ion%d", agg.Node, agg.Pset)

@@ -151,6 +151,50 @@ func TestAggPlanDeliversAllBytes(t *testing.T) {
 	}
 }
 
+// TestAggPlanDrainsThroughDegradedPset is the bridge-failover acceptance
+// test: after a physical bridge-node failure plus ionet failover, the
+// Algorithm 2 aggregation still delivers every byte of the burst through
+// the pset's surviving bridge.
+func TestAggPlanDrainsThroughDegradedPset(t *testing.T) {
+	r := newAggRig(t, torus.Shape{2, 2, 4, 4, 2}, 16)
+	dead := r.ios.Pset(0).Bridges[0]
+	r.net.FailNode(dead)
+	if wasBridge, err := r.ios.HandleNodeFailure(dead); !wasBridge || err != nil {
+		t.Fatalf("failover = (%v, %v)", wasBridge, err)
+	}
+	a, _ := NewAggPlanner(r.ios, r.job, r.p, DefaultAggConfig())
+	e := r.engine(t)
+	// Zero out data held by ranks on the dead node; its memory is gone.
+	data := workload.Uniform(r.job.NumRanks(), 1<<20, 3)
+	for rk := 0; rk < r.job.NumRanks(); rk++ {
+		if r.job.NodeOf(rk) == dead {
+			data[rk] = 0
+		}
+	}
+	plan, err := a.Plan(e, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var arrived int64
+	for _, id := range plan.Final {
+		arrived += e.Result(id).Bytes
+	}
+	if arrived != plan.TotalBytes {
+		t.Fatalf("degraded pset delivered %d of %d", arrived, plan.TotalBytes)
+	}
+	done, aborted := e.Outcomes()
+	if aborted != 0 {
+		t.Fatalf("%d flows aborted in a failed-over plan (%d done)", aborted, done)
+	}
+	surviving := r.ios.Pset(0).Uplink(1)
+	if e.LinkBytes()[surviving] == 0 {
+		t.Fatal("no bytes drained over the surviving uplink")
+	}
+}
+
 func TestAggPlanEmptyBurst(t *testing.T) {
 	r := newAggRig(t, torus.Shape{2, 2, 4, 4, 2}, 16)
 	a, _ := NewAggPlanner(r.ios, r.job, r.p, DefaultAggConfig())

@@ -128,6 +128,59 @@ func TestProxiedTransferSurvivesFailures(t *testing.T) {
 	}
 }
 
+// TestNoRouteTraversesFailedNode is the node-failure property test: after
+// FailNode, no fault-avoiding route — direct fallback or proxy leg — may
+// touch the dead node or any failed link, across a spread of endpoint
+// pairs. (Default routes are failure-blind by design; the submit layer
+// fail-stops them, which TestUnawarePlannerTripsOnFailedLink pins.)
+func TestNoRouteTraversesFailedNode(t *testing.T) {
+	tor := mira128()
+	p := netsim.DefaultParams()
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	dead := torus.NodeID(37)
+	net.FailNode(dead)
+
+	nodeOnRoute := func(links []int) bool {
+		for _, l := range links {
+			from, _, _ := tor.LinkFrom(l)
+			if from == dead {
+				return true
+			}
+			if net.LinkFailed(l) {
+				return true
+			}
+		}
+		return false
+	}
+
+	pl, _ := NewPairPlanner(tor, DefaultProxyConfig())
+	pl.SetFaults(net.FailedFunc())
+	for _, src := range []torus.NodeID{0, 3, 50, 101} {
+		for _, dst := range []torus.NodeID{1, 64, 90, torus.NodeID(tor.Size() - 1)} {
+			if src == dst || src == dead || dst == dead {
+				continue
+			}
+			r, err := routing.RouteAvoiding(tor, src, dst, net.FailedFunc())
+			if err != nil {
+				// A minimal dimension-ordered detour may not exist for
+				// every pair; that is the planner's cue to go proxied.
+				continue
+			}
+			if nodeOnRoute(r.Links) {
+				t.Fatalf("avoiding route %d->%d traverses the failed node", src, dst)
+			}
+			for _, pr := range pl.SelectProxies(src, dst) {
+				if pr.Proxy == dead {
+					t.Fatalf("selection %d->%d picked the failed node as proxy", src, dst)
+				}
+				if nodeOnRoute(pr.Leg1.Links) || nodeOnRoute(pr.Leg2.Links) {
+					t.Fatalf("proxy leg %d->%d traverses the failed node", src, dst)
+				}
+			}
+		}
+	}
+}
+
 func TestDirectPlanErrorsWhenCut(t *testing.T) {
 	// 1-D ring: fail both directions out of the source; no route exists.
 	tor := torus.MustNew(torus.Shape{8})

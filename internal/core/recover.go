@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/routing"
+	"bgqflow/internal/sim"
+	"bgqflow/internal/torus"
+)
+
+// RecoveryConfig tunes the resilient transfer loop (MoveResilient).
+type RecoveryConfig struct {
+	// MaxReplans bounds the recovery waves after the first attempt; past
+	// it the transfer gives up with the bytes delivered so far.
+	MaxReplans int
+
+	// DetectFactor scales the Eq. 1-5 predicted transfer time into the
+	// detection timeout: a lost piece is noticed DetectFactor x predicted
+	// after the wave started. This is the simulated cost of discovering a
+	// failure end to end rather than by oracle.
+	DetectFactor float64
+
+	// Backoff is the extra wait before the first replan; it doubles on
+	// every subsequent wave (bounded exponential backoff, in simulated
+	// time).
+	Backoff sim.Duration
+}
+
+// DefaultRecoveryConfig returns the operating point used by the R1
+// resilience experiment.
+func DefaultRecoveryConfig() RecoveryConfig {
+	return RecoveryConfig{MaxReplans: 8, DetectFactor: 1.5, Backoff: 100e-6}
+}
+
+func (c RecoveryConfig) validate() error {
+	if c.MaxReplans < 0 {
+		return fmt.Errorf("core: negative MaxReplans")
+	}
+	if c.DetectFactor < 1 {
+		return fmt.Errorf("core: DetectFactor %g must be >= 1 (detection cannot precede completion)", c.DetectFactor)
+	}
+	if c.Backoff < 0 {
+		return fmt.Errorf("core: negative Backoff")
+	}
+	return nil
+}
+
+// TransferReport is the outcome of one resilient transfer: what moved,
+// what it cost, and how far the degradation ladder was descended.
+type TransferReport struct {
+	Bytes     int64 // requested
+	Delivered int64 // bytes that reached the destination
+	Complete  bool  // Delivered == Bytes
+
+	Attempts      int   // waves submitted (first attempt + replans)
+	Replans       int   // waves after a detected loss
+	BytesRerouted int64 // bytes resubmitted by recovery waves
+
+	// Degraded reports that recovery had to descend the proxy ladder
+	// (k -> k-1 -> ... -> direct) below the first wave's proxy count.
+	Degraded  bool
+	FinalMode TransferMode // mode of the last wave that moved bytes
+
+	// Makespan is the virtual time at which the last delivered byte
+	// landed, measured from time zero; it includes detection timeouts and
+	// backoff spent between waves.
+	Makespan sim.Duration
+}
+
+// MoveResilient moves bytes from src to dst on an interactive engine,
+// surviving failures that arrive mid-transfer: it plans against the
+// network's live failure state, drives the clock until every piece either
+// lands or aborts, charges a detection timeout (Eq. 1-5 predicted time x
+// DetectFactor) plus doubling backoff in simulated time for every loss,
+// replans the lost bytes with fault-avoiding proxy selection, and
+// degrades k -> k-1 -> ... -> direct as the torus loses disjoint paths.
+// The engine must be in interactive mode (BeginInteractive), since
+// recovery needs to interleave planning with the virtual clock.
+func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes int64, rc RecoveryConfig) (TransferReport, error) {
+	rep := TransferReport{Bytes: bytes, FinalMode: Direct}
+	if err := rc.validate(); err != nil {
+		return rep, err
+	}
+	if bytes < 0 {
+		return rep, fmt.Errorf("core: negative transfer size %d", bytes)
+	}
+	if int(src) < 0 || int(src) >= t.tor.Size() || int(dst) < 0 || int(dst) >= t.tor.Size() {
+		return rep, fmt.Errorf("core: endpoints (%d,%d) outside partition", src, dst)
+	}
+	if !e.Interactive() {
+		return rep, fmt.Errorf("core: MoveResilient requires an interactive engine (call BeginInteractive)")
+	}
+	if bytes == 0 || src == dst {
+		rep.Complete = true
+		return rep, nil
+	}
+
+	net := e.Network()
+	faults := net.FailedFunc()
+	maxK := t.cfg.maxProxies(t.tor.Dims())
+	backoff := rc.Backoff
+	remaining := bytes
+	firstWaveProxies := -1
+
+	for {
+		// Plan this wave against the live failure state. The degradation
+		// ladder caps the proxy count at maxK, which drops by one after
+		// every lossy wave until only the direct path is left.
+		var proxies []ProxyRoute
+		if maxK >= t.cfg.MinProxies && remaining >= t.waveThreshold(src, dst, maxK) {
+			proxies = selectProxiesAvoiding(t.tor, src, dst, t.cfg, nil, faults)
+			if len(proxies) > maxK {
+				proxies = proxies[:maxK]
+			}
+			if len(proxies) < t.cfg.MinProxies {
+				proxies = nil
+			}
+		}
+		if firstWaveProxies < 0 {
+			firstWaveProxies = len(proxies)
+		} else if len(proxies) < firstWaveProxies {
+			rep.Degraded = true
+		}
+
+		waveStart := e.Now()
+		var finals []netsim.FlowID
+		finalBytes := make(map[netsim.FlowID]int64)
+		var predicted sim.Duration
+		if len(proxies) > 0 {
+			rep.FinalMode = Proxied
+			pieces := splitBytes(remaining, len(proxies))
+			h1, h2 := 0, 0
+			for i, pr := range proxies {
+				_, fin := submitLegPair(e, t.cfg, pr, pieces[i], fmt.Sprintf("resilient/wave%d/proxy%d", rep.Attempts, i))
+				for _, id := range fin {
+					finals = append(finals, id)
+					finalBytes[id] = pieces[i]
+				}
+				h1 += pr.Leg1.Hops()
+				h2 += pr.Leg2.Hops()
+			}
+			predicted = t.model.ProxyTime(remaining, len(proxies), h1/len(proxies), h2/len(proxies))
+		} else {
+			rep.FinalMode = Direct
+			r, err := routing.RouteAvoiding(t.tor, src, dst, faults)
+			if err != nil {
+				rep.Delivered = bytes - remaining
+				return rep, fmt.Errorf("core: resilient transfer cut off after %d bytes: %w", rep.Delivered, err)
+			}
+			id := e.Submit(netsim.FlowSpec{
+				Src: src, Dst: dst, Bytes: remaining, Links: r.Links,
+				Label: fmt.Sprintf("resilient/wave%d/direct", rep.Attempts),
+			})
+			finals = append(finals, id)
+			finalBytes[id] = remaining
+			predicted = t.model.DirectTime(remaining, len(r.Links))
+		}
+		rep.Attempts++
+
+		// Drive the clock until every final of this wave resolves. Aborts
+		// fire at the failure instant, so each final ends Done or Aborted.
+		for !t.resolved(e, finals) {
+			if !e.StepClock() {
+				rep.Delivered = bytes - remaining
+				return rep, fmt.Errorf("core: clock ran dry with unresolved flows (wave %d)", rep.Attempts)
+			}
+		}
+
+		var lost int64
+		for _, id := range finals {
+			res := e.Result(id)
+			if res.Done {
+				remaining -= finalBytes[id]
+				if d := sim.Duration(res.Completed); d > rep.Makespan {
+					rep.Makespan = d
+				}
+			} else {
+				lost += finalBytes[id]
+			}
+		}
+		if lost == 0 {
+			rep.Delivered = bytes
+			rep.Complete = true
+			return rep, nil
+		}
+
+		if rep.Replans >= rc.MaxReplans {
+			rep.Delivered = bytes - remaining
+			return rep, fmt.Errorf("core: gave up after %d replans with %d bytes undelivered", rep.Replans, remaining)
+		}
+
+		// Charge the detection timeout: the loss is noticed DetectFactor x
+		// the predicted wave time after the wave began, plus the current
+		// backoff — all in simulated time.
+		detectAt := waveStart + sim.Time(float64(predicted)*rc.DetectFactor) + sim.Time(backoff)
+		t.waitUntil(e, detectAt)
+		backoff *= 2
+
+		rep.Replans++
+		rep.BytesRerouted += lost
+		// Descend the ladder: the next wave gets one fewer proxy than this
+		// one used (direct once below MinProxies).
+		if len(proxies) > 0 {
+			maxK = len(proxies) - 1
+		} else {
+			maxK = 0
+		}
+	}
+}
+
+// waveThreshold is the direct/proxy crossover for one recovery wave.
+func (t *Transport) waveThreshold(src, dst torus.NodeID, k int) int64 {
+	hopsDirect := t.tor.HopDistance(src, dst)
+	th := t.model.Threshold(k, hopsDirect, t.cfg.Offset, hopsDirect)
+	if th == 0 {
+		return 1 << 62
+	}
+	return th
+}
+
+// resolved reports whether every listed flow is Done or Aborted.
+func (t *Transport) resolved(e *netsim.Engine, ids []netsim.FlowID) bool {
+	for _, id := range ids {
+		res := e.Result(id)
+		if !res.Done && !res.Aborted {
+			return false
+		}
+	}
+	return true
+}
+
+// waitUntil advances the interactive clock to at least the given instant
+// by parking a no-op timer there and stepping through everything before
+// it. Failure events scheduled in the window fire on the way.
+func (t *Transport) waitUntil(e *netsim.Engine, at sim.Time) {
+	if at <= e.Now() {
+		return
+	}
+	reached := false
+	e.ScheduleAfter(sim.Duration(at-e.Now()), func() { reached = true })
+	for !reached && e.StepClock() {
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/sim"
+	"bgqflow/internal/torus"
+)
+
+// The resilient transfer loop: detect mid-flight aborts, replan the lost
+// bytes around the failure, degrade toward direct, and report it all.
+
+func resilientRig(t *testing.T) (*torus.Torus, *netsim.Network, *netsim.Engine, *Transport) {
+	t.Helper()
+	tor := mira128()
+	p := netsim.DefaultParams()
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	e, err := netsim.NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.BeginInteractive()
+	tr, err := NewTransport(tor, p, DefaultProxyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tor, net, e, tr
+}
+
+func TestMoveResilientNoFailures(t *testing.T) {
+	_, _, e, tr := resilientRig(t)
+	tor := tr.tor
+	const bytes = 64 << 20
+	rep, err := tr.MoveResilient(e, 0, torus.NodeID(tor.Size()-1), bytes, DefaultRecoveryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.Delivered != bytes {
+		t.Fatalf("delivered %d of %d, complete=%v", rep.Delivered, bytes, rep.Complete)
+	}
+	if rep.Attempts != 1 || rep.Replans != 0 || rep.Degraded || rep.BytesRerouted != 0 {
+		t.Fatalf("clean transfer reported attempts=%d replans=%d degraded=%v rerouted=%d",
+			rep.Attempts, rep.Replans, rep.Degraded, rep.BytesRerouted)
+	}
+	if rep.FinalMode != Proxied {
+		t.Fatalf("64 MB across the partition should go proxied, got %v", rep.FinalMode)
+	}
+	if rep.Makespan <= 0 {
+		t.Fatal("no makespan reported")
+	}
+}
+
+func TestMoveResilientRecoversFromMidTransferFailure(t *testing.T) {
+	tor, _, e, tr := resilientRig(t)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	// Fail the first hop of the first selected proxy leg mid-transfer:
+	// exactly one piece aborts, and recovery must reroute those bytes.
+	proxies := selectProxiesAvoiding(tor, src, dst, tr.cfg, nil, nil)
+	if len(proxies) == 0 {
+		t.Fatal("no proxies on a healthy torus")
+	}
+	e.FailLinkAt(proxies[0].Leg1.Links[0], 5e-3)
+
+	const bytes = 64 << 20
+	rep, err := tr.MoveResilient(e, src, dst, bytes, DefaultRecoveryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.Delivered != bytes {
+		t.Fatalf("delivered %d of %d after recovery", rep.Delivered, bytes)
+	}
+	if rep.Replans == 0 || rep.BytesRerouted == 0 {
+		t.Fatalf("failure was absorbed without a replan: %+v", rep)
+	}
+	if rep.BytesRerouted >= bytes {
+		t.Fatalf("rerouted %d bytes; only the lost pieces should resubmit", rep.BytesRerouted)
+	}
+	// Detection is charged in simulated time: the makespan must exceed
+	// the failure instant plus a detection window.
+	if float64(rep.Makespan) <= 5e-3 {
+		t.Fatalf("makespan %g predates the failure", float64(rep.Makespan))
+	}
+	done, aborted := e.Outcomes()
+	if aborted == 0 {
+		t.Fatal("no flow aborted despite a mid-transfer failure")
+	}
+	if done == 0 {
+		t.Fatal("no flow completed")
+	}
+}
+
+func TestMoveResilientDegradesToDirect(t *testing.T) {
+	tor, _, e, tr := resilientRig(t)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	// Schedule failures on the first hop of every initially selected
+	// proxy leg1, staggered so each wave loses a piece until the ladder
+	// reaches direct (whose avoiding route skips the dead first hops).
+	proxies := selectProxiesAvoiding(tor, src, dst, tr.cfg, nil, nil)
+	if len(proxies) < tr.cfg.MinProxies {
+		t.Fatalf("only %d proxies on a healthy torus", len(proxies))
+	}
+	for i, pr := range proxies {
+		e.FailLinkAt(pr.Leg1.Links[0], sim.Time(1e-3+float64(i)*1e-3))
+	}
+
+	const bytes = 64 << 20
+	rep, err := tr.MoveResilient(e, src, dst, bytes, DefaultRecoveryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("transfer incomplete: %+v", rep)
+	}
+	if !rep.Degraded {
+		t.Fatalf("losing every proxy leg must degrade the ladder: %+v", rep)
+	}
+	if rep.Replans == 0 {
+		t.Fatal("no replans recorded")
+	}
+}
+
+func TestMoveResilientErrorsWhenCut(t *testing.T) {
+	// 1-D ring, sever the source completely after the transfer starts:
+	// recovery must give up with a clear error and report partial bytes.
+	tor := torus.MustNew(torus.Shape{8})
+	p := netsim.DefaultParams()
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	e, err := netsim.NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.BeginInteractive()
+	tr, err := NewTransport(tor, p, ProxyConfig{MinProxies: 1, MaxProxies: 2, Threshold: 1 << 30, Offset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.FailLinkAt(tor.LinkID(0, 0, torus.Plus), 1e-3)
+	e.FailLinkAt(tor.LinkID(0, 0, torus.Minus), 1e-3)
+	rep, err := tr.MoveResilient(e, 0, 4, 64<<20, DefaultRecoveryConfig())
+	if err == nil {
+		t.Fatalf("severed source completed: %+v", rep)
+	}
+	if !strings.Contains(err.Error(), "cut off") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if rep.Complete || rep.Delivered != 0 {
+		t.Fatalf("severed transfer reported delivery: %+v", rep)
+	}
+}
+
+func TestMoveResilientRequiresInteractive(t *testing.T) {
+	tor := mira128()
+	p := netsim.DefaultParams()
+	e, err := netsim.NewEngine(netsim.NewNetwork(tor, p.LinkBandwidth), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTransport(tor, p, DefaultProxyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MoveResilient(e, 0, 1, 1<<20, DefaultRecoveryConfig()); err == nil {
+		t.Fatal("batch-mode engine accepted")
+	}
+}
+
+func TestMoveResilientDeterministic(t *testing.T) {
+	run := func() TransferReport {
+		tor, _, e, tr := resilientRig(t)
+		src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+		proxies := selectProxiesAvoiding(tor, src, dst, tr.cfg, nil, nil)
+		e.FailLinkAt(proxies[0].Leg1.Links[0], 5e-3)
+		rep, err := tr.MoveResilient(e, src, dst, 64<<20, DefaultRecoveryConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same campaign, different reports:\n%+v\n%+v", a, b)
+	}
+}

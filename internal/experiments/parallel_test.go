@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -41,6 +42,23 @@ func TestParallelMatchesSequential(t *testing.T) {
 		}
 		if !reflect.DeepEqual(seq, par) {
 			t.Fatalf("fig7 diverges across worker counts:\nseq: %+v\npar: %+v", seq, par)
+		}
+	})
+	t.Run("r1", func(t *testing.T) {
+		// The resilience sweep layers seeded fault campaigns and the
+		// interactive recovery loop on top of the usual per-point
+		// determinism; it must still be byte-identical at any worker
+		// count, including one per CPU.
+		seq, err := R1(withParallel(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := R1(withParallel(runtime.NumCPU()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("r1 diverges across worker counts:\nseq: %+v\npar: %+v", seq, par)
 		}
 	})
 	t.Run("ablation-threshold", func(t *testing.T) {

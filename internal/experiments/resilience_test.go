@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+// TestR1RobustnessOrdering is the ISSUE's acceptance criterion: under
+// every injected campaign (all of which leave the torus connected), the
+// recovery strategy delivers 100% of the bytes, while no-recovery loses
+// the pieces whose legs die and direct loses everything once its single
+// path is hit — the qualitative robustness ordering.
+func TestR1RobustnessOrdering(t *testing.T) {
+	res, err := R1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(res.Fails) {
+		t.Fatalf("%d points for %d fail counts", len(res.Points), len(res.Fails))
+	}
+	for _, pt := range res.Points {
+		if pt.ProxyRec.DeliveredFrac != 1 {
+			t.Errorf("%d failures: recovery delivered %.2f, want 1.0",
+				pt.FailedLinks, pt.ProxyRec.DeliveredFrac)
+		}
+		if pt.FailedLinks == 0 {
+			// Healthy baseline: everything completes, nothing replans.
+			if pt.Direct.DeliveredFrac != 1 || pt.ProxyNoRec.DeliveredFrac != 1 {
+				t.Errorf("0 failures: direct %.2f / no-rec %.2f delivered, want 1.0",
+					pt.Direct.DeliveredFrac, pt.ProxyNoRec.DeliveredFrac)
+			}
+			if pt.ProxyRec.Replans != 0 {
+				t.Errorf("0 failures: %d replans", pt.ProxyRec.Replans)
+			}
+			continue
+		}
+		// The campaign always hits the direct route (pool[0]) inside the
+		// injection window, so the unprotected direct transfer stalls.
+		if pt.Direct.DeliveredFrac != 0 {
+			t.Errorf("%d failures: direct delivered %.2f, want 0 (its only path is hit)",
+				pt.FailedLinks, pt.Direct.DeliveredFrac)
+		}
+		// No-recovery loses at most everything, recovers nothing, and can
+		// never beat the recovery loop on delivery.
+		if pt.ProxyNoRec.DeliveredFrac > pt.ProxyRec.DeliveredFrac {
+			t.Errorf("%d failures: no-recovery delivered %.2f > recovery %.2f",
+				pt.FailedLinks, pt.ProxyNoRec.DeliveredFrac, pt.ProxyRec.DeliveredFrac)
+		}
+		if pt.ProxyRec.Replans == 0 && pt.ProxyNoRec.DeliveredFrac < 1 {
+			t.Errorf("%d failures: pieces were lost but recovery never replanned", pt.FailedLinks)
+		}
+	}
+	// Graceful degradation: recovery throughput may fall with failures
+	// but must stay positive everywhere.
+	for _, pt := range res.Points {
+		if pt.ProxyRec.GBps <= 0 {
+			t.Errorf("%d failures: recovery throughput %.3f GB/s", pt.FailedLinks, pt.ProxyRec.GBps)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+
+	"bgqflow/internal/netsim"
+	"bgqflow/internal/sim"
+	"bgqflow/internal/torus"
+)
+
+func testTorus(t *testing.T) *torus.Torus {
+	t.Helper()
+	return torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	tor := testTorus(t)
+	build := map[string]func(seed int64) *Campaign{
+		"uniform": func(s int64) *Campaign { return UniformLinks(tor, s, 8, 0.1) },
+		"mtbf":    func(s int64) *Campaign { return MTBFLinks(tor, s, 0.01, 0.1) },
+		"burst":   func(s int64) *Campaign { return BurstLinks(tor, s, 8, 0.05) },
+		"targeted": func(s int64) *Campaign {
+			return TargetedLinks(s, []int{3, 7, 11, 19, 23, 41}, 4, 0.1)
+		},
+		"nodes": func(s int64) *Campaign {
+			return Nodes(s, []torus.NodeID{1, 9, 33, 60}, 2, 0.1)
+		},
+	}
+	for name, gen := range build {
+		a, b := gen(42), gen(42)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different campaigns", name)
+		}
+		c := gen(43)
+		if name != "burst" && reflect.DeepEqual(a.Events, c.Events) {
+			t.Errorf("%s: different seeds produced identical campaigns", name)
+		}
+		if err := a.Validate(tor.NumTorusLinks(), tor.Size()); err != nil {
+			t.Errorf("%s: generated campaign invalid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadCampaigns(t *testing.T) {
+	cases := map[string]*Campaign{
+		"dup-link": {Events: []Event{{At: 1, Link: 5}, {At: 2, Link: 5}}},
+		"neg-link": {Events: []Event{{At: 1, Link: -1}}},
+		"big-link": {Events: []Event{{At: 1, Link: 1000}}},
+		"dup-node": {Events: []Event{{At: 1, Node: 3, IsNode: true}, {At: 2, Node: 3, IsNode: true}}},
+		"big-node": {Events: []Event{{At: 1, Node: 500, IsNode: true}}},
+		"neg-time": {Events: []Event{{At: -1, Link: 0}}},
+		"nan-time": {Events: []Event{{At: sim.Time(nan()), Link: 0}}},
+	}
+	for name, c := range cases {
+		if err := c.Validate(100, 100); err == nil {
+			t.Errorf("%s: Validate accepted an invalid campaign", name)
+		}
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestTargetedAlwaysIncludesFirstPoolLink(t *testing.T) {
+	pool := []int{17, 3, 7, 11}
+	for seed := int64(0); seed < 50; seed++ {
+		c := TargetedLinks(seed, pool, 2, 0.1)
+		found := false
+		for _, ev := range c.Events {
+			if ev.Link == 17 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: targeted campaign omitted pool[0]", seed)
+		}
+	}
+}
+
+func TestApplySchedulesAndAborts(t *testing.T) {
+	tor := testTorus(t)
+	p := netsim.DefaultParams()
+	net := netsim.NewNetwork(tor, p.LinkBandwidth)
+	e, err := netsim.NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	route := net.Route(src, dst)
+	c := &Campaign{Name: "direct-hit", Events: []Event{{At: 5e-3, Link: route.Links[0]}}}
+	id := e.Submit(netsim.FlowSpec{Src: src, Dst: dst, Bytes: 64 << 20})
+	if err := c.Apply(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r := e.Result(id); !r.Aborted || r.AbortTime != 5e-3 {
+		t.Fatalf("aborted=%v at %g, want abort at the campaign instant", r.Aborted, float64(r.AbortTime))
+	}
+}
+
+func TestApplyRejectsInvalidCampaign(t *testing.T) {
+	tor := testTorus(t)
+	p := netsim.DefaultParams()
+	e, err := netsim.NewEngine(netsim.NewNetwork(tor, p.LinkBandwidth), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Campaign{Events: []Event{{At: 1, Link: 1 << 30}}}
+	if err := c.Apply(e); err == nil {
+		t.Fatal("Apply accepted an out-of-range link")
+	}
+}
+
+func TestMTBFRespectsHorizon(t *testing.T) {
+	tor := testTorus(t)
+	c := MTBFLinks(tor, 7, 0.005, 0.1)
+	if len(c.Events) == 0 {
+		t.Fatal("mtbf=5ms over 100ms produced no failures")
+	}
+	for i, ev := range c.Events {
+		if ev.At <= 0 || ev.At > 0.1 {
+			t.Fatalf("event %d at %g outside (0, horizon]", i, float64(ev.At))
+		}
+		if i > 0 && ev.At < c.Events[i-1].At {
+			t.Fatal("mtbf events out of order")
+		}
+	}
+}

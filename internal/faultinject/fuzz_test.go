@@ -1,0 +1,49 @@
+package faultinject
+
+import (
+	"testing"
+
+	"bgqflow/internal/sim"
+	"bgqflow/internal/torus"
+)
+
+// FuzzFaultCampaign drives the seeded generators with arbitrary seeds and
+// sizes and checks the structural invariants the rest of the system leans
+// on: campaigns never schedule the same link or node twice, never name an
+// out-of-range link, and always validate against their own torus.
+func FuzzFaultCampaign(f *testing.F) {
+	f.Add(int64(1), uint8(4), false)
+	f.Add(int64(42), uint8(16), true)
+	f.Add(int64(-9), uint8(0), false)
+	f.Add(int64(1<<40), uint8(255), true)
+	f.Fuzz(func(t *testing.T, seed int64, rawN uint8, burst bool) {
+		tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+		n := int(rawN) % (tor.NumTorusLinks() + 1)
+		var c *Campaign
+		if burst {
+			c = BurstLinks(tor, seed, n, 0.05)
+		} else {
+			c = UniformLinks(tor, seed, n, sim.Time(0.1))
+		}
+		if len(c.Events) != n {
+			t.Fatalf("campaign has %d events, want %d", len(c.Events), n)
+		}
+		if err := c.Validate(tor.NumTorusLinks(), tor.Size()); err != nil {
+			t.Fatalf("generated campaign invalid: %v", err)
+		}
+		m := MTBFLinks(tor, seed, 0.02, 0.1)
+		if err := m.Validate(tor.NumTorusLinks(), tor.Size()); err != nil {
+			t.Fatalf("mtbf campaign invalid: %v", err)
+		}
+		seen := make(map[int]struct{})
+		for _, ev := range c.Events {
+			if ev.Link < 0 || ev.Link >= tor.NumTorusLinks() {
+				t.Fatalf("out-of-range link %d", ev.Link)
+			}
+			if _, dup := seen[ev.Link]; dup {
+				t.Fatalf("duplicate link %d", ev.Link)
+			}
+			seen[ev.Link] = struct{}{}
+		}
+	})
+}

@@ -167,6 +167,106 @@ func TestSmallPartitionSinglePset(t *testing.T) {
 	}
 }
 
+func TestFailBridgeReassignsNodes(t *testing.T) {
+	s, _ := build(t, torus.Shape{2, 2, 4, 4, 2}, DefaultConfig())
+	ps := s.Pset(0)
+	if err := s.FailBridge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.BridgeDead(0, 0) || s.BridgeDead(0, 1) {
+		t.Fatal("failover state wrong")
+	}
+	box := s.Pset(0).Box
+	for _, n := range box.Nodes(s.net.Torus()) {
+		if s.DefaultBridge(n) != ps.Bridges[1] {
+			t.Fatalf("node %d still assigned to the dead bridge", n)
+		}
+		links, bridge := s.WriteRoute(n)
+		if bridge != ps.Bridges[1] {
+			t.Fatalf("node %d writes via %d, want surviving bridge %d", n, bridge, ps.Bridges[1])
+		}
+		if links[len(links)-1] != ps.Uplink(1) {
+			t.Fatalf("node %d write route does not end on the surviving uplink", n)
+		}
+	}
+	// FailBridge is idempotent.
+	if err := s.FailBridge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailBridgeAllDeadErrors(t *testing.T) {
+	s, _ := build(t, torus.Shape{2, 2, 4, 4, 2}, DefaultConfig())
+	if err := s.FailBridge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailBridge(0, 1); err == nil {
+		t.Fatal("losing every bridge of a pset must error")
+	}
+}
+
+func TestWriteRouteViaDeadBridgeFailsOver(t *testing.T) {
+	s, _ := build(t, torus.Shape{2, 2, 4, 4, 2}, DefaultConfig())
+	ps := s.Pset(0)
+	if err := s.FailBridge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	links, bridge := s.WriteRouteVia(torus.NodeID(3), 0, 0)
+	if bridge != ps.Bridges[1] {
+		t.Fatalf("WriteRouteVia dead bridge returned %d, want surviving %d", bridge, ps.Bridges[1])
+	}
+	if links[len(links)-1] != ps.Uplink(1) {
+		t.Fatal("failover route does not end on the surviving uplink")
+	}
+}
+
+// TestBridgeNodeFailureEndToEnd injects a physical bridge-node failure on
+// the netsim side, fails over via HandleNodeFailure, and checks that
+// post-failover write routes avoid every failed link — including the dead
+// bridge's 11th link, which AddLinkFrom ties to its owner.
+func TestBridgeNodeFailureEndToEnd(t *testing.T) {
+	s, net := build(t, torus.Shape{2, 2, 4, 4, 2}, DefaultConfig())
+	ps := s.Pset(0)
+	dead := ps.Bridges[0]
+	net.FailNode(dead)
+	if !net.LinkFailed(ps.Uplink(0)) {
+		t.Fatal("bridge node failure did not take its 11th link down")
+	}
+	wasBridge, err := s.HandleNodeFailure(dead)
+	if err != nil || !wasBridge {
+		t.Fatalf("HandleNodeFailure = (%v, %v), want bridge failover", wasBridge, err)
+	}
+	if was, err := s.HandleNodeFailure(torus.NodeID(3)); was || err != nil {
+		t.Fatal("non-bridge node reported as bridge failover")
+	}
+	p := netsim.DefaultParams()
+	e, err := netsim.NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writers int
+	for n := torus.NodeID(0); int(n) < net.Torus().Size(); n += 11 {
+		if n == dead {
+			continue
+		}
+		links, bridge := s.WriteRoute(n)
+		for _, l := range links {
+			if net.LinkFailed(l) {
+				t.Fatalf("node %d post-failover write route crosses a failed link", n)
+			}
+		}
+		e.Submit(netsim.FlowSpec{Src: n, Dst: bridge, Bytes: 1 << 20, Links: links})
+		writers++
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	done, aborted := e.Outcomes()
+	if done != writers || aborted != 0 {
+		t.Fatalf("degraded pset drained %d/%d writes (%d aborted)", done, writers, aborted)
+	}
+}
+
 // End-to-end: two compute nodes writing through the same default bridge
 // contend on the 11th link.
 func TestWritesShareUplink(t *testing.T) {

@@ -45,7 +45,7 @@ type FlowSpec struct {
 	OnComplete func()
 }
 
-// FlowResult reports the timeline of a completed flow.
+// FlowResult reports the timeline of a completed or aborted flow.
 type FlowResult struct {
 	Released    sim.Time // dependencies satisfied
 	Activated   sim.Time // sender overhead paid, transfer started
@@ -53,6 +53,13 @@ type FlowResult struct {
 	Completed   sim.Time // receiver overhead paid, dependents released
 	Bytes       int64
 	Done        bool
+	// Aborted reports that the flow was cut by a failure event — its
+	// route crossed a link that failed while the flow was in flight (or
+	// pending), or one of its dependencies aborted. AbortTime is the
+	// failure instant. Done and Aborted are mutually exclusive; a flow
+	// whose transfer had already left the wire (draining) completes.
+	Aborted   bool
+	AbortTime sim.Time
 }
 
 type flowState uint8
@@ -63,6 +70,7 @@ const (
 	stateActive                    // transferring
 	stateDraining                  // transfer done, paying receiver overhead
 	stateDone
+	stateAborted // cut by a failure event
 )
 
 // flowEvent names the clock event a flow is waiting on. Each flow has at
@@ -135,13 +143,26 @@ type Engine struct {
 	pendingLinks   []int
 	sweepScheduled bool
 
-	active      int // flows not yet done
+	active      int // flows not yet done or aborted
+	aborted     int // flows cut by failure events
 	ran         bool
 	interactive bool
 
 	// sweepObserver, when set, runs after every reallocation sweep; test
 	// code uses it to audit the rate assignment (fairness invariants).
 	sweepObserver func(now sim.Time)
+
+	// failureObserver, when set, runs after a scheduled failure event has
+	// been applied and its victims aborted. The I/O layer uses it to fail
+	// over bridge assignments mid-run; traces use it to annotate runs.
+	failureObserver func(now sim.Time, node torus.NodeID, isNode bool, links []int)
+}
+
+// failureEvent is the clock payload of a scheduled link or node failure.
+type failureEvent struct {
+	links  []int
+	node   torus.NodeID
+	isNode bool
 }
 
 // NewEngine creates an engine over net with parameters p.
@@ -195,18 +216,20 @@ func (e *Engine) Reserve(n int) {
 // sim.Callback lets the engine schedule every hot-path event without
 // allocating a closure.
 func (e *Engine) OnEvent(_ *sim.Engine, arg any) {
-	if arg == nil {
+	switch v := arg.(type) {
+	case nil:
 		e.sweep()
-		return
-	}
-	f := arg.(*flow)
-	switch f.next {
-	case evActivate:
-		e.activate(f)
-	case evTransferEnd:
-		e.transferEnd(f)
-	case evFinish:
-		e.finish(f)
+	case *failureEvent:
+		e.applyFailure(v)
+	case *flow:
+		switch v.next {
+		case evActivate:
+			e.activate(v)
+		case evTransferEnd:
+			e.transferEnd(v)
+		case evFinish:
+			e.finish(v)
+		}
 	}
 }
 
@@ -312,12 +335,14 @@ func (e *Engine) release(f *flow) {
 	f.res.Released = e.clock.Now()
 	delay := e.p.SenderOverhead + f.spec.ExtraDelay
 	f.next = evActivate
-	e.clock.AfterCall(delay, e, f)
+	f.endEvent = e.clock.AfterCall(delay, e, f)
+	f.hasEnd = true
 }
 
 // activate puts a flow on its links and reallocates its component.
 func (e *Engine) activate(f *flow) {
 	f.state = stateActive
+	f.hasEnd = false
 	f.res.Activated = e.clock.Now()
 	f.remaining = float64(f.spec.Bytes)
 	f.lastUpdate = e.clock.Now()
@@ -352,11 +377,13 @@ func (e *Engine) transferEnd(f *flow) {
 	}
 	tail := e.p.ReceiverOverhead + sim.Duration(float64(e.p.HopLatency)*float64(len(f.links)))
 	f.next = evFinish
-	e.clock.AfterCall(tail, e, f)
+	f.endEvent = e.clock.AfterCall(tail, e, f)
+	f.hasEnd = true
 }
 
 func (e *Engine) finish(f *flow) {
 	f.state = stateDone
+	f.hasEnd = false
 	f.res.Completed = e.clock.Now()
 	f.res.Bytes = f.spec.Bytes
 	f.res.Done = true
@@ -372,6 +399,122 @@ func (e *Engine) finish(f *flow) {
 		}
 	}
 }
+
+// FailLinkAt schedules link to fail at absolute virtual time at. When the
+// event fires the link is marked failed on the network (with the route
+// cache invalidated for this event), and every flow whose route crosses
+// the link and whose transfer has not yet left the wire aborts at that
+// instant — as do, transitively, the flows depending on them. Flows
+// submitted after the event over the dead link are rejected as usual.
+func (e *Engine) FailLinkAt(link int, at sim.Time) {
+	if link < 0 || link >= e.net.NumLinks() {
+		panic(fmt.Sprintf("netsim: FailLinkAt(%d) outside link table", link))
+	}
+	e.clock.AtCall(at, e, &failureEvent{links: []int{link}})
+}
+
+// FailNodeAt schedules a whole-node failure at absolute virtual time at:
+// all torus links into and out of the node plus its registered extra
+// links (a bridge's 11th link) fail as one event.
+func (e *Engine) FailNodeAt(n torus.NodeID, at sim.Time) {
+	if int(n) < 0 || int(n) >= e.net.Torus().Size() {
+		panic(fmt.Sprintf("netsim: FailNodeAt(%d) outside partition", n))
+	}
+	e.clock.AtCall(at, e, &failureEvent{links: e.net.NodeLinks(n), node: n, isNode: true})
+}
+
+// SetFailureObserver installs a callback run after each failure event has
+// been applied (links dead, victims aborted). The I/O layer hooks bridge
+// failover here; instrumentation uses it to annotate timelines.
+func (e *Engine) SetFailureObserver(fn func(now sim.Time, node torus.NodeID, isNode bool, links []int)) {
+	e.failureObserver = fn
+}
+
+// applyFailure fires a scheduled failure: mark the links dead, then abort
+// every flow in flight (or not yet started) whose route crosses one.
+func (e *Engine) applyFailure(fe *failureEvent) {
+	now := e.clock.Now()
+	newly := make(map[int]struct{}, len(fe.links))
+	for _, l := range fe.links {
+		if !e.net.LinkFailed(l) {
+			newly[l] = struct{}{}
+		}
+	}
+	if fe.isNode {
+		e.net.FailNode(fe.node)
+	} else {
+		for l := range newly {
+			e.net.FailLink(l)
+		}
+	}
+	if len(newly) > 0 {
+		for _, f := range e.flows {
+			if f.state == stateDone || f.state == stateAborted || f.state == stateDraining {
+				continue
+			}
+			for _, l := range f.links {
+				if _, dead := newly[l]; dead {
+					e.abort(f, now)
+					break
+				}
+			}
+		}
+	}
+	if e.failureObserver != nil {
+		e.failureObserver(now, fe.node, fe.isNode, fe.links)
+	}
+}
+
+// abort cuts a flow at the failure instant: it leaves its links (the
+// progress made so far is charged to the link byte counters — those bytes
+// did cross the wire), frees its pending timer, and cascades to every
+// dependent, which can never release. Draining and done flows are not
+// abortable: their last byte already left the wire.
+func (e *Engine) abort(f *flow, now sim.Time) {
+	switch f.state {
+	case stateDone, stateAborted, stateDraining:
+		return
+	case stateActive:
+		if dt := float64(now - f.lastUpdate); dt > 0 && f.rate > 0 {
+			moved := f.rate * dt
+			if moved > f.remaining {
+				moved = f.remaining
+			}
+			f.remaining -= moved
+			for _, l := range f.links {
+				e.linkBytes[l] += moved
+			}
+		}
+		for _, l := range f.links {
+			e.removeFromLink(l, f)
+		}
+		if len(f.links) > 0 {
+			e.requestRealloc(nil, f.links)
+		}
+	}
+	if f.hasEnd {
+		e.clock.Cancel(f.endEvent)
+		f.hasEnd = false
+	}
+	f.state = stateAborted
+	f.res.Aborted = true
+	f.res.AbortTime = now
+	e.active--
+	e.aborted++
+	for _, dep := range f.dependents {
+		e.abort(e.flows[dep], now)
+	}
+}
+
+// Outcomes reports how many flows completed and how many were aborted by
+// failure events so far.
+func (e *Engine) Outcomes() (done, aborted int) {
+	return len(e.flows) - e.active - e.aborted, e.aborted
+}
+
+// Interactive reports whether the engine is in interactive mode
+// (BeginInteractive was called).
+func (e *Engine) Interactive() bool { return e.interactive }
 
 func (e *Engine) removeFromLink(l int, f *flow) {
 	s := e.linkFlows[l]

@@ -15,11 +15,13 @@ import (
 // links (see torus.LinkID); IDs at or above it are extra links in order of
 // registration.
 type Network struct {
-	t        *torus.Torus
-	capacity []float64
-	failed   []bool
-	names    map[int]string // extra-link names for diagnostics
-	routes   *routing.Cache
+	t          *torus.Torus
+	capacity   []float64
+	failed     []bool
+	nodeFailed []bool
+	names      map[int]string         // extra-link names for diagnostics
+	extraFrom  map[torus.NodeID][]int // node -> extra links it owns (AddLinkFrom)
+	routes     *routing.Cache
 }
 
 // NewNetwork builds the link table for torus t with per-direction torus
@@ -59,6 +61,18 @@ func (n *Network) AddLink(name string, capacity float64) int {
 	return id
 }
 
+// AddLinkFrom registers an extra link owned by a torus node (e.g. a
+// bridge node's 11th link). Node-failure injection (FailNode) fails the
+// owner's extra links along with its torus links.
+func (n *Network) AddLinkFrom(name string, from torus.NodeID, capacity float64) int {
+	id := n.AddLink(name, capacity)
+	if n.extraFrom == nil {
+		n.extraFrom = make(map[torus.NodeID][]int)
+	}
+	n.extraFrom[from] = append(n.extraFrom[from], id)
+	return id
+}
+
 // Capacity returns the capacity of link id in bytes/second.
 func (n *Network) Capacity(id int) float64 { return n.capacity[id] }
 
@@ -74,21 +88,71 @@ func (n *Network) RouteCache() *routing.Cache { return n.routes }
 
 // FailLink marks a link failed. Flows submitted over failed links are
 // rejected (fail-stop): fault handling belongs to the planning layer,
-// which routes around failures with routing.RouteAvoiding. The route
-// cache is purged and disabled (see DESIGN.md §8): after a failure no
-// memoized path may be served, so every subsequent default-route lookup
-// recomputes and the fail-stop check in Engine.Submit sees current state.
+// which routes around failures with routing.RouteAvoiding, and to the
+// engine's abort machinery for flows already in flight (FailLinkAt). The
+// route cache absorbs one invalidation per failure event (see DESIGN.md
+// §8): every event purges the memoized routes and bumps the failure
+// epoch, so no pre-failure entry survives, while post-failure lookups
+// repopulate the cache — long campaigns keep the hot path.
 func (n *Network) FailLink(id int) {
 	if n.failed == nil {
 		n.failed = make([]bool, len(n.capacity))
 	}
 	n.failed[id] = true
-	n.routes.Disable()
+	n.routes.Invalidate()
 }
 
 // LinkFailed reports whether a link is marked failed.
 func (n *Network) LinkFailed(id int) bool {
 	return n.failed != nil && id < len(n.failed) && n.failed[id]
+}
+
+// NodeLinks returns every link touching a node: its outgoing and incoming
+// directed torus links (the BG/Q's 10 links, both directions) plus any
+// extra links registered from it with AddLinkFrom (a bridge's 11th link).
+func (n *Network) NodeLinks(id torus.NodeID) []int {
+	links := make([]int, 0, 4*n.t.Dims()+1)
+	seen := make(map[int]struct{}, 4*n.t.Dims()+1)
+	add := func(l int) {
+		if _, dup := seen[l]; !dup {
+			seen[l] = struct{}{}
+			links = append(links, l)
+		}
+	}
+	for dim := 0; dim < n.t.Dims(); dim++ {
+		for _, dir := range []torus.Direction{torus.Plus, torus.Minus} {
+			add(n.t.LinkID(id, dim, dir))
+			// The incoming link along (dim, dir) leaves the neighbor on
+			// the far side, headed back at us.
+			add(n.t.LinkID(n.t.Neighbor(id, dim, dir), dim, -dir))
+		}
+	}
+	for _, l := range n.extraFrom[id] {
+		add(l)
+	}
+	return links
+}
+
+// FailNode marks a node failed: every torus link into or out of it fails,
+// along with its registered extra links, so no route can traverse it. The
+// route cache absorbs a single invalidation for the whole event.
+func (n *Network) FailNode(id torus.NodeID) {
+	if n.nodeFailed == nil {
+		n.nodeFailed = make([]bool, n.t.Size())
+	}
+	n.nodeFailed[id] = true
+	if n.failed == nil {
+		n.failed = make([]bool, len(n.capacity))
+	}
+	for _, l := range n.NodeLinks(id) {
+		n.failed[l] = true
+	}
+	n.routes.Invalidate()
+}
+
+// NodeFailed reports whether a node is marked failed.
+func (n *Network) NodeFailed(id torus.NodeID) bool {
+	return n.nodeFailed != nil && n.nodeFailed[id]
 }
 
 // HasFailures reports whether any link is failed.

@@ -68,10 +68,11 @@ func TestSubmitReleaseZeroAlloc(t *testing.T) {
 }
 
 // TestFailLinkPurgesRouteCache covers the route cache's invalidation rule
-// (DESIGN.md §8): once a link fails, no memoized route may be served —
-// the cache is purged and disabled, the engine's fail-stop check still
-// fires on default routes over the dead link, and the planning layer's
-// fault-aware routes still submit cleanly.
+// (DESIGN.md §8): every failure event purges the memoized routes and
+// bumps the failure epoch — no pre-failure entry survives — while the
+// cache stays enabled so post-failure lookups repopulate it. The engine's
+// fail-stop check still fires on default routes over the dead link, and
+// the planning layer's fault-aware routes still submit cleanly.
 func TestFailLinkPurgesRouteCache(t *testing.T) {
 	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
 	p := DefaultParams()
@@ -89,11 +90,29 @@ func TestFailLinkPurgesRouteCache(t *testing.T) {
 
 	net.FailLink(def.Links[0])
 
-	if net.RouteCache().Enabled() {
-		t.Fatal("FailLink left the route cache enabled")
-	}
 	if net.RouteCache().Len() != 0 {
 		t.Fatalf("FailLink left %d cached routes behind", net.RouteCache().Len())
+	}
+	if !net.RouteCache().Enabled() {
+		t.Fatal("a failure event must not permanently disable the cache")
+	}
+	if net.RouteCache().Epoch() != 1 {
+		t.Fatalf("epoch = %d after one failure event, want 1", net.RouteCache().Epoch())
+	}
+
+	// Lookups resume and repopulate the cache from post-failure state;
+	// a second failure event must purge again (the regression this test
+	// pins: invalidation is per event, not once).
+	net.Route(src, torus.NodeID(3))
+	if net.RouteCache().Len() == 0 {
+		t.Fatal("post-failure lookups must repopulate the cache")
+	}
+	net.FailLink(def.Links[1])
+	if net.RouteCache().Len() != 0 {
+		t.Fatal("second failure event did not purge the repopulated cache")
+	}
+	if net.RouteCache().Epoch() != 2 {
+		t.Fatalf("epoch = %d after two failure events, want 2", net.RouteCache().Epoch())
 	}
 
 	// Default-route submission over the failed link must still fail stop.
@@ -123,8 +142,14 @@ func TestFailLinkPurgesRouteCache(t *testing.T) {
 	if _, err := e2.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if net.RouteCache().Len() != 0 {
-		t.Fatal("disabled cache accumulated routes")
+	// Post-failure cache entries are legitimate: the memoized default
+	// routes are pure functions of the unchanged topology.
+	want := routing.DeterministicRoute(tor, src, dst).Links
+	got := net.Route(src, dst).Links
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-failure cached route diverges at hop %d", i)
+		}
 	}
 }
 

@@ -42,10 +42,14 @@ func packOrder(order []int) (uint32, bool) {
 // ionet extends bridge routes with the 11th link.
 //
 // A Cache is safe for concurrent use. Fault handling: topology changes
-// (failed links) do not change what DeterministicRoute returns, but a
-// layer that plans around failures must not be handed memoized paths
-// either — see Disable, which netsim.Network.FailLink invokes (DESIGN.md
-// §8 documents the invalidation rule).
+// (failed links) do not change what DeterministicRoute returns, so cached
+// default routes stay byte-identical across failures — but no entry
+// memoized before a failure event may be served afterwards without a
+// fresh look at the world. Every failure event therefore calls
+// Invalidate, which purges the map and bumps the failure epoch; the cache
+// then repopulates from current state and stays hot for the rest of the
+// campaign (DESIGN.md §8 documents the invalidation rule). Disable
+// remains for callers that want the permanent bypass.
 type Cache struct {
 	t        *torus.Torus
 	defOrder []int
@@ -54,6 +58,7 @@ type Cache struct {
 	mu       sync.RWMutex
 	routes   map[cacheKey][]int
 	disabled bool
+	epoch    uint64 // failure events seen (Invalidate calls)
 
 	hits, misses atomic.Uint64
 }
@@ -121,6 +126,29 @@ func (c *Cache) Purge() {
 	c.mu.Lock()
 	c.routes = make(map[cacheKey][]int)
 	c.mu.Unlock()
+}
+
+// Invalidate records one failure event: it purges every cached route and
+// advances the failure epoch. Unlike Disable the cache stays active, so
+// lookups repopulate it from post-failure state — the memoized routes are
+// pure functions of the (unchanged) topology, and fail-stop checks
+// against failed links are made by the submitting layer against live
+// state, never against the cache. Each failure event must call
+// Invalidate again: repeated calls purge idempotently, and an explicitly
+// Disabled cache stays disabled.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	c.routes = make(map[cacheKey][]int)
+	c.epoch++
+	c.mu.Unlock()
+}
+
+// Epoch reports how many failure events (Invalidate calls) the cache has
+// absorbed.
+func (c *Cache) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
 }
 
 // Disable purges the cache and makes every subsequent lookup compute a

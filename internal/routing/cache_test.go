@@ -103,6 +103,50 @@ func TestCachePurgeAndDisable(t *testing.T) {
 	}
 }
 
+func TestCacheInvalidatePerFailureEvent(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	c := NewCache(tor)
+	c.Route(0, 5)
+	c.Route(0, 9)
+	if c.Len() != 2 || c.Epoch() != 0 {
+		t.Fatalf("len=%d epoch=%d before any failure, want 2/0", c.Len(), c.Epoch())
+	}
+
+	// First failure event: purged, epoch bumped, cache still live.
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatal("Invalidate left entries behind")
+	}
+	if !c.Enabled() {
+		t.Fatal("Invalidate must not disable the cache")
+	}
+	if c.Epoch() != 1 {
+		t.Fatalf("epoch = %d after one event, want 1", c.Epoch())
+	}
+
+	// Lookups resume and repopulate; a second event purges again. This is
+	// the regression: invalidation happens per failure event, not once.
+	c.Route(0, 5)
+	if c.Len() != 1 {
+		t.Fatal("post-invalidate lookup was not cached")
+	}
+	c.Invalidate()
+	if c.Len() != 0 || c.Epoch() != 2 {
+		t.Fatalf("len=%d epoch=%d after second event, want 0/2", c.Len(), c.Epoch())
+	}
+
+	// An explicitly disabled cache stays disabled across failure events.
+	c.Disable()
+	c.Invalidate()
+	if c.Enabled() {
+		t.Fatal("Invalidate re-enabled a disabled cache")
+	}
+	c.Route(0, 5)
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored a route after Invalidate")
+	}
+}
+
 func TestCacheConcurrentReaders(t *testing.T) {
 	tor := torus.MustNew(torus.Shape{4, 4, 4, 4, 2})
 	c := NewCache(tor)

@@ -13,6 +13,7 @@ import (
 
 	"bgqflow/internal/collio"
 	"bgqflow/internal/core"
+	"bgqflow/internal/faultinject"
 	"bgqflow/internal/ionet"
 	"bgqflow/internal/mpisim"
 	"bgqflow/internal/netsim"
@@ -39,6 +40,11 @@ type Config struct {
 	// FailLinks injects link failures before planning; transfer
 	// scenarios plan around them (fault-aware routing).
 	FailLinks []FailLink `json:"failLinks,omitempty"`
+	// FaultCampaign injects seeded, time-scheduled failures mid-run.
+	// Pair transfers switch to the resilient recovery loop; other
+	// scenarios run the same plan through the campaign and report
+	// per-flow outcomes.
+	FaultCampaign *FaultCampaignConfig `json:"faultCampaign,omitempty"`
 
 	// Exactly one of IO or Transfer must be set.
 	IO       *IOConfig       `json:"io"`
@@ -68,6 +74,87 @@ type FailLink struct {
 	Node int `json:"node"`
 	Dim  int `json:"dim"`
 	Dir  int `json:"dir"`
+}
+
+// FaultCampaignConfig describes a seeded mid-run failure campaign.
+// Times are milliseconds of simulated time.
+type FaultCampaignConfig struct {
+	// Kind is "uniform" (n random links over a window), "burst" (n links
+	// at one instant), "mtbf" (Poisson arrivals), or "nodes" (whole-node
+	// failures from a candidate list).
+	Kind string `json:"kind"`
+	// Seed fixes the campaign; the same seed always fails the same
+	// links at the same times.
+	Seed int64 `json:"seed"`
+	// Count is the number of links (uniform, burst) or nodes to fail.
+	Count int `json:"count,omitempty"`
+	// WindowMS bounds uniform/nodes failure times.
+	WindowMS float64 `json:"windowMS,omitempty"`
+	// AtMS is the shared burst instant.
+	AtMS float64 `json:"atMS,omitempty"`
+	// MTBFMS and HorizonMS parameterize the Poisson campaign.
+	MTBFMS    float64 `json:"mtbfMS,omitempty"`
+	HorizonMS float64 `json:"horizonMS,omitempty"`
+	// Nodes lists candidate node IDs for "nodes" (e.g. bridge nodes);
+	// empty means every node is a candidate.
+	Nodes []int `json:"nodes,omitempty"`
+}
+
+func (fc *FaultCampaignConfig) validate() error {
+	switch fc.Kind {
+	case "uniform", "nodes":
+		if fc.Count < 1 || fc.WindowMS <= 0 {
+			return fmt.Errorf("scenario: faultCampaign %q needs count >= 1 and windowMS > 0", fc.Kind)
+		}
+	case "burst":
+		if fc.Count < 1 || fc.AtMS < 0 {
+			return fmt.Errorf("scenario: faultCampaign burst needs count >= 1 and atMS >= 0")
+		}
+	case "mtbf":
+		if fc.MTBFMS <= 0 || fc.HorizonMS <= 0 {
+			return fmt.Errorf("scenario: faultCampaign mtbf needs mtbfMS > 0 and horizonMS > 0")
+		}
+	default:
+		return fmt.Errorf("scenario: unknown faultCampaign kind %q", fc.Kind)
+	}
+	return nil
+}
+
+// build instantiates the campaign for a concrete torus.
+func (fc *FaultCampaignConfig) build(tor *torus.Torus) (*faultinject.Campaign, error) {
+	ms := func(v float64) sim.Time { return sim.Time(v * 1e-3) }
+	switch fc.Kind {
+	case "uniform":
+		if fc.Count > tor.NumTorusLinks() {
+			return nil, fmt.Errorf("scenario: faultCampaign fails %d of %d links", fc.Count, tor.NumTorusLinks())
+		}
+		return faultinject.UniformLinks(tor, fc.Seed, fc.Count, ms(fc.WindowMS)), nil
+	case "burst":
+		if fc.Count > tor.NumTorusLinks() {
+			return nil, fmt.Errorf("scenario: faultCampaign fails %d of %d links", fc.Count, tor.NumTorusLinks())
+		}
+		return faultinject.BurstLinks(tor, fc.Seed, fc.Count, ms(fc.AtMS)), nil
+	case "mtbf":
+		return faultinject.MTBFLinks(tor, fc.Seed, ms(fc.MTBFMS), ms(fc.HorizonMS)), nil
+	case "nodes":
+		cands := make([]torus.NodeID, 0, len(fc.Nodes))
+		for _, n := range fc.Nodes {
+			if n < 0 || n >= tor.Size() {
+				return nil, fmt.Errorf("scenario: faultCampaign node %d outside torus of %d", n, tor.Size())
+			}
+			cands = append(cands, torus.NodeID(n))
+		}
+		if len(cands) == 0 {
+			for n := 0; n < tor.Size(); n++ {
+				cands = append(cands, torus.NodeID(n))
+			}
+		}
+		if fc.Count > len(cands) {
+			return nil, fmt.Errorf("scenario: faultCampaign fails %d of %d candidate nodes", fc.Count, len(cands))
+		}
+		return faultinject.Nodes(fc.Seed, cands, fc.Count, ms(fc.WindowMS)), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown faultCampaign kind %q", fc.Kind)
 }
 
 // TransferConfig describes a point-to-point or group transfer.
@@ -165,6 +252,11 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("scenario: transfer bytes %d", c.Transfer.Bytes)
 		}
 	}
+	if c.FaultCampaign != nil {
+		if err := c.FaultCampaign.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -241,6 +333,37 @@ func runTransfer(tor *torus.Torus, params netsim.Params, c Config) (Result, erro
 			cfg.MinProxies = 1
 			cfg.Threshold = 0
 		}
+		if c.FaultCampaign != nil {
+			// Mid-run failures: run the resilient transfer loop (detect ->
+			// replan -> degrade) instead of the one-shot plan.
+			camp, err := c.FaultCampaign.build(tor)
+			if err != nil {
+				return res, err
+			}
+			tr, err := core.NewTransport(tor, params, cfg)
+			if err != nil {
+				return res, err
+			}
+			e.BeginInteractive()
+			if err := camp.Apply(e); err != nil {
+				return res, err
+			}
+			rep, rerr := tr.MoveResilient(e, torus.NodeID(t.Src), torus.NodeID(t.Dst), t.Bytes, core.DefaultRecoveryConfig())
+			if rep.Delivered > 0 && rep.Makespan > 0 {
+				res.GBps = netsim.Throughput(rep.Delivered, rep.Makespan) / 1e9
+			}
+			res.MakespanMS = float64(rep.Makespan) * 1e3
+			res.Mode = fmt.Sprintf("resilient %v (%d replans)", rep.FinalMode, rep.Replans)
+			res.Notes = append(res.Notes, fmt.Sprintf("fault campaign %q: %d events; delivered %d of %d bytes",
+				camp.Name, len(camp.Events), rep.Delivered, rep.Bytes))
+			if rep.Degraded {
+				res.Notes = append(res.Notes, "recovery degraded the proxy count mid-transfer")
+			}
+			if rerr != nil {
+				res.Notes = append(res.Notes, fmt.Sprintf("recovery gave up: %v", rerr))
+			}
+			return res, attachTrace(rep.Makespan)
+		}
 		pl, err := core.NewPairPlanner(tor, cfg)
 		if err != nil {
 			return res, err
@@ -285,9 +408,24 @@ func runTransfer(tor *torus.Torus, params netsim.Params, c Config) (Result, erro
 		if err != nil {
 			return res, err
 		}
+		if c.FaultCampaign != nil {
+			camp, cerr := c.FaultCampaign.build(tor)
+			if cerr != nil {
+				return res, cerr
+			}
+			if cerr := camp.Apply(e); cerr != nil {
+				return res, cerr
+			}
+			res.Notes = append(res.Notes, fmt.Sprintf("fault campaign %q: %d events (no recovery for group transfers)",
+				camp.Name, len(camp.Events)))
+		}
 		mk, err := e.Run()
 		if err != nil {
 			return res, err
+		}
+		if c.FaultCampaign != nil {
+			done, aborted := e.Outcomes()
+			res.Notes = append(res.Notes, fmt.Sprintf("outcomes: %d flows completed, %d aborted", done, aborted))
 		}
 		res.GBps = netsim.Throughput(t.Bytes, mk) / 1e9
 		res.MakespanMS = float64(mk) * 1e3
@@ -365,9 +503,23 @@ func runIO(tor *torus.Torus, params netsim.Params, c Config) (Result, error) {
 		total, meta = plan.TotalBytes, float64(plan.Metadata)
 		res.Mode = fmt.Sprintf("collective-io: %d aggregators, %d rounds", plan.NumAggregators, plan.Rounds)
 	}
+	if c.FaultCampaign != nil {
+		camp, cerr := c.FaultCampaign.build(tor)
+		if cerr != nil {
+			return res, cerr
+		}
+		if cerr := camp.Apply(e); cerr != nil {
+			return res, cerr
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf("fault campaign %q: %d events", camp.Name, len(camp.Events)))
+	}
 	mk, err := e.Run()
 	if err != nil {
 		return res, err
+	}
+	if c.FaultCampaign != nil {
+		done, aborted := e.Outcomes()
+		res.Notes = append(res.Notes, fmt.Sprintf("outcomes: %d flows completed, %d aborted", done, aborted))
 	}
 	res.GBps = float64(total) / (float64(mk) + meta) / 1e9
 	res.MakespanMS = (float64(mk) + meta) * 1e3

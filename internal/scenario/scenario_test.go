@@ -312,3 +312,90 @@ func TestRunPairWithFailures(t *testing.T) {
 		t.Fatal("bad dir accepted")
 	}
 }
+
+func TestRunPairWithFaultCampaign(t *testing.T) {
+	cfg, err := Load(strings.NewReader(`{
+		"shape": "2x2x4x4x2",
+		"faultCampaign": {"kind": "uniform", "seed": 7, "count": 4, "windowMS": 5},
+		"transfer": {"kind": "pair", "src": 0, "dst": 127, "bytes": 67108864}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Mode, "resilient") {
+		t.Fatalf("mode %q, want resilient transfer", res.Mode)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "delivered 67108864 of 67108864") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("full-delivery note missing: %v", res.Notes)
+	}
+	if res.GBps <= 0 {
+		t.Fatal("no throughput under recoverable campaign")
+	}
+	// Same config, same result: campaigns are seeded.
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.GBps != res.GBps || again.MakespanMS != res.MakespanMS {
+		t.Fatalf("campaign run not deterministic: %+v vs %+v", res, again)
+	}
+}
+
+func TestRunIOWithFaultCampaign(t *testing.T) {
+	res, err := Run(Config{
+		Shape: "2x2x4x4x2",
+		Seed:  3,
+		FaultCampaign: &FaultCampaignConfig{
+			Kind: "burst", Seed: 11, Count: 2, AtMS: 0.5,
+		},
+		IO: &IOConfig{Workload: "pattern1", Approach: "topology-aware"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "outcomes:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("outcomes note missing: %v", res.Notes)
+	}
+}
+
+func TestLoadRejectsBadFaultCampaigns(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind": `{"shape": "2x2x4x4x2", "faultCampaign": {"kind": "meteor", "count": 1, "windowMS": 1},
+			"transfer": {"kind": "pair", "src": 0, "dst": 1, "bytes": 1}}`,
+		"uniform no window": `{"shape": "2x2x4x4x2", "faultCampaign": {"kind": "uniform", "count": 1},
+			"transfer": {"kind": "pair", "src": 0, "dst": 1, "bytes": 1}}`,
+		"burst zero count": `{"shape": "2x2x4x4x2", "faultCampaign": {"kind": "burst", "atMS": 1},
+			"transfer": {"kind": "pair", "src": 0, "dst": 1, "bytes": 1}}`,
+		"mtbf no rate": `{"shape": "2x2x4x4x2", "faultCampaign": {"kind": "mtbf"},
+			"transfer": {"kind": "pair", "src": 0, "dst": 1, "bytes": 1}}`,
+	}
+	for name, raw := range cases {
+		if _, err := Load(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Structurally valid but unbuildable for the torus: too many nodes.
+	if _, err := Run(Config{
+		Shape:         "2x2x4x4x2",
+		FaultCampaign: &FaultCampaignConfig{Kind: "nodes", Count: 9999, WindowMS: 1},
+		Transfer:      &TransferConfig{Kind: "pair", Src: 0, Dst: 127, Bytes: 1 << 20},
+	}); err == nil {
+		t.Fatal("oversized node campaign accepted")
+	}
+}

@@ -20,6 +20,11 @@ type FlowRecord struct {
 	ActivatedS  float64 `json:"activated"`
 	TransferEnd float64 `json:"transferEnd"`
 	CompletedS  float64 `json:"completed"`
+	// Aborted marks a flow killed by a failure event (its path crossed a
+	// link that died mid-flight, or a dependency aborted); AbortedS is the
+	// failure instant.
+	Aborted  bool    `json:"aborted,omitempty"`
+	AbortedS float64 `json:"abortedAt,omitempty"`
 }
 
 // LinkRecord is one link's total load in an exported trace.
@@ -64,6 +69,8 @@ func BuildExport(e *netsim.Engine, makespan sim.Duration, specs []netsim.FlowSpe
 			ActivatedS:  float64(r.Activated),
 			TransferEnd: float64(r.TransferEnd),
 			CompletedS:  float64(r.Completed),
+			Aborted:     r.Aborted,
+			AbortedS:    float64(r.AbortTime),
 		})
 	}
 	for l, b := range e.LinkBytes() {
