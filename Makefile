@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench quick
+.PHONY: build test lint verify bench quick
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 verification: full build + tests, plus the race detector over
-# the packages that run worker pools or schedule failure events
-# (see ROADMAP.md).
-verify: build
+# Static checks: go vet plus a gofmt cleanliness gate (gofmt -l prints
+# offending files; any output fails the target).
+lint:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+
+# Tier-1 verification: full build + static checks + tests, plus the race
+# detector over the packages that run worker pools or schedule failure
+# events (see ROADMAP.md).
+verify: build lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/experiments ./internal/netsim ./internal/faultinject
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -93,5 +95,84 @@ func TestBgqbenchQuickCLI(t *testing.T) {
 	}
 	if err := exec.Command(bin, "-run", "nonsense").Run(); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestBgqbenchObsTraceCLI is the PR's acceptance check: the r1 quick run
+// with -obs-trace must produce valid Chrome trace-event JSON containing
+// proxy-leg and replan spans, -metrics must produce a readable snapshot,
+// and the -json report must embed the metrics.
+func TestBgqbenchObsTraceCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "cmd/bgqbench")
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	reportPath := filepath.Join(dir, "report.json")
+	out, err := exec.Command(bin, "-run", "r1", "-quick",
+		"-obs-trace", tracePath, "-metrics", metricsPath, "-json", reportPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("bgqbench: %v\n%s", err, out)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("obs trace is not valid JSON: %v", err)
+	}
+	var proxySpans, replanSpans int
+	for _, e := range trace.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if strings.Contains(e.Name, "proxy") {
+			proxySpans++
+		}
+		if strings.Contains(e.Name, "replan") {
+			replanSpans++
+		}
+	}
+	if proxySpans == 0 || replanSpans == 0 {
+		t.Fatalf("trace has %d proxy spans and %d replan spans, want both > 0", proxySpans, replanSpans)
+	}
+
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	mraw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mraw, &metrics); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	if metrics.Counters["transport/replans"] == 0 || metrics.Counters["netsim/flows_done"] == 0 {
+		t.Fatalf("metrics counters missing expected entries: %v", metrics.Counters)
+	}
+
+	var report struct {
+		Metrics *struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	rraw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rraw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Metrics == nil || report.Metrics.Counters["transport/replans"] == 0 {
+		t.Fatal("-json report did not embed the metrics snapshot")
 	}
 }

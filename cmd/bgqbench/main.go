@@ -6,6 +6,7 @@
 //
 //	bgqbench [-run fig5|fig6|fig7|fig8|fig9|fig10|fig11|r1|ablations|all] [-quick]
 //	         [-parallel N] [-json out.json] [-compare prev.json]
+//	         [-obs-trace f] [-metrics f]
 //	         [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // -quick trims the sweeps (fewer message sizes, smaller top scale) for a
@@ -15,6 +16,13 @@
 // a machine-readable report — per-experiment wall time, simulated
 // seconds, allocation totals, and the rendered rows — and -compare
 // prints a one-line wall-time comparison against a previous report.
+//
+// -obs-trace records the run's simulation-time spans (proxy legs,
+// recovery waves, replans) into a Chrome trace-event JSON file loadable
+// at ui.perfetto.dev; -metrics writes the observability registry's
+// counters and histograms as a flat JSON snapshot. Both also embed a
+// metrics summary in the -json report. The observability hooks are
+// currently wired through the r1 runner.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"bgqflow/internal/experiments"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/stats"
 )
 
@@ -52,6 +61,9 @@ type report struct {
 	GoMaxProcs  int         `json:"gomaxprocs"`
 	TotalWallMS float64     `json:"total_wall_ms"`
 	Experiments []expReport `json:"experiments"`
+	// Metrics is the observability registry snapshot, present when
+	// -obs-trace or -metrics was given.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -64,11 +76,16 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
+	obsTrace := flag.String("obs-trace", "", "write the run's simulation-time spans as Chrome trace-event JSON (ui.perfetto.dev)")
+	metricsOut := flag.String("metrics", "", "write the observability metrics registry as a JSON snapshot")
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.Quick = *quick
 	opt.Parallel = *parallel
+	if *obsTrace != "" || *metricsOut != "" {
+		opt.Obs = obs.NewRecorder()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -163,6 +180,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	if opt.Obs != nil {
+		snap := opt.Obs.Registry().Snapshot()
+		rep.Metrics = &snap
+		if *obsTrace != "" {
+			if err := writeObsTrace(*obsTrace, opt.Obs); err != nil {
+				fatal("obs-trace: %v", err)
+			}
+			fmt.Printf("wrote %d spans to %s (open at ui.perfetto.dev)\n", len(opt.Obs.Spans()), *obsTrace)
+		}
+		if *metricsOut != "" {
+			if err := writeMetrics(*metricsOut, snap); err != nil {
+				fatal("metrics: %v", err)
+			}
+		}
+	}
+
 	if *jsonOut != "" {
 		if err := writeReport(*jsonOut, rep); err != nil {
 			fatal("json: %v", err)
@@ -203,6 +236,32 @@ func splitRows(s string) []string {
 		}
 	}
 	return rows
+}
+
+// writeObsTrace dumps the recorder as Chrome trace-event JSON.
+func writeObsTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps a registry snapshot as flat JSON.
+func writeMetrics(path string, snap obs.MetricsSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeReport(path string, rep report) error {

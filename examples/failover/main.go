@@ -5,8 +5,11 @@
 // is the interesting case: links die *mid-flight*, the affected proxy
 // pieces abort at the failure instant, and the resilient transfer loop
 // detects the loss, replans the remaining bytes around the new faults,
-// and degrades toward fewer proxies until everything lands. The example
-// asserts full delivery; completion proves recovery worked.
+// and degrades toward fewer proxies until everything lands. The whole
+// recovery is recorded through the observability layer: the example
+// writes a Perfetto trace (open it at ui.perfetto.dev) and asserts the
+// span sequence — transfer running, fault instant, replan span, then
+// completion — programmatically, on top of asserting full delivery.
 //
 // Run with: go run ./examples/failover
 package main
@@ -14,14 +17,20 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"bgqflow/internal/core"
 	"bgqflow/internal/faultinject"
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/routing"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/torus"
 )
+
+// tracePath is where the Perfetto trace of the recovery lands.
+const tracePath = "failover-trace.json"
 
 func main() {
 	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
@@ -90,6 +99,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Record everything: the engine sink produces per-leg flow spans,
+	// failure instants, and the link utilization timeline; the transport
+	// recorder adds the wave / replan / degrade structure on top.
+	rec := obs.NewRecorder()
+	timeline := obs.NewLinkTimeline(1e-3)
+	e.SetSink(rec.EngineSink("net", timeline))
+	tr.SetRecorder(rec, "transfer")
 	e.BeginInteractive()
 	// Target the campaign at links the transfer actually uses — the
 	// direct route plus the first hop of every proxy leg — so failures
@@ -123,4 +139,72 @@ func main() {
 		log.Fatalf("recovery left %d bytes undelivered", bytes-rep.Delivered)
 	}
 	fmt.Println("all bytes delivered despite mid-transfer failures")
+
+	// Render the link utilization timeline as counter tracks and write
+	// the whole recording as a Perfetto trace.
+	rec.TimelineCounters(timeline,
+		func(l int) string { return "util " + net.LinkName(l) },
+		func(l int) float64 { return net.Capacity(l) })
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %d spans to %s — open it at ui.perfetto.dev\n", len(rec.Spans()), tracePath)
+
+	assertSpanSequence(rec)
+	fmt.Println("span sequence checks out: transfer -> fault -> replan -> completion")
+}
+
+// assertSpanSequence verifies the recovery's causal story as told by the
+// trace: the overall transfer span opens first and completes (not
+// aborted); the first fault instant lands inside it while flows are in
+// flight; a replan span begins at or after that fault; and the transfer
+// completes only after the last replan ends.
+func assertSpanSequence(rec *obs.Recorder) {
+	var transfer *obs.Span
+	var firstReplan, lastReplan *obs.Span
+	spans := rec.Spans()
+	for i := range spans {
+		s := &spans[i]
+		switch {
+		case s.Track == "transfer" && !s.Aborted:
+			transfer = s
+		case strings.HasPrefix(s.Name, "replan "):
+			if firstReplan == nil {
+				firstReplan = s
+			}
+			lastReplan = s
+		}
+	}
+	if transfer == nil {
+		log.Fatal("trace has no completed transfer span")
+	}
+	if firstReplan == nil {
+		log.Fatal("trace has no replan span")
+	}
+	var fault *obs.Instant
+	for _, in := range rec.Instants() {
+		if in.Track == "net/failures" {
+			fault = &in
+			break
+		}
+	}
+	if fault == nil {
+		log.Fatal("trace has no fault instant")
+	}
+	if !(transfer.Begin <= fault.At && fault.At < transfer.End) {
+		log.Fatalf("fault at %v outside the transfer span [%v, %v]", fault.At, transfer.Begin, transfer.End)
+	}
+	if firstReplan.Begin < fault.At {
+		log.Fatalf("replan begins at %v, before the first fault at %v", firstReplan.Begin, fault.At)
+	}
+	if transfer.End < lastReplan.End {
+		log.Fatalf("transfer completes at %v, before the last replan ends at %v", transfer.End, lastReplan.End)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"bgqflow/internal/ionet"
 	"bgqflow/internal/mpisim"
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/routing"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/torus"
@@ -63,7 +64,16 @@ type AggPlanner struct {
 	// candidates[count][pset] lists the aggregator nodes (block lead
 	// nodes) for that per-pset count.
 	candidates map[int][][]torus.NodeID
+
+	// rec, when set, accumulates per-aggregator and per-bridge byte
+	// counters into its registry as bursts are planned. nil = off.
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches an observability recorder: every planned burst
+// accumulates ionet/agg/node<N> and ionet/bridge/pset<P>/b<B> byte
+// counters into its registry. Pass nil to detach.
+func (a *AggPlanner) SetRecorder(rec *obs.Recorder) { a.rec = rec }
 
 // NewAggPlanner runs the Init phase of Algorithm 2.
 func NewAggPlanner(ios *ionet.System, job *mpisim.Job, params netsim.Params, cfg AggConfig) (*AggPlanner, error) {
@@ -233,6 +243,11 @@ func (a *AggPlanner) PlanWithSink(e *netsim.Engine, data []int64, sink ionet.Sin
 		}
 		agg := aggs[next%len(aggs)]
 		next++
+		if a.rec != nil {
+			reg := a.rec.Registry()
+			reg.Counter(fmt.Sprintf("ionet/agg/node%d", agg.Node)).Add(bytes)
+			reg.Counter(fmt.Sprintf("ionet/bridge/pset%d/b%d", agg.Pset, agg.Bridge)).Add(bytes)
+		}
 		src := torus.NodeID(node)
 		gather := netsim.FlowSpec{Src: src, Dst: agg.Node, Bytes: bytes,
 			Label: fmt.Sprintf("n%d->agg%d", node, agg.Node)}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/routing"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/torus"
@@ -102,6 +103,17 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 	backoff := rc.Backoff
 	remaining := bytes
 	firstWaveProxies := -1
+	rec, track := t.recorder()
+	if rec != nil {
+		defer func(begin sim.Time) {
+			name := fmt.Sprintf("resilient %d->%d (%dB)", src, dst, bytes)
+			if rep.Complete {
+				rec.Span(track, name, begin, e.Now())
+			} else {
+				rec.SpanAborted(track, name+" (incomplete)", begin, e.Now())
+			}
+		}(e.Now())
+	}
 
 	for {
 		// Plan this wave against the live failure state. The degradation
@@ -157,6 +169,15 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 			predicted = t.model.DirectTime(remaining, len(r.Links))
 		}
 		rep.Attempts++
+		var waveSpan obs.SpanID
+		if rec != nil {
+			mode := "direct"
+			if len(proxies) > 0 {
+				mode = fmt.Sprintf("proxied k=%d", len(proxies))
+			}
+			waveSpan = rec.SpanBegin(track+"/waves",
+				fmt.Sprintf("wave %d %s (%dB)", rep.Attempts-1, mode, remaining), waveStart)
+		}
 
 		// Drive the clock until every final of this wave resolves. Aborts
 		// fire at the failure instant, so each final ends Done or Aborted.
@@ -165,6 +186,9 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 				rep.Delivered = bytes - remaining
 				return rep, fmt.Errorf("core: clock ran dry with unresolved flows (wave %d)", rep.Attempts)
 			}
+		}
+		if rec != nil {
+			rec.SpanEnd(waveSpan, e.Now())
 		}
 
 		var lost int64
@@ -193,6 +217,7 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 		// Charge the detection timeout: the loss is noticed DetectFactor x
 		// the predicted wave time after the wave began, plus the current
 		// backoff — all in simulated time.
+		lossAt := e.Now()
 		detectAt := waveStart + sim.Time(float64(predicted)*rc.DetectFactor) + sim.Time(backoff)
 		t.waitUntil(e, detectAt)
 		backoff *= 2
@@ -201,10 +226,24 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 		rep.BytesRerouted += lost
 		// Descend the ladder: the next wave gets one fewer proxy than this
 		// one used (direct once below MinProxies).
+		degraded := maxK
 		if len(proxies) > 0 {
 			maxK = len(proxies) - 1
 		} else {
 			maxK = 0
+		}
+		if rec != nil {
+			// The replan span covers the detect-and-backoff window between
+			// the loss and the next wave's release.
+			rec.Span(track+"/waves",
+				fmt.Sprintf("replan %d (%dB lost, k<=%d)", rep.Replans, lost, maxK), lossAt, e.Now())
+			if maxK < degraded {
+				rec.Instant(track+"/waves", fmt.Sprintf("degrade k<=%d", maxK), e.Now())
+			}
+			reg := rec.Registry()
+			reg.Counter("transport/replans").Inc()
+			reg.Counter("transport/bytes_rerouted").Add(lost)
+			reg.Histogram("transport/detect_ms").Observe(float64(e.Now()-lossAt) * 1e3)
 		}
 	}
 }

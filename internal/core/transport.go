@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/torus"
 )
 
@@ -24,6 +25,12 @@ type Transport struct {
 	cache  map[pairKey]*pairEntry
 	hits   int
 	misses int
+
+	// rec, when set, receives plan instants from Move and the wave /
+	// detect / replan span timeline from MoveResilient, filed under
+	// track; registry counters (transport/...) ride along. nil = off.
+	rec   *obs.Recorder
+	track string
 }
 
 type pairKey struct {
@@ -70,6 +77,28 @@ func (t *Transport) Stats() (hits, misses int) {
 	return t.hits, t.misses
 }
 
+// SetRecorder attaches an observability recorder: Move emits plan
+// instants and MoveResilient wraps each recovery wave and each
+// detect->replan->degrade iteration in spans on the given track ("" means
+// "transport"). Attach an obs.EngineSink to the engine as well to get
+// the per-leg flow spans under the same recorder. Pass nil to detach.
+func (t *Transport) SetRecorder(rec *obs.Recorder, track string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rec = rec
+	if track == "" {
+		track = "transport"
+	}
+	t.track = track
+}
+
+// recorder returns the attached recorder and track under the lock.
+func (t *Transport) recorder() (*obs.Recorder, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rec, t.track
+}
+
 // entryFor returns the cached selection for a pair, computing it on the
 // first use.
 func (t *Transport) entryFor(src, dst torus.NodeID) *pairEntry {
@@ -78,9 +107,15 @@ func (t *Transport) entryFor(src, dst torus.NodeID) *pairEntry {
 	key := pairKey{src, dst}
 	if e, ok := t.cache[key]; ok {
 		t.hits++
+		if t.rec != nil {
+			t.rec.Registry().Counter("transport/pair_cache_hits").Inc()
+		}
 		return e
 	}
 	t.misses++
+	if t.rec != nil {
+		t.rec.Registry().Counter("transport/pair_cache_misses").Inc()
+	}
 	proxies := selectProxiesAvoiding(t.tor, src, dst, t.cfg, nil, t.faults)
 	entry := &pairEntry{proxies: proxies}
 	if len(proxies) >= t.cfg.MinProxies && len(proxies) > 0 {
@@ -114,7 +149,12 @@ func (t *Transport) Move(e *netsim.Engine, src, dst torus.NodeID, bytes int64) (
 		return PairPlan{}, fmt.Errorf("core: endpoints (%d,%d) outside partition", src, dst)
 	}
 	entry := t.entryFor(src, dst)
+	rec, track := t.recorder()
 	if src == dst || bytes < entry.threshold || len(entry.proxies) < t.cfg.MinProxies {
+		if rec != nil {
+			rec.Instant(track, fmt.Sprintf("plan direct %d->%d (%dB)", src, dst, bytes), e.Now())
+			rec.Registry().Counter("transport/moves_direct").Inc()
+		}
 		spec := netsim.FlowSpec{Src: src, Dst: dst, Bytes: bytes, Label: "transport/direct"}
 		if t.faults != nil && src != dst {
 			// Fault-aware direct route.
@@ -123,6 +163,10 @@ func (t *Transport) Move(e *netsim.Engine, src, dst torus.NodeID, bytes int64) (
 		}
 		id := e.Submit(spec)
 		return PairPlan{Mode: Direct, Bytes: bytes, Flows: []netsim.FlowID{id}, Final: []netsim.FlowID{id}}, nil
+	}
+	if rec != nil {
+		rec.Instant(track, fmt.Sprintf("plan proxied k=%d %d->%d (%dB)", len(entry.proxies), src, dst, bytes), e.Now())
+		rec.Registry().Counter("transport/moves_proxied").Inc()
 	}
 	plan := PairPlan{Mode: Proxied, Proxies: entry.proxies, Bytes: bytes}
 	pieces := splitBytes(bytes, len(entry.proxies))

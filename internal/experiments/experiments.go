@@ -14,6 +14,7 @@ import (
 	"bgqflow/internal/ionet"
 	"bgqflow/internal/mpisim"
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/torus"
 )
 
@@ -31,6 +32,13 @@ type Options struct {
 	// every point is self-contained and deterministic, and the runner
 	// assembles results in index order.
 	Parallel int
+	// Obs, when non-nil, collects spans, instants, and metrics from the
+	// runners that support it (currently R1): per-strategy engine sinks
+	// produce flow spans and failure instants on tracks like
+	// "r1/fail8/recovery", the recovery Transport adds wave/replan spans,
+	// and route-cache counters land in the recorder's registry. The
+	// Recorder is safe to share across parallel sweep points. nil = off.
+	Obs *obs.Recorder
 }
 
 // DefaultOptions returns a full-fidelity configuration.

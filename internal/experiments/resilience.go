@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+
 	"bgqflow/internal/core"
 	"bgqflow/internal/faultinject"
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/routing"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/torus"
@@ -115,12 +118,31 @@ func r1ModeResult(delivered, total int64, last sim.Duration, replans int) R1Mode
 	return m
 }
 
+// r1Observe attaches the sweep recorder (when present) to a strategy
+// engine and returns a flush that publishes the run's route-cache
+// counters into the registry. Tracks are per point and strategy
+// ("r1/fail8/recovery"), so parallel sweep points never share a track.
+func r1Observe(rec *obs.Recorder, e *netsim.Engine, track string) (flush func()) {
+	if rec == nil {
+		return func() {}
+	}
+	e.SetSink(rec.EngineSink(track, nil))
+	return func() {
+		hits, misses, invals := e.Network().RouteCache().Counts()
+		reg := rec.Registry()
+		reg.Counter("routing/cache/hits").Add(int64(hits))
+		reg.Counter("routing/cache/misses").Add(int64(misses))
+		reg.Counter("routing/cache/invalidations").Add(int64(invals))
+	}
+}
+
 // r1Direct runs the default single-path transfer under the campaign.
-func r1Direct(tor *torus.Torus, p netsim.Params, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64) (R1Mode, error) {
+func r1Direct(tor *torus.Torus, p netsim.Params, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64, rec *obs.Recorder, track string) (R1Mode, error) {
 	e, err := newEngine(tor, p)
 	if err != nil {
 		return R1Mode{}, err
 	}
+	defer r1Observe(rec, e, track)()
 	id := e.Submit(netsim.FlowSpec{Src: src, Dst: dst, Bytes: bytes, Label: "r1/direct"})
 	if err := c.Apply(e); err != nil {
 		return R1Mode{}, err
@@ -135,11 +157,12 @@ func r1Direct(tor *torus.Torus, p netsim.Params, c *faultinject.Campaign, src, d
 
 // r1ProxyNoRecovery runs the paper's proxied transfer with no recovery:
 // pieces whose legs cross a failed link abort and stay lost.
-func r1ProxyNoRecovery(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64) (R1Mode, error) {
+func r1ProxyNoRecovery(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64, rec *obs.Recorder, track string) (R1Mode, error) {
 	e, err := newEngine(tor, p)
 	if err != nil {
 		return R1Mode{}, err
 	}
+	defer r1Observe(rec, e, track)()
 	pl, err := core.NewPairPlanner(tor, cfg)
 	if err != nil {
 		return R1Mode{}, err
@@ -184,14 +207,18 @@ func splitEven(bytes int64, n int) []int64 {
 }
 
 // r1ProxyRecovery runs the resilient transfer loop under the campaign.
-func r1ProxyRecovery(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64) (R1Mode, error) {
+func r1ProxyRecovery(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64, rec *obs.Recorder, track string) (R1Mode, error) {
 	e, err := newEngine(tor, p)
 	if err != nil {
 		return R1Mode{}, err
 	}
+	defer r1Observe(rec, e, track)()
 	tr, err := core.NewTransport(tor, p, cfg)
 	if err != nil {
 		return R1Mode{}, err
+	}
+	if rec != nil {
+		tr.SetRecorder(rec, track)
 	}
 	e.BeginInteractive()
 	if err := c.Apply(e); err != nil {
@@ -225,15 +252,16 @@ func R1(opt Options) (R1Result, error) {
 		n := fails[i]
 		pt := R1Point{FailedLinks: n}
 		var err error
+		track := func(strategy string) string { return fmt.Sprintf("r1/fail%d/%s", n, strategy) }
 		// Each strategy gets its own fresh network and an identical
 		// campaign (campaigns are pure values; Apply re-schedules them).
-		if pt.Direct, err = r1Direct(tor, p, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes); err != nil {
+		if pt.Direct, err = r1Direct(tor, p, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes, opt.Obs, track("direct")); err != nil {
 			return err
 		}
-		if pt.ProxyNoRec, err = r1ProxyNoRecovery(tor, p, cfg, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes); err != nil {
+		if pt.ProxyNoRec, err = r1ProxyNoRecovery(tor, p, cfg, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes, opt.Obs, track("norec")); err != nil {
 			return err
 		}
-		if pt.ProxyRec, err = r1ProxyRecovery(tor, p, cfg, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes); err != nil {
+		if pt.ProxyRec, err = r1ProxyRecovery(tor, p, cfg, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes, opt.Obs, track("recovery")); err != nil {
 			return err
 		}
 		res.Points[i] = pt

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"bgqflow/internal/obs"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/torus"
 )
@@ -156,6 +157,14 @@ type Engine struct {
 	// been applied and its victims aborted. The I/O layer uses it to fail
 	// over bridge assignments mid-run; traces use it to annotate runs.
 	failureObserver func(now sim.Time, node torus.NodeID, isNode bool, links []int)
+
+	// sink is the generalized telemetry interface the single-purpose
+	// observers grew into (see obs.Sink): flow activations and wire
+	// spans, sweep and failure events, and per-link byte windows for
+	// time-bucketed utilization. nil means observability off — every
+	// emission site is a single predictable branch, preserving the
+	// zero-allocation steady state of Submit/release.
+	sink obs.Sink
 }
 
 // failureEvent is the clock payload of a scheduled link or node failure.
@@ -232,6 +241,14 @@ func (e *Engine) OnEvent(_ *sim.Engine, arg any) {
 		}
 	}
 }
+
+// SetSink installs an observability sink (see obs.Sink); pass nil to
+// disable. Callers must pass a genuinely nil interface, not a typed nil
+// pointer, to turn instrumentation off.
+func (e *Engine) SetSink(s obs.Sink) { e.sink = s }
+
+// Sink returns the installed observability sink (nil when off).
+func (e *Engine) Sink() obs.Sink { return e.sink }
 
 // Params returns the engine's parameters.
 func (e *Engine) Params() Params { return e.p }
@@ -346,6 +363,9 @@ func (e *Engine) activate(f *flow) {
 	f.res.Activated = e.clock.Now()
 	f.remaining = float64(f.spec.Bytes)
 	f.lastUpdate = e.clock.Now()
+	if e.sink != nil {
+		e.sink.FlowActivated(e.clock.Now(), int(f.id), f.spec.Label)
+	}
 	if f.spec.Bytes == 0 {
 		e.transferEnd(f)
 		return
@@ -366,6 +386,15 @@ func (e *Engine) transferEnd(f *flow) {
 	// before leaving the links.
 	for _, l := range f.links {
 		e.linkBytes[l] += f.remaining
+	}
+	if e.sink != nil {
+		now := e.clock.Now()
+		if f.remaining > 0 {
+			for _, l := range f.links {
+				e.sink.LinkWindow(l, f.lastUpdate, now, f.remaining)
+			}
+		}
+		e.sink.FlowEnded(now, f.res.Activated, int(f.id), f.spec.Label, f.spec.Bytes, false)
 	}
 	f.remaining = 0
 	for _, l := range f.links {
@@ -463,6 +492,9 @@ func (e *Engine) applyFailure(fe *failureEvent) {
 	if e.failureObserver != nil {
 		e.failureObserver(now, fe.node, fe.isNode, fe.links)
 	}
+	if e.sink != nil {
+		e.sink.FailureApplied(now, int(fe.node), fe.isNode, len(fe.links))
+	}
 }
 
 // abort cuts a flow at the failure instant: it leaves its links (the
@@ -483,7 +515,13 @@ func (e *Engine) abort(f *flow, now sim.Time) {
 			f.remaining -= moved
 			for _, l := range f.links {
 				e.linkBytes[l] += moved
+				if e.sink != nil && moved > 0 {
+					e.sink.LinkWindow(l, f.lastUpdate, now, moved)
+				}
 			}
+		}
+		if e.sink != nil {
+			e.sink.FlowEnded(now, f.res.Activated, int(f.id), f.spec.Label, f.spec.Bytes, true)
 		}
 		for _, l := range f.links {
 			e.removeFromLink(l, f)
@@ -552,6 +590,9 @@ func (e *Engine) sweep() {
 	}
 	if e.sweepObserver != nil {
 		e.sweepObserver(e.clock.Now())
+	}
+	if e.sink != nil {
+		e.sink.SweepDone(e.clock.Now(), len(flows), len(links))
 	}
 }
 
@@ -653,6 +694,9 @@ func (e *Engine) waterfill(flows []*flow, links []int) {
 			f.remaining -= moved
 			for _, l := range f.links {
 				e.linkBytes[l] += moved
+				if e.sink != nil && moved > 0 {
+					e.sink.LinkWindow(l, f.lastUpdate, now, moved)
+				}
 			}
 		}
 		f.lastUpdate = now

@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bgqflow/internal/obs"
+	"bgqflow/internal/torus"
+)
+
+// TestEngineSinkEvents checks the engine's obs.Sink emission sites end to
+// end: one wire-occupancy span per flow (aborted flows marked), failure
+// instants at the failure time, sweep counters, and a link timeline whose
+// bucket sums integrate to exactly the engine's cumulative byte counters.
+func TestEngineSinkEvents(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	p := DefaultParams()
+	e, err := NewEngine(NewNetwork(tor, p.LinkBandwidth), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	tl := obs.NewLinkTimeline(1e-3)
+	e.SetSink(rec.EngineSink("eng", tl))
+	if e.Sink() == nil {
+		t.Fatal("Sink() lost the attached sink")
+	}
+
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	e.Submit(FlowSpec{Src: src, Dst: dst, Bytes: 8 << 20, Label: "survivor"})
+	victim := e.Submit(FlowSpec{Src: torus.NodeID(1), Dst: dst, Bytes: 8 << 20, Label: "victim"})
+	// Kill the victim's first hop mid-flight.
+	e.FailLinkAt(e.FlowRouteLinks(victim)[0], 1e-3)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d flow spans, want 2", len(spans))
+	}
+	var sawVictim, sawSurvivor bool
+	for _, s := range spans {
+		switch {
+		case strings.HasPrefix(s.Name, "victim"):
+			sawVictim = true
+			if !s.Aborted || !strings.HasSuffix(s.Name, "(aborted)") {
+				t.Fatalf("victim span not marked aborted: %+v", s)
+			}
+			if s.End != 1e-3 {
+				t.Fatalf("victim span ends at %v, want the failure instant 1e-3", s.End)
+			}
+		case s.Name == "survivor":
+			sawSurvivor = true
+			if s.Aborted {
+				t.Fatalf("survivor span marked aborted: %+v", s)
+			}
+		}
+		if s.Track != "eng/flows" {
+			t.Fatalf("span on track %q, want eng/flows", s.Track)
+		}
+	}
+	if !sawVictim || !sawSurvivor {
+		t.Fatalf("spans = %+v, want survivor and victim", spans)
+	}
+
+	ins := rec.Instants()
+	if len(ins) != 1 || ins[0].Track != "eng/failures" || ins[0].At != 1e-3 {
+		t.Fatalf("failure instants = %+v", ins)
+	}
+
+	reg := rec.Registry()
+	if reg.Counter("netsim/flows_done").Value() != 1 || reg.Counter("netsim/flows_aborted").Value() != 1 {
+		t.Fatalf("flow counters = %v", reg.Snapshot().Counters)
+	}
+	if reg.Counter("netsim/sweeps").Value() == 0 || reg.Counter("netsim/failures").Value() != 1 {
+		t.Fatalf("sweep/failure counters = %v", reg.Snapshot().Counters)
+	}
+
+	// The timeline must integrate to the engine's cumulative counters:
+	// every byte-charging site also emits a LinkWindow.
+	linkBytes := e.LinkBytes()
+	for _, l := range tl.Links() {
+		if got, want := tl.TotalBytes(l), linkBytes[l]; math.Abs(got-want) > 1 {
+			t.Fatalf("link %d: timeline %.0f bytes, engine counter %.0f", l, got, want)
+		}
+	}
+	var engineTotal, timelineTotal float64
+	for l, b := range linkBytes {
+		engineTotal += b
+		timelineTotal += tl.TotalBytes(l)
+	}
+	if engineTotal <= 0 || math.Abs(engineTotal-timelineTotal) > float64(len(linkBytes)) {
+		t.Fatalf("timeline total %.0f vs engine total %.0f", timelineTotal, engineTotal)
+	}
+}
+
+// BenchmarkEngineSubmitReleaseSinkOn is the paired benchmark for the
+// sink-off guard (BenchmarkEngineSubmitRelease / TestSubmitReleaseZeroAlloc):
+// it measures the same steady-state lifecycle with an EngineSink attached,
+// so `go test -bench SubmitRelease` shows sink-off vs sink-on side by side.
+func BenchmarkEngineSubmitReleaseSinkOn(b *testing.B) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	p := DefaultParams()
+	e, err := NewEngine(NewNetwork(tor, p.LinkBandwidth), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	e.SetSink(rec.EngineSink("bench", nil))
+	e.BeginInteractive()
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	e.Reserve(64 + b.N)
+	for i := 0; i < 64; i++ {
+		e.Submit(FlowSpec{Src: src, Dst: dst, Bytes: 1 << 20})
+		drain(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Submit(FlowSpec{Src: src, Dst: dst, Bytes: 1 << 20})
+		drain(e)
+	}
+}
+
+// TestSinkOffStaysNil pins the pay-for-what-you-use contract: an engine
+// that never had a sink attached reports a genuinely nil Sink (not a
+// typed-nil interface), so every emission site stays one false branch.
+func TestSinkOffStaysNil(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 2, 2, 2})
+	p := DefaultParams()
+	e, err := NewEngine(NewNetwork(tor, p.LinkBandwidth), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Sink() != nil {
+		t.Fatal("fresh engine must have a nil sink")
+	}
+	e.Submit(FlowSpec{Src: 0, Dst: 3, Bytes: 1 << 10})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.SetSink(nil)
+	if e.Sink() != nil {
+		t.Fatal("SetSink(nil) must detach")
+	}
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bgqflow/internal/stats"
+)
+
+// Counter is a monotonically increasing integer metric. It is safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins float metric. It is safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reports the last value set (zero before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram collects a sample distribution; snapshots summarize it with
+// the percentile math from internal/stats. It is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, x)
+	h.mu.Unlock()
+}
+
+// HistSummary is a histogram's snapshot: descriptive statistics plus
+// interpolated percentiles.
+type HistSummary struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
+// Summary computes the histogram's snapshot; an empty histogram returns
+// the zero value.
+func (h *Histogram) Summary() HistSummary {
+	h.mu.Lock()
+	xs := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	s := stats.Summarize(xs)
+	out := HistSummary{N: s.N, Min: s.Min, Max: s.Max, Mean: s.Mean, Stddev: s.Stddev}
+	if s.N > 0 {
+		out.P50 = stats.Percentile(xs, 50)
+		out.P90 = stats.Percentile(xs, 90)
+		out.P99 = stats.Percentile(xs, 99)
+	}
+	return out
+}
+
+// Registry names and owns metrics. Components register (or re-find) a
+// metric by name on first use; the registry hands back the same instance
+// for the same name, so instrumentation sites need no shared setup. Safe
+// for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricsSnapshot is a registry's flat point-in-time export.
+type MetricsSnapshot struct {
+	Counters   map[string]int64       `json:"counters,omitempty"`
+	Gauges     map[string]float64     `json:"gauges,omitempty"`
+	Histograms map[string]HistSummary `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := MetricsSnapshot{}
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]int64, len(counters))
+		for k, v := range counters {
+			snap.Counters[k] = v.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(gauges))
+		for k, v := range gauges {
+			snap.Gauges[k] = v.Value()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistSummary, len(hists))
+		for k, v := range hists {
+			snap.Histograms[k] = v.Summary()
+		}
+	}
+	return snap
+}
+
+// Names reports every registered metric name, sorted, for diagnostics.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	for k := range r.gauges {
+		names = append(names, k)
+	}
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON serializes the snapshot, indented, with a trailing newline.
+func (s MetricsSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadMetricsSnapshot parses a previously written snapshot.
+func ReadMetricsSnapshot(r io.Reader) (MetricsSnapshot, error) {
+	var s MetricsSnapshot
+	err := json.NewDecoder(r).Decode(&s)
+	return s, err
+}

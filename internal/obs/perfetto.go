@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+
+	"bgqflow/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the legacy format ui.perfetto.dev and chrome://tracing both load.
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const tracePid = 1
+
+func usec(t sim.Time) float64 { return float64(t) * 1e6 }
+
+// WriteChromeTrace exports the recorder's spans, instants, and counter
+// samples as Chrome trace-event JSON. Each track becomes a named thread;
+// overlapping spans on one track are spread across lanes (extra threads
+// named "track #n") so concurrent flows render side by side instead of
+// nesting incorrectly. Aborted spans carry an args marker.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+	instants := r.Instants()
+	counters := r.CounterSamples()
+
+	// Collect track names: spans and instants share the thread table.
+	trackSet := make(map[string]struct{})
+	for _, s := range spans {
+		trackSet[s.Track] = struct{}{}
+	}
+	for _, i := range instants {
+		trackSet[i.Track] = struct{}{}
+	}
+	tracks := make([]string, 0, len(trackSet))
+	for t := range trackSet {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+
+	var events []chromeEvent
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "bgqflow"},
+	})
+
+	// Lane assignment: greedy first-fit over spans sorted by begin time
+	// (Spans already sorts). laneEnd[track][lane] is the lane's last end.
+	nextTid := 1
+	trackTid := make(map[string]int, len(tracks)) // lane-0 tid per track
+	laneEnd := make(map[string][]sim.Time)
+	laneTid := make(map[string][]int)
+	threadName := func(track string, lane int) chromeEvent {
+		name := track
+		if lane > 0 {
+			name = track + " #" + strconv.Itoa(lane)
+		}
+		return chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: laneTid[track][lane],
+			Args: map[string]any{"name": name},
+		}
+	}
+	openLane := func(track string) int {
+		lane := len(laneTid[track])
+		laneTid[track] = append(laneTid[track], nextTid)
+		laneEnd[track] = append(laneEnd[track], 0)
+		if lane == 0 {
+			trackTid[track] = nextTid
+		}
+		nextTid++
+		return lane
+	}
+	for _, track := range tracks {
+		openLane(track)
+		events = append(events, threadName(track, 0))
+	}
+
+	for _, s := range spans {
+		lane := -1
+		for i, end := range laneEnd[s.Track] {
+			if end <= s.Begin {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = openLane(s.Track)
+			events = append(events, threadName(s.Track, lane))
+		}
+		laneEnd[s.Track][lane] = s.End
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X", Ts: usec(s.Begin), Dur: usec(s.End - s.Begin),
+			Pid: tracePid, Tid: laneTid[s.Track][lane],
+		}
+		if s.Aborted {
+			ev.Args = map[string]any{"aborted": true}
+		}
+		events = append(events, ev)
+	}
+
+	for _, i := range instants {
+		events = append(events, chromeEvent{
+			Name: i.Name, Ph: "i", Ts: usec(i.At),
+			Pid: tracePid, Tid: trackTid[i.Track], S: "t",
+		})
+	}
+
+	// Counter tracks are keyed by (pid, name); no thread table needed.
+	for _, c := range counters {
+		events = append(events, chromeEvent{
+			Name: c.Track, Ph: "C", Ts: usec(c.At), Pid: tracePid,
+			Args: map[string]any{"value": c.Value},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

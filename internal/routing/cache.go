@@ -135,11 +135,16 @@ func (c *Cache) Purge() {
 // against failed links are made by the submitting layer against live
 // state, never against the cache. Each failure event must call
 // Invalidate again: repeated calls purge idempotently, and an explicitly
-// Disabled cache stays disabled.
+// Disabled cache stays disabled. The hit/miss counters reset with the
+// purge — they describe the current epoch's (cold-started) cache, so
+// observability reads hit rates per failure epoch rather than blended
+// across purges.
 func (c *Cache) Invalidate() {
 	c.mu.Lock()
 	c.routes = make(map[cacheKey][]int)
 	c.epoch++
+	c.hits.Store(0)
+	c.misses.Store(0)
 	c.mu.Unlock()
 }
 
@@ -176,8 +181,17 @@ func (c *Cache) Len() int {
 	return len(c.routes)
 }
 
-// Stats reports cache hits and misses since construction. Lookups made
-// while the cache is disabled count as neither.
+// Stats reports cache hits and misses since the last Invalidate (or
+// construction). Lookups made while the cache is disabled count as
+// neither.
 func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Counts reports the cache's observability counters: hits and misses in
+// the current failure epoch (both reset by Invalidate, which cold-starts
+// the cache) and the number of invalidations absorbed so far.
+func (c *Cache) Counts() (hits, misses, invalidations uint64) {
+	hits, misses = c.hits.Load(), c.misses.Load()
+	return hits, misses, c.Epoch()
 }

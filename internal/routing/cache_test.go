@@ -202,3 +202,43 @@ func BenchmarkRouteCacheHitMiss(b *testing.B) {
 		}
 	})
 }
+
+// TestCacheCounts covers the observability counters: hits and misses
+// accumulate within one failure epoch, Invalidate resets them (per-epoch
+// hit rates) while counting itself as an invalidation, and disabled
+// lookups count as neither.
+func TestCacheCounts(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	c := NewCache(tor)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	if h, m, inv := c.Counts(); h != 0 || m != 0 || inv != 0 {
+		t.Fatalf("fresh cache counts = (%d,%d,%d), want zeros", h, m, inv)
+	}
+	c.Route(src, dst)             // miss
+	c.Route(src, dst)             // hit
+	c.Route(src, dst)             // hit
+	c.Route(src, torus.NodeID(3)) // miss
+	if h, m, inv := c.Counts(); h != 2 || m != 2 || inv != 0 {
+		t.Fatalf("counts = (%d,%d,%d), want (2,2,0)", h, m, inv)
+	}
+
+	c.Invalidate()
+	if h, m, inv := c.Counts(); h != 0 || m != 0 || inv != 1 {
+		t.Fatalf("post-Invalidate counts = (%d,%d,%d), want (0,0,1)", h, m, inv)
+	}
+	c.Route(src, dst) // cold again: miss
+	c.Route(src, dst) // hit
+	if h, m, inv := c.Counts(); h != 1 || m != 1 || inv != 1 {
+		t.Fatalf("second-epoch counts = (%d,%d,%d), want (1,1,1)", h, m, inv)
+	}
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("Stats = (%d,%d), want (1,1) — same window as Counts", h, m)
+	}
+
+	c.Disable()
+	c.Route(src, dst)
+	if h, m, _ := c.Counts(); h != 1 || m != 1 {
+		t.Fatalf("disabled lookups must not count, got (%d,%d)", h, m)
+	}
+}

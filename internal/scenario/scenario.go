@@ -17,6 +17,7 @@ import (
 	"bgqflow/internal/ionet"
 	"bgqflow/internal/mpisim"
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/stats"
 	"bgqflow/internal/torus"
@@ -309,6 +310,7 @@ func runTransfer(tor *torus.Torus, params netsim.Params, c Config) (Result, erro
 	}
 	t := c.Transfer
 	var res Result
+	tl := attachTimeline(e, c)
 	attachTrace := func(mk sim.Duration) error {
 		if !c.CollectTrace {
 			return nil
@@ -316,6 +318,9 @@ func runTransfer(tor *torus.Torus, params netsim.Params, c Config) (Result, erro
 		ex, err := trace.BuildExport(e, mk, nil)
 		if err != nil {
 			return err
+		}
+		if tl != nil {
+			ex.AttachTimeline(e, tl)
 		}
 		res.Trace = &ex
 		return nil
@@ -476,6 +481,7 @@ func runIO(tor *torus.Torus, params netsim.Params, c Config) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	tl := attachTimeline(e, c)
 	var total int64
 	var meta float64
 	switch c.IO.Approach {
@@ -531,7 +537,27 @@ func runIO(tor *torus.Torus, params netsim.Params, c Config) (Result, error) {
 		if err != nil {
 			return res, err
 		}
+		if tl != nil {
+			ex.AttachTimeline(e, tl)
+		}
 		res.Trace = &ex
 	}
 	return res, nil
+}
+
+// traceBucket is the timeline resolution of collected traces: 1 ms
+// buckets resolve the multi-millisecond transfers scenarios run.
+const traceBucket sim.Duration = 1e-3
+
+// attachTimeline hooks a link-utilization timeline onto the engine when
+// the scenario collects a trace, so the schema-2 export carries the
+// time-resolved section. Without CollectTrace the engine keeps a nil
+// sink (zero instrumentation cost).
+func attachTimeline(e *netsim.Engine, c Config) *obs.LinkTimeline {
+	if !c.CollectTrace {
+		return nil
+	}
+	tl := obs.NewLinkTimeline(traceBucket)
+	e.SetSink(obs.TimelineSink{TL: tl})
+	return tl
 }

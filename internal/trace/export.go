@@ -6,8 +6,15 @@ import (
 	"io"
 
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/sim"
 )
+
+// ExportSchema is the schema version written by BuildExport. History:
+// v1 (implicit, no "schema" field) had flow timelines and total link
+// loads only; v2 adds the "schema" field, abort records, and optional
+// time-bucketed link utilization timelines. ReadExport accepts v1 files.
+const ExportSchema = 2
 
 // FlowRecord is one flow's timeline in an exported trace.
 type FlowRecord struct {
@@ -35,12 +42,30 @@ type LinkRecord struct {
 	Util  float64 `json:"util"`
 }
 
+// TimelineRecord is the time-bucketed utilization of one link: Util[i]
+// is the link's mean utilization over bucket i (i*BucketS of the parent
+// Timeline record to (i+1)*BucketS).
+type TimelineRecord struct {
+	ID   int       `json:"id"`
+	Name string    `json:"name"`
+	Util []float64 `json:"util"`
+}
+
+// Timeline is the optional time-resolved section of an export (schema 2):
+// per-link utilization sampled into fixed-width buckets.
+type Timeline struct {
+	BucketS float64          `json:"bucketSeconds"`
+	Links   []TimelineRecord `json:"links"`
+}
+
 // Export is a machine-readable run summary for external tooling
 // (timeline viewers, notebooks).
 type Export struct {
+	Schema    int          `json:"schema"` // see ExportSchema
 	MakespanS float64      `json:"makespan"`
 	Flows     []FlowRecord `json:"flows"`
-	Links     []LinkRecord `json:"links"` // loaded links only
+	Links     []LinkRecord `json:"links"`              // loaded links only
+	Timeline  *Timeline    `json:"timeline,omitempty"` // when a LinkTimeline was attached
 }
 
 // BuildExport collects the run's flow timelines and link loads. specs,
@@ -56,7 +81,7 @@ func BuildExport(e *netsim.Engine, makespan sim.Duration, specs []netsim.FlowSpe
 	if len(specs) != e.NumFlows() {
 		return Export{}, fmt.Errorf("trace: %d specs for %d flows", len(specs), e.NumFlows())
 	}
-	ex := Export{MakespanS: float64(makespan)}
+	ex := Export{Schema: ExportSchema, MakespanS: float64(makespan)}
 	for i, spec := range specs {
 		r := e.Result(netsim.FlowID(i))
 		ex.Flows = append(ex.Flows, FlowRecord{
@@ -94,11 +119,59 @@ func (ex Export) WriteJSON(w io.Writer) error {
 	return enc.Encode(ex)
 }
 
-// ReadExport parses a previously written export.
+// AttachTimeline fills the export's time-resolved section from a link
+// timeline (typically fed by an obs.EngineSink attached to the engine
+// for the run): per-link utilization against the network's capacities,
+// loaded links only. It stamps the export at schema 2.
+func (ex *Export) AttachTimeline(e *netsim.Engine, tl *obs.LinkTimeline) {
+	ex.Schema = ExportSchema
+	t := &Timeline{BucketS: float64(tl.Bucket())}
+	for _, l := range tl.Links() {
+		t.Links = append(t.Links, TimelineRecord{
+			ID:   l,
+			Name: e.Network().LinkName(l),
+			Util: tl.Utilization(l, e.Network().Capacity(l)),
+		})
+	}
+	ex.Timeline = t
+}
+
+// RecordFlowSpans emits one complete span per flow of a finished run
+// into the recorder, under track: the flow's wire occupancy (activation
+// to transfer end, or to the failure instant for aborted flows), named
+// by the flow label. It is the batch-run counterpart of attaching an
+// obs.EngineSink before the run — planners that only see the engine
+// after Run (bgqbench sweep points, scenario files) use it to get
+// per-leg spans into a Perfetto trace.
+func RecordFlowSpans(rec *obs.Recorder, e *netsim.Engine, track string) {
+	for i := 0; i < e.NumFlows(); i++ {
+		res := e.Result(netsim.FlowID(i))
+		label := e.Spec(netsim.FlowID(i)).Label
+		if label == "" {
+			label = fmt.Sprintf("flow%d", i)
+		}
+		switch {
+		case res.Done:
+			rec.Span(track, label, res.Activated, res.TransferEnd)
+		case res.Aborted && res.AbortTime > res.Activated && res.Activated > 0:
+			rec.SpanAborted(track, label+" (aborted)", res.Activated, res.AbortTime)
+		}
+	}
+}
+
+// ReadExport parses a previously written export. Files from schema 1
+// (which predate the "schema" field) are accepted and normalized to
+// Schema == 1; files newer than ExportSchema are rejected.
 func ReadExport(r io.Reader) (Export, error) {
 	var ex Export
 	if err := json.NewDecoder(r).Decode(&ex); err != nil {
 		return ex, fmt.Errorf("trace: parse export: %w", err)
+	}
+	if ex.Schema == 0 {
+		ex.Schema = 1
+	}
+	if ex.Schema > ExportSchema {
+		return ex, fmt.Errorf("trace: export schema %d is newer than supported schema %d", ex.Schema, ExportSchema)
 	}
 	return ex, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/torus"
 )
 
@@ -84,5 +85,107 @@ func TestBuildExportSpecMismatch(t *testing.T) {
 func TestReadExportBadJSON(t *testing.T) {
 	if _, err := ReadExport(bytes.NewBufferString("{")); err == nil {
 		t.Fatal("bad JSON accepted")
+	}
+}
+
+// TestExportSchema2RoundTrip covers the schema-2 export end to end: an
+// aborted flow's record survives the round trip, an attached timeline is
+// preserved, v1 files (no "schema" field) are accepted and normalized,
+// and files newer than ExportSchema are rejected.
+func TestExportSchema2RoundTrip(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4, 4, 2})
+	p := netsim.DefaultParams()
+	e, err := netsim.NewEngine(netsim.NewNetwork(tor, p.LinkBandwidth), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := obs.NewLinkTimeline(1e-3)
+	rec := obs.NewRecorder()
+	e.SetSink(rec.EngineSink("run", tl))
+
+	e.Submit(netsim.FlowSpec{Src: 0, Dst: 127, Bytes: 8 << 20, Label: "ok"})
+	victim := e.Submit(netsim.FlowSpec{Src: 1, Dst: 127, Bytes: 8 << 20, Label: "dead"})
+	e.FailLinkAt(e.FlowRouteLinks(victim)[0], 1e-3)
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := BuildExport(e, mk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Schema != ExportSchema {
+		t.Fatalf("schema = %d, want %d", ex.Schema, ExportSchema)
+	}
+	ex.AttachTimeline(e, tl)
+	if ex.Timeline == nil || len(ex.Timeline.Links) == 0 || ex.Timeline.BucketS != 1e-3 {
+		t.Fatalf("timeline not attached: %+v", ex.Timeline)
+	}
+
+	var buf bytes.Buffer
+	if err := ex.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ExportSchema {
+		t.Fatalf("round-trip schema = %d", back.Schema)
+	}
+	var sawAbort bool
+	for _, f := range back.Flows {
+		if f.Label == "dead" {
+			sawAbort = true
+			if !f.Aborted || f.AbortedS != 1e-3 {
+				t.Fatalf("aborted record lost its marker: %+v", f)
+			}
+		}
+	}
+	if !sawAbort {
+		t.Fatal("aborted flow missing from round trip")
+	}
+	if len(back.Timeline.Links) != len(ex.Timeline.Links) {
+		t.Fatal("timeline lost in round trip")
+	}
+	for i, l := range back.Timeline.Links {
+		if len(l.Util) != len(ex.Timeline.Links[i].Util) {
+			t.Fatalf("link %d utilization series truncated", l.ID)
+		}
+	}
+
+	// Flow spans recorded post hoc from the finished engine: done flows
+	// plus the aborted one (which has a real activation window).
+	rec2 := obs.NewRecorder()
+	RecordFlowSpans(rec2, e, "post")
+	spans := rec2.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("RecordFlowSpans emitted %d spans, want 2", len(spans))
+	}
+	var postAbort bool
+	for _, s := range spans {
+		if s.Aborted {
+			postAbort = true
+		}
+	}
+	if !postAbort {
+		t.Fatal("RecordFlowSpans dropped the aborted flow's span")
+	}
+}
+
+func TestReadExportSchemaVersions(t *testing.T) {
+	// v1 file: no "schema" field at all.
+	v1 := `{"makespan": 0.5, "flows": [], "links": []}`
+	ex, err := ReadExport(bytes.NewBufferString(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Schema != 1 {
+		t.Fatalf("v1 file normalized to schema %d, want 1", ex.Schema)
+	}
+	// Future schema: reject.
+	future := `{"schema": 3, "makespan": 0.5}`
+	if _, err := ReadExport(bytes.NewBufferString(future)); err == nil {
+		t.Fatal("schema 3 file accepted")
 	}
 }

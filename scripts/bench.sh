@@ -1,17 +1,19 @@
 #!/bin/sh
-# Runs the quick bgqbench sweep, writes BENCH_<date>.json, and prints a
-# one-line wall-time comparison against the most recent previous
+# Runs the quick bgqbench sweep, writes BENCH_<date>.json plus the
+# observability metrics snapshot METRICS_<date>.json next to it, and
+# prints a one-line wall-time comparison against the most recent previous
 # BENCH_*.json so the performance trajectory is visible run over run.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="BENCH_$(date +%Y%m%d).json"
+metrics="METRICS_$(date +%Y%m%d).json"
 prev=$(ls BENCH_*.json 2>/dev/null | grep -v "^$out\$" | sort | tail -1 || true)
 
 if [ -n "$prev" ]; then
-    go run ./cmd/bgqbench -quick -run all -json "$out" -compare "$prev" | tail -1
+    go run ./cmd/bgqbench -quick -run all -json "$out" -metrics "$metrics" -compare "$prev" | tail -1
 else
-    go run ./cmd/bgqbench -quick -run all -json "$out" > /dev/null
+    go run ./cmd/bgqbench -quick -run all -json "$out" -metrics "$metrics" > /dev/null
     echo "bench: wrote $out (no previous BENCH_*.json to compare against)"
 fi
