@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench quick
+.PHONY: build test lint verify bench quick check
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,20 @@ lint:
 
 # Tier-1 verification: full build + static checks + tests, plus the race
 # detector over the packages that run worker pools or schedule failure
-# events (see ROADMAP.md).
-verify: build lint
+# events (see ROADMAP.md), plus the differential-oracle suite.
+verify: build lint check
 	$(GO) test ./...
 	$(GO) test -race ./internal/experiments ./internal/netsim ./internal/faultinject
+
+# Correctness oracle (DESIGN.md §11): the invariant + differential test
+# suite (200 generated scenarios through both engines, the archived
+# divergence corpus, and the mutation tests that prove each invariant
+# still fires), invariant auditors over every experiment runner, and a
+# short randomized-fuzz smoke over the differential oracle.
+check:
+	$(GO) test ./internal/check
+	$(GO) run ./cmd/bgqbench -check -quick -run all
+	$(GO) test -fuzz=FuzzDifferential -fuzztime=30s -run '^$$' ./internal/check
 
 # Fast smoke run of every figure.
 quick:

@@ -98,6 +98,66 @@ func TestBgqbenchQuickCLI(t *testing.T) {
 	}
 }
 
+// Bad flags must be rejected up front — exit 2 with a one-line error
+// before any experiment runs — so a typo can't kill a long sweep
+// halfway through.
+func TestBgqbenchFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "cmd/bgqbench")
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the one-line stderr error
+	}{
+		{"unknown name in list", []string{"-run", "fig5,nonsense"}, "unknown experiment"},
+		{"unknown mode alias", []string{"-mode", "nonsense"}, "unknown experiment"},
+		{"unreadable compare", []string{"-run", "fig5", "-compare", filepath.Join(t.TempDir(), "missing.json")}, "compare"},
+		{"negative parallel", []string{"-run", "fig5", "-parallel", "-2"}, "-parallel"},
+		{"check with obs-trace", []string{"-run", "fig5", "-check", "-obs-trace", "x.json"}, "-check"},
+		{"check with metrics", []string{"-run", "fig5", "-check", "-metrics", "m.json"}, "-check"},
+	}
+	for _, c := range cases {
+		out, err := exec.Command(bin, c.args...).CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s: accepted, output:\n%s", c.name, out)
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Fatalf("%s: want exit 2, got %v", c.name, err)
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Fatalf("%s: error output missing %q:\n%s", c.name, c.want, out)
+		}
+		// The run never starts: no experiment output, just the error.
+		if strings.Contains(string(out), "completed in") {
+			t.Fatalf("%s: experiment ran despite invalid flags:\n%s", c.name, out)
+		}
+	}
+}
+
+// -check audits every engine the runner builds and reports a per-runner
+// summary; a clean run exits zero.
+func TestBgqbenchCheckCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "cmd/bgqbench")
+	out, err := exec.Command(bin, "-check", "-quick", "-run", "fig5,r1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bgqbench -check: %v\n%s", err, out)
+	}
+	for _, want := range []string{"[fig5 check:", "[r1 check:", "0 violations"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("missing %q in -check output:\n%s", want, out)
+		}
+	}
+	if strings.Contains(string(out), " 0 engines audited") {
+		t.Fatalf("-check audited no engines:\n%s", out)
+	}
+}
+
 // TestBgqbenchObsTraceCLI is the PR's acceptance check: the r1 quick run
 // with -obs-trace must produce valid Chrome trace-event JSON containing
 // proxy-leg and replan spans, -metrics must produce a readable snapshot,

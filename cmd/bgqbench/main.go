@@ -6,7 +6,7 @@
 //
 //	bgqbench [-run fig5|fig6|fig7|fig8|fig9|fig10|fig11|r1|ablations|all] [-quick]
 //	         [-parallel N] [-json out.json] [-compare prev.json]
-//	         [-obs-trace f] [-metrics f]
+//	         [-obs-trace f] [-metrics f] [-check]
 //	         [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // -quick trims the sweeps (fewer message sizes, smaller top scale) for a
@@ -23,6 +23,16 @@
 // counters and histograms as a flat JSON snapshot. Both also embed a
 // metrics summary in the -json report. The observability hooks are
 // currently wired through the r1 runner.
+//
+// -check attaches an invariant auditor (internal/check) to every engine
+// the runners build: per-sweep capacity and rate-cap checks plus
+// end-of-run byte conservation. Each experiment prints a one-line audit
+// summary and the process exits non-zero if any violation was found.
+// Because the auditor claims each engine's observability sink, -check
+// cannot be combined with -obs-trace or -metrics. Flags are validated
+// up front: an unknown -run name, a negative -parallel, an unreadable
+// -compare file, or a conflicting combination exits 2 with a one-line
+// error before any experiment runs.
 package main
 
 import (
@@ -35,9 +45,12 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
+	"sync"
 	"time"
 
+	"bgqflow/internal/check"
 	"bgqflow/internal/experiments"
+	"bgqflow/internal/netsim"
 	"bgqflow/internal/obs"
 	"bgqflow/internal/stats"
 )
@@ -66,6 +79,90 @@ type report struct {
 	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
+// runners maps experiment names to their printers, in run order; it is
+// the single source of truth for the names -run accepts.
+var runners = []struct {
+	name string
+	fn   func(io.Writer, experiments.Options) error
+}{
+	{"fig5", printFig5},
+	{"fig6", printFig6},
+	{"fig7", printFig7},
+	{"fig8", printFig8},
+	{"fig9", printFig9},
+	{"fig10", printFig10},
+	{"fig11", printFig11},
+	{"r1", printR1},
+	{"ablations", printAblations},
+	{"extensions", printExtensions},
+}
+
+// validateFlags rejects bad flags before any experiment runs, so a long
+// sweep never dies halfway through on a typo. Returned errors are
+// printed as a single line and exit with status 2.
+func validateFlags(selected []string, parallel int, checkOn bool, obsTrace, metricsOut, compare string) error {
+	known := make([]string, 0, len(runners)+1)
+	for _, r := range runners {
+		known = append(known, r.name)
+	}
+	known = append(known, "all")
+	for _, name := range selected {
+		ok := false
+		for _, k := range known {
+			if name == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(known, ", "))
+		}
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", parallel)
+	}
+	if checkOn && (obsTrace != "" || metricsOut != "") {
+		return fmt.Errorf("-check cannot be combined with -obs-trace or -metrics: the invariant auditor claims each engine's observability sink")
+	}
+	if compare != "" {
+		f, err := os.Open(compare)
+		if err != nil {
+			return fmt.Errorf("compare: %v", err)
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// checkCollector accumulates the invariant auditors the -check hook
+// attaches to every engine a runner builds, and drains them (running
+// their end-of-run checks) once the runner returns. Runners build
+// engines from parallel sweep workers, so attach is locked.
+type checkCollector struct {
+	mu       sync.Mutex
+	auditors []*check.Auditor
+}
+
+func (c *checkCollector) attach(e *netsim.Engine) {
+	a := check.NewAuditor(e)
+	c.mu.Lock()
+	c.auditors = append(c.auditors, a)
+	c.mu.Unlock()
+}
+
+// drain finishes every auditor attached since the last drain, returning
+// the number of engines audited and any violations found.
+func (c *checkCollector) drain() (engines int, viols []check.Violation) {
+	c.mu.Lock()
+	auditors := c.auditors
+	c.auditors = nil
+	c.mu.Unlock()
+	for _, a := range auditors {
+		viols = append(viols, a.Finish()...)
+	}
+	return len(auditors), viols
+}
+
 func main() {
 	run := flag.String("run", "all", "which experiment to run: fig5..fig11, r1, ablations, extensions, or all")
 	mode := flag.String("mode", "", "alias for -run (e.g. -mode r1)")
@@ -78,13 +175,28 @@ func main() {
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	obsTrace := flag.String("obs-trace", "", "write the run's simulation-time spans as Chrome trace-event JSON (ui.perfetto.dev)")
 	metricsOut := flag.String("metrics", "", "write the observability metrics registry as a JSON snapshot")
+	checkOn := flag.Bool("check", false, "attach invariant auditors (internal/check) to every engine; exit non-zero on any violation")
 	flag.Parse()
+
+	if *mode != "" {
+		run = mode
+	}
+	selected := strings.Split(*run, ",")
+	if err := validateFlags(selected, *parallel, *checkOn, *obsTrace, *metricsOut, *compare); err != nil {
+		fmt.Fprintf(os.Stderr, "bgqbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	opt := experiments.DefaultOptions()
 	opt.Quick = *quick
 	opt.Parallel = *parallel
 	if *obsTrace != "" || *metricsOut != "" {
 		opt.Obs = obs.NewRecorder()
+	}
+	var checker *checkCollector
+	if *checkOn {
+		checker = &checkCollector{}
+		opt.EngineHook = checker.attach
 	}
 
 	if *cpuprofile != "" {
@@ -110,10 +222,6 @@ func main() {
 		defer trace.Stop()
 	}
 
-	if *mode != "" {
-		run = mode
-	}
-	selected := strings.Split(*run, ",")
 	want := func(name string) bool {
 		for _, s := range selected {
 			if s == "all" || s == name {
@@ -123,21 +231,6 @@ func main() {
 		return false
 	}
 
-	runners := []struct {
-		name string
-		fn   func(io.Writer, experiments.Options) error
-	}{
-		{"fig5", printFig5},
-		{"fig6", printFig6},
-		{"fig7", printFig7},
-		{"fig8", printFig8},
-		{"fig9", printFig9},
-		{"fig10", printFig10},
-		{"fig11", printFig11},
-		{"r1", printR1},
-		{"ablations", printAblations},
-		{"extensions", printExtensions},
-	}
 	rep := report{
 		Date:       time.Now().Format(time.RFC3339),
 		Quick:      *quick,
@@ -145,6 +238,7 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	any := false
+	violations := 0
 	for _, r := range runners {
 		if !want(r.name) {
 			continue
@@ -174,10 +268,21 @@ func main() {
 			Allocs:     after.Mallocs - before.Mallocs,
 			Rows:       splitRows(buf.String()),
 		})
+		if checker != nil {
+			engines, viols := checker.drain()
+			for _, v := range viols {
+				fmt.Fprintf(os.Stderr, "bgqbench: check: %s: %s\n", r.name, v)
+			}
+			fmt.Printf("[%s check: %d engines audited, %d violations]\n\n", r.name, engines, len(viols))
+			violations += len(viols)
+		}
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "bgqbench: unknown experiment %q\n", *run)
 		os.Exit(2)
+	}
+	if violations > 0 {
+		fatal("check: %d invariant violations", violations)
 	}
 
 	if opt.Obs != nil {

@@ -1,0 +1,206 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"bgqflow/internal/routing"
+	"bgqflow/internal/torus"
+)
+
+// ExtraLink is a scenario's registered non-torus link (the bridge-to-ION
+// 11th-link idiom).
+type ExtraLink struct {
+	From     int     `json:"from"`
+	Capacity float64 `json:"capacity"`
+}
+
+// ScenarioFlow is one flow of a scenario, in engine-neutral form.
+type ScenarioFlow struct {
+	Src        int     `json:"src"`
+	Dst        int     `json:"dst"`
+	Bytes      int64   `json:"bytes"`
+	Links      []int   `json:"links"`
+	HasLinks   bool    `json:"has_links"`
+	Deps       []int   `json:"deps,omitempty"`
+	ExtraDelay float64 `json:"extra_delay,omitempty"`
+}
+
+// LinkFailure schedules one link to die mid-run.
+type LinkFailure struct {
+	Link int     `json:"link"`
+	At   float64 `json:"at"`
+}
+
+// NodeFailure schedules one node to die mid-run.
+type NodeFailure struct {
+	Node int     `json:"node"`
+	At   float64 `json:"at"`
+}
+
+// Scenario is one differential test case: a torus, machine constants, a
+// flow DAG, and a fault campaign. Scenarios serialize to JSON so a
+// divergence found by the fuzzer replays byte-identically from
+// testdata/divergences (see EXPERIMENTS.md).
+type Scenario struct {
+	Seed         int64          `json:"seed"`
+	Shape        []int          `json:"shape"`
+	Params       RefParams      `json:"params"`
+	Extra        []ExtraLink    `json:"extra,omitempty"`
+	Flows        []ScenarioFlow `json:"flows"`
+	LinkFailures []LinkFailure  `json:"link_failures,omitempty"`
+	NodeFailures []NodeFailure  `json:"node_failures,omitempty"`
+}
+
+// genShapes are the generator's torus geometries: every dimension count
+// the routing layer distinguishes (2–5 dims), odd and even extents, all
+// small enough that the O(flows²·links) reference engine stays fast.
+var genShapes = [][]int{
+	{2, 2, 2},
+	{3, 2, 2},
+	{3, 3, 3},
+	{4, 4, 2},
+	{2, 4, 4},
+	{2, 2, 4, 2},
+	{2, 2, 2, 2, 2},
+	{2, 2, 4, 4},
+}
+
+// Generate builds the scenario for one seed. The same seed always
+// produces the same scenario (the generator only draws from its own
+// seeded source), which is what lets a fuzz finding be archived as just
+// a seed. The axes follow the paper's evaluation: torus shape, sparse
+// communication pattern (which pairs talk, with what routes), message
+// size (zero-byte synchronization points up to multi-MB bursts), and a
+// fault campaign (ISSUE: torus shape / sparse pattern / message-size /
+// fault-campaign axes).
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{Seed: seed}
+	sc.Shape = append([]int(nil), genShapes[rng.Intn(len(genShapes))]...)
+	tor, err := torus.New(torus.Shape(sc.Shape))
+	if err != nil {
+		panic(fmt.Sprintf("check: generator shape %v: %v", sc.Shape, err))
+	}
+	size := tor.Size()
+
+	lb := 1e9 + rng.Float64()*1e9
+	sc.Params = RefParams{
+		LinkBandwidth:      lb,
+		PerFlowBandwidth:   (0.5 + rng.Float64()) * lb,
+		LocalCopyBandwidth: (4 + 8*rng.Float64()) * 1e9,
+		SenderOverhead:     1e-6 + rng.Float64()*29e-6,
+		ReceiverOverhead:   1e-6 + rng.Float64()*29e-6,
+		HopLatency:         1e-9 + rng.Float64()*99e-9,
+	}
+
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		sc.Extra = append(sc.Extra, ExtraLink{
+			From:     rng.Intn(size),
+			Capacity: (0.5 + rng.Float64()) * lb,
+		})
+	}
+	totalLinks := tor.NumTorusLinks() + len(sc.Extra)
+
+	nFlows := 1 + rng.Intn(32)
+	for i := 0; i < nFlows; i++ {
+		f := ScenarioFlow{Src: rng.Intn(size), Dst: rng.Intn(size)}
+		switch k := rng.Intn(10); {
+		case k < 5:
+			// Default deterministic route between distinct endpoints.
+			if f.Src == f.Dst {
+				f.Dst = (f.Dst + 1) % size
+			}
+		case k < 6:
+			// Node-local copy.
+			f.Dst = f.Src
+		case k < 8:
+			// Explicit dimension-ordered route (the zone-routing idiom);
+			// src == dst yields an explicit empty route. Sometimes extended
+			// over an extra link, the way ionet extends bridge routes.
+			r := routing.RouteWithOrder(tor, torus.NodeID(f.Src), torus.NodeID(f.Dst), rng.Perm(tor.Dims()))
+			f.Links = append([]int{}, r.Links...)
+			f.HasLinks = true
+			if len(sc.Extra) > 0 && rng.Intn(2) == 0 {
+				f.Links = append(f.Links, tor.NumTorusLinks()+rng.Intn(len(sc.Extra)))
+			}
+		default:
+			// Arbitrary link multiset, sampled with replacement: the engine
+			// must treat a flow's route as a set of occupied links, so
+			// repeats must neither double capacity demand nor byte charges.
+			m := 1 + rng.Intn(6)
+			f.Links = make([]int, 0, m)
+			for j := 0; j < m; j++ {
+				f.Links = append(f.Links, rng.Intn(totalLinks))
+			}
+			f.HasLinks = true
+		}
+		if rng.Intn(10) == 0 {
+			f.Bytes = 0
+		} else {
+			// Log-uniform in [1 B, 8 MB].
+			f.Bytes = 1 + int64(math.Exp(rng.Float64()*math.Log(8<<20)))
+		}
+		if i > 0 && rng.Intn(10) < 3 {
+			for d, nd := 0, 1+rng.Intn(2); d < nd; d++ {
+				dep := rng.Intn(i)
+				dup := false
+				for _, have := range f.Deps {
+					if have == dep {
+						dup = true
+					}
+				}
+				if !dup {
+					f.Deps = append(f.Deps, dep)
+				}
+			}
+		}
+		if rng.Intn(10) < 3 {
+			f.ExtraDelay = rng.Float64() * 50e-6
+		}
+		sc.Flows = append(sc.Flows, f)
+	}
+
+	// Fault campaign: failure instants are continuous draws, so they
+	// almost surely never tie with flow events; the horizon is log-uniform
+	// from "before anything activates" to "well past most makespans".
+	horizon := math.Exp(math.Log(2e-4) + rng.Float64()*math.Log(50e-3/2e-4))
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		sc.LinkFailures = append(sc.LinkFailures, LinkFailure{
+			Link: rng.Intn(totalLinks),
+			At:   rng.Float64() * horizon,
+		})
+	}
+	if rng.Intn(3) == 0 {
+		sc.NodeFailures = append(sc.NodeFailures, NodeFailure{
+			Node: rng.Intn(size),
+			At:   rng.Float64() * horizon,
+		})
+	}
+	return sc
+}
+
+// WriteScenario archives a scenario as indented JSON.
+func WriteScenario(path string, sc Scenario) error {
+	b, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadScenario loads an archived scenario.
+func ReadScenario(path string) (Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var sc Scenario
+	if err := json.Unmarshal(b, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}

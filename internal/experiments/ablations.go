@@ -45,11 +45,11 @@ func AblationThreshold(opt Options) (AblationThresholdResult, error) {
 		cfg.Threshold = 0
 		cfg.MinProxies = k
 		cfg.MaxProxies = k
-		d, _, err := runPair(tor, p, directCfg, src, dst, size)
+		d, _, err := runPair(tor, p, directCfg, src, dst, size, opt.EngineHook)
 		if err != nil {
 			return err
 		}
-		pr, _, err := runPair(tor, p, cfg, src, dst, size)
+		pr, _, err := runPair(tor, p, cfg, src, dst, size, opt.EngineHook)
 		if err != nil {
 			return err
 		}
@@ -114,13 +114,13 @@ func AblationPlacement(opt Options) (AblationPlacementResult, error) {
 	err = forEachPoint(opt, 3, func(i int) error {
 		switch i {
 		case 0:
-			d, _, err := runPair(tor, p, directCfg, src, dst, bytes)
+			d, _, err := runPair(tor, p, directCfg, src, dst, bytes, opt.EngineHook)
 			if err != nil {
 				return err
 			}
 			res.DirectGBps = d / 1e9
 		case 1:
-			dj, _, err := runPair(tor, p, cfg, src, dst, bytes)
+			dj, _, err := runPair(tor, p, cfg, src, dst, bytes, opt.EngineHook)
 			if err != nil {
 				return err
 			}
@@ -128,7 +128,7 @@ func AblationPlacement(opt Options) (AblationPlacementResult, error) {
 		case 2:
 			// Naive: 4 random intermediate nodes, default deterministic
 			// routes for both legs, no disjointness checks.
-			e, err := newEngine(tor, p)
+			e, err := newEngine(tor, p, opt.EngineHook)
 			if err != nil {
 				return err
 			}
@@ -182,7 +182,7 @@ func AblationAggCount(opt Options) (AblationAggCountResult, error) {
 	if err != nil {
 		return AblationAggCountResult{}, err
 	}
-	probe, err := newIORig(shape, 16, p)
+	probe, err := newIORig(shape, 16, p, opt.EngineHook)
 	if err != nil {
 		return AblationAggCountResult{}, err
 	}
@@ -193,7 +193,7 @@ func AblationAggCount(opt Options) (AblationAggCountResult, error) {
 	// (sinks and planners register links on the network) and regenerates
 	// the same seeded burst.
 	run := func(cfg core.AggConfig) (float64, int, error) {
-		rig, err := newIORig(shape, 16, p)
+		rig, err := newIORig(shape, 16, p, opt.EngineHook)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -274,7 +274,7 @@ func AblationRoundSync(opt Options) (AblationRoundSyncResult, error) {
 	// Each point builds its own rig and regenerates the seeded burst, so
 	// the three measurements are independent.
 	runCollio := func(sync bool) (float64, error) {
-		rig, err := newIORig(shape, 16, p)
+		rig, err := newIORig(shape, 16, p, opt.EngineHook)
 		if err != nil {
 			return 0, err
 		}
@@ -314,7 +314,7 @@ func AblationRoundSync(opt Options) (AblationRoundSyncResult, error) {
 			}
 			res.UnsyncedGBps = v
 		case 2:
-			rig, err := newIORig(shape, 16, p)
+			rig, err := newIORig(shape, 16, p, opt.EngineHook)
 			if err != nil {
 				return err
 			}
@@ -365,7 +365,7 @@ func AblationZones(opt Options) (AblationZonesResult, error) {
 		if err != nil {
 			return err
 		}
-		e, err := newEngine(tor, p)
+		e, err := newEngine(tor, p, opt.EngineHook)
 		if err != nil {
 			return err
 		}

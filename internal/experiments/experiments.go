@@ -39,6 +39,15 @@ type Options struct {
 	// and route-cache counters land in the recorder's registry. The
 	// Recorder is safe to share across parallel sweep points. nil = off.
 	Obs *obs.Recorder
+	// EngineHook, when non-nil, runs on every netsim.Engine a runner
+	// constructs — after construction, before any flow is submitted. The
+	// bgqbench -check mode uses it to attach invariant auditors
+	// (internal/check). Runners evaluate sweep points on parallel
+	// workers, so the hook must be safe for concurrent use. An auditor
+	// claims the engine's observability sink, so hooks that do the same
+	// must not be combined with Obs (the r1 runner installs a sink per
+	// engine when Obs is set).
+	EngineHook func(*netsim.Engine)
 }
 
 // DefaultOptions returns a full-fidelity configuration.
@@ -78,21 +87,27 @@ func messageSizes(quick bool) []int64 {
 	return out
 }
 
-// newEngine builds a fresh engine over a fresh network for one run.
-func newEngine(tor *torus.Torus, p netsim.Params) (*netsim.Engine, error) {
-	return netsim.NewEngine(netsim.NewNetwork(tor, p.LinkBandwidth), p)
+// newEngine builds a fresh engine over a fresh network for one run and
+// applies the hook (usually Options.EngineHook; nil = none).
+func newEngine(tor *torus.Torus, p netsim.Params, hook func(*netsim.Engine)) (*netsim.Engine, error) {
+	e, err := netsim.NewEngine(netsim.NewNetwork(tor, p.LinkBandwidth), p)
+	if err == nil && hook != nil {
+		hook(e)
+	}
+	return e, err
 }
 
 // newIORig builds the network + I/O system + job for an I/O experiment.
 type ioRig struct {
-	tor *torus.Torus
-	net *netsim.Network
-	ios *ionet.System
-	job *mpisim.Job
-	p   netsim.Params
+	tor  *torus.Torus
+	net  *netsim.Network
+	ios  *ionet.System
+	job  *mpisim.Job
+	p    netsim.Params
+	hook func(*netsim.Engine)
 }
 
-func newIORig(shape torus.Shape, ranksPerNode int, p netsim.Params) (*ioRig, error) {
+func newIORig(shape torus.Shape, ranksPerNode int, p netsim.Params, hook func(*netsim.Engine)) (*ioRig, error) {
 	tor, err := torus.New(shape)
 	if err != nil {
 		return nil, err
@@ -106,11 +121,15 @@ func newIORig(shape torus.Shape, ranksPerNode int, p netsim.Params) (*ioRig, err
 	if err != nil {
 		return nil, err
 	}
-	return &ioRig{tor: tor, net: net, ios: ios, job: job, p: p}, nil
+	return &ioRig{tor: tor, net: net, ios: ios, job: job, p: p, hook: hook}, nil
 }
 
 func (r *ioRig) engine() (*netsim.Engine, error) {
-	return netsim.NewEngine(r.net, r.p)
+	e, err := netsim.NewEngine(r.net, r.p)
+	if err == nil && r.hook != nil {
+		r.hook(e)
+	}
+	return e, err
 }
 
 // WeakScalingShapes maps core counts to BG/Q partition geometries
@@ -142,8 +161,8 @@ func ShapeForCores(cores int) (torus.Shape, error) {
 // runPair executes a point-to-point transfer and returns throughput in
 // bytes/second. forceThreshold overrides the planner threshold (0 forces
 // proxies for any size; a huge value forces direct).
-func runPair(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, src, dst torus.NodeID, bytes int64) (float64, core.TransferMode, error) {
-	e, err := newEngine(tor, p)
+func runPair(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, src, dst torus.NodeID, bytes int64, hook func(*netsim.Engine)) (float64, core.TransferMode, error) {
+	e, err := newEngine(tor, p, hook)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -60,7 +60,7 @@ func ExtStorage(opt Options) (ExtStorageResult, error) {
 	}
 	nio := 0
 	{
-		probe, err := newIORig(shape, 16, p)
+		probe, err := newIORig(shape, 16, p, opt.EngineHook)
 		if err != nil {
 			return res, err
 		}
@@ -79,7 +79,7 @@ func ExtStorage(opt Options) (ExtStorageResult, error) {
 	vals := make([]float64, len(cases)*2)
 	err = forEachPoint(opt, len(vals), func(i int) error {
 		sc := cases[i/2]
-		rig, err := newIORig(shape, 16, p)
+		rig, err := newIORig(shape, 16, p, opt.EngineHook)
 		if err != nil {
 			return err
 		}
@@ -273,7 +273,7 @@ func ExtPipeline(opt Options) (ExtPipelineResult, error) {
 	vals := make([]float64, len(sizes)*len(cfgs))
 	err = forEachPoint(opt, len(vals), func(i int) error {
 		size := sizes[i/len(cfgs)]
-		th, _, err := runPair(tor, p, cfgs[i%len(cfgs)], src, dst, size)
+		th, _, err := runPair(tor, p, cfgs[i%len(cfgs)], src, dst, size, opt.EngineHook)
 		if err != nil {
 			return err
 		}
@@ -336,7 +336,7 @@ func ExtValidation(opt Options) (ExtValidationResult, error) {
 		proxied := i/len(sizes) == 1
 		bytes := sizes[i%len(sizes)]
 		// Flow model.
-		e, err := netsim.NewEngine(netsim.NewNetwork(tor, flowP.LinkBandwidth), flowP)
+		e, err := newEngine(tor, flowP, opt.EngineHook)
 		if err != nil {
 			return err
 		}
@@ -440,7 +440,7 @@ func ExtInsitu(opt Options) (ExtInsituResult, error) {
 		if err != nil {
 			return err
 		}
-		rig, err := newIORig(shape, 16, p)
+		rig, err := newIORig(shape, 16, p, opt.EngineHook)
 		if err != nil {
 			return err
 		}

@@ -117,7 +117,7 @@ func Fig10(opt Options) (Fig10Result, error) {
 		if err != nil {
 			return err
 		}
-		rig, err := newIORig(shape, 16, p)
+		rig, err := newIORig(shape, 16, p, opt.EngineHook)
 		if err != nil {
 			return err
 		}
@@ -184,7 +184,7 @@ func Fig11(opt Options) (Fig11Result, error) {
 		if err != nil {
 			return err
 		}
-		rig, err := newIORig(shape, 16, p)
+		rig, err := newIORig(shape, 16, p, opt.EngineHook)
 		if err != nil {
 			return err
 		}

@@ -46,11 +46,11 @@ func Fig5(opt Options) (Fig5Result, error) {
 	pts := make([]point, len(sizes))
 	err = forEachPoint(opt, len(sizes), func(i int) error {
 		size := sizes[i]
-		d, _, err := runPair(tor, p, directCfg, src, dst, size)
+		d, _, err := runPair(tor, p, directCfg, src, dst, size, opt.EngineHook)
 		if err != nil {
 			return err
 		}
-		pr, mode, err := runPair(tor, p, proxyCfg, src, dst, size)
+		pr, mode, err := runPair(tor, p, proxyCfg, src, dst, size, opt.EngineHook)
 		if err != nil {
 			return err
 		}
@@ -113,11 +113,11 @@ func Fig6(opt Options) (Fig6Result, error) {
 	pts := make([]point, len(sizes))
 	err = forEachPoint(opt, len(sizes), func(i int) error {
 		size := sizes[i]
-		d, err := runGroup(tor, p, sBox, tBox, size, -1)
+		d, err := runGroup(tor, p, sBox, tBox, size, -1, opt.EngineHook)
 		if err != nil {
 			return err
 		}
-		pr, err := runGroup(tor, p, sBox, tBox, size, 0)
+		pr, err := runGroup(tor, p, sBox, tBox, size, 0, opt.EngineHook)
 		if err != nil {
 			return err
 		}
@@ -140,8 +140,8 @@ func Fig6(opt Options) (Fig6Result, error) {
 // runGroup executes a group transfer and returns per-pair average
 // throughput in bytes/second. groups: -1 forces direct, 0 auto-selects,
 // >0 forces that many proxy groups.
-func runGroup(tor *torus.Torus, p netsim.Params, sBox, tBox torus.Box, bytesPerPair int64, groups int) (float64, error) {
-	e, err := newEngine(tor, p)
+func runGroup(tor *torus.Torus, p netsim.Params, sBox, tBox torus.Box, bytesPerPair int64, groups int, hook func(*netsim.Engine)) (float64, error) {
+	e, err := newEngine(tor, p, hook)
 	if err != nil {
 		return 0, err
 	}
@@ -208,7 +208,7 @@ func Fig7(opt Options) (Fig7Result, error) {
 	vals := make([]float64, len(sweeps)*len(sizes))
 	err = forEachPoint(opt, len(vals), func(i int) error {
 		sw := sweeps[i/len(sizes)]
-		th, err := runGroup(tor, p, sBox, tBox, sizes[i%len(sizes)], sw.groups)
+		th, err := runGroup(tor, p, sBox, tBox, sizes[i%len(sizes)], sw.groups, opt.EngineHook)
 		if err != nil {
 			return err
 		}

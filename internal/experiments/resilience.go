@@ -137,8 +137,8 @@ func r1Observe(rec *obs.Recorder, e *netsim.Engine, track string) (flush func())
 }
 
 // r1Direct runs the default single-path transfer under the campaign.
-func r1Direct(tor *torus.Torus, p netsim.Params, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64, rec *obs.Recorder, track string) (R1Mode, error) {
-	e, err := newEngine(tor, p)
+func r1Direct(tor *torus.Torus, p netsim.Params, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64, rec *obs.Recorder, track string, hook func(*netsim.Engine)) (R1Mode, error) {
+	e, err := newEngine(tor, p, hook)
 	if err != nil {
 		return R1Mode{}, err
 	}
@@ -157,8 +157,8 @@ func r1Direct(tor *torus.Torus, p netsim.Params, c *faultinject.Campaign, src, d
 
 // r1ProxyNoRecovery runs the paper's proxied transfer with no recovery:
 // pieces whose legs cross a failed link abort and stay lost.
-func r1ProxyNoRecovery(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64, rec *obs.Recorder, track string) (R1Mode, error) {
-	e, err := newEngine(tor, p)
+func r1ProxyNoRecovery(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64, rec *obs.Recorder, track string, hook func(*netsim.Engine)) (R1Mode, error) {
+	e, err := newEngine(tor, p, hook)
 	if err != nil {
 		return R1Mode{}, err
 	}
@@ -207,8 +207,8 @@ func splitEven(bytes int64, n int) []int64 {
 }
 
 // r1ProxyRecovery runs the resilient transfer loop under the campaign.
-func r1ProxyRecovery(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64, rec *obs.Recorder, track string) (R1Mode, error) {
-	e, err := newEngine(tor, p)
+func r1ProxyRecovery(tor *torus.Torus, p netsim.Params, cfg core.ProxyConfig, c *faultinject.Campaign, src, dst torus.NodeID, bytes int64, rec *obs.Recorder, track string, hook func(*netsim.Engine)) (R1Mode, error) {
+	e, err := newEngine(tor, p, hook)
 	if err != nil {
 		return R1Mode{}, err
 	}
@@ -255,13 +255,13 @@ func R1(opt Options) (R1Result, error) {
 		track := func(strategy string) string { return fmt.Sprintf("r1/fail%d/%s", n, strategy) }
 		// Each strategy gets its own fresh network and an identical
 		// campaign (campaigns are pure values; Apply re-schedules them).
-		if pt.Direct, err = r1Direct(tor, p, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes, opt.Obs, track("direct")); err != nil {
+		if pt.Direct, err = r1Direct(tor, p, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes, opt.Obs, track("direct"), opt.EngineHook); err != nil {
 			return err
 		}
-		if pt.ProxyNoRec, err = r1ProxyNoRecovery(tor, p, cfg, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes, opt.Obs, track("norec")); err != nil {
+		if pt.ProxyNoRec, err = r1ProxyNoRecovery(tor, p, cfg, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes, opt.Obs, track("norec"), opt.EngineHook); err != nil {
 			return err
 		}
-		if pt.ProxyRec, err = r1ProxyRecovery(tor, p, cfg, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes, opt.Obs, track("recovery")); err != nil {
+		if pt.ProxyRec, err = r1ProxyRecovery(tor, p, cfg, r1Campaign(tor, src, dst, cfg, n), src, dst, bytes, opt.Obs, track("recovery"), opt.EngineHook); err != nil {
 			return err
 		}
 		res.Points[i] = pt

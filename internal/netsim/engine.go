@@ -273,8 +273,12 @@ func (e *Engine) Submit(spec FlowSpec) FlowID {
 	switch {
 	case spec.Links != nil:
 		// Explicit routes are honored even for Src == Dst (e.g. a
-		// bridge node writing over its own 11th link).
-		f.links = spec.Links
+		// bridge node writing over its own 11th link). A flow occupies a
+		// set of links: a route listing a link twice must still claim it
+		// once — a duplicate entry would double-count the flow in
+		// waterfill sharing, double-charge the link's byte counter, and
+		// leave a stale linkFlows entry behind at removal.
+		f.links = dedupLinks(spec.Links)
 		if len(f.links) == 0 {
 			f.cap = e.p.LocalCopyBandwidth
 		}
@@ -311,6 +315,36 @@ func (e *Engine) Submit(spec FlowSpec) FlowID {
 		e.release(f)
 	}
 	return id
+}
+
+// dedupLinks returns links with duplicates removed, preserving first-
+// occurrence order. The duplicate-free case — every route a planner
+// emits — returns the input slice untouched, keeping Submit
+// allocation-free; routes are a handful of links, so the quadratic scan
+// beats a map.
+func dedupLinks(links []int) []int {
+	for i := 1; i < len(links); i++ {
+		for j := 0; j < i; j++ {
+			if links[i] == links[j] {
+				out := make([]int, i, len(links)-1)
+				copy(out, links[:i])
+				for _, l := range links[i+1:] {
+					dup := false
+					for _, seen := range out {
+						if seen == l {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						out = append(out, l)
+					}
+				}
+				return out
+			}
+		}
+	}
+	return links
 }
 
 // Run executes all submitted flows and returns the makespan (time from

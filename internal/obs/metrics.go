@@ -38,30 +38,48 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram collects a sample distribution; snapshots summarize it with
-// the percentile math from internal/stats. It is safe for concurrent use.
+// the percentile math from internal/stats. Non-finite observations are
+// dropped and counted — one stray NaN from an instrumentation site must
+// not poison the percentile summaries of a whole -metrics snapshot. It
+// is safe for concurrent use.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []float64
+	dropped int
 }
 
-// Observe records one sample.
+// Observe records one sample; NaN and ±Inf are dropped and counted.
 func (h *Histogram) Observe(x float64) {
 	h.mu.Lock()
-	h.samples = append(h.samples, x)
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.dropped++
+	} else {
+		h.samples = append(h.samples, x)
+	}
 	h.mu.Unlock()
 }
 
+// Dropped reports how many non-finite observations were discarded.
+func (h *Histogram) Dropped() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
 // HistSummary is a histogram's snapshot: descriptive statistics plus
-// interpolated percentiles.
+// interpolated percentiles. Dropped counts discarded non-finite
+// observations so a snapshot distinguishes "clean sample" from
+// "summaries computed around bad data".
 type HistSummary struct {
-	N      int     `json:"n"`
-	Min    float64 `json:"min"`
-	Max    float64 `json:"max"`
-	Mean   float64 `json:"mean"`
-	Stddev float64 `json:"stddev"`
-	P50    float64 `json:"p50"`
-	P90    float64 `json:"p90"`
-	P99    float64 `json:"p99"`
+	N       int     `json:"n"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+	Stddev  float64 `json:"stddev"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Dropped int     `json:"dropped,omitempty"`
 }
 
 // Summary computes the histogram's snapshot; an empty histogram returns
@@ -69,9 +87,11 @@ type HistSummary struct {
 func (h *Histogram) Summary() HistSummary {
 	h.mu.Lock()
 	xs := append([]float64(nil), h.samples...)
+	dropped := h.dropped
 	h.mu.Unlock()
 	s := stats.Summarize(xs)
-	out := HistSummary{N: s.N, Min: s.Min, Max: s.Max, Mean: s.Mean, Stddev: s.Stddev}
+	out := HistSummary{N: s.N, Min: s.Min, Max: s.Max, Mean: s.Mean, Stddev: s.Stddev,
+		Dropped: dropped + s.Dropped}
 	if s.N > 0 {
 		out.P50 = stats.Percentile(xs, 50)
 		out.P90 = stats.Percentile(xs, 90)

@@ -145,12 +145,16 @@ func TestTimelineProportionalSpread(t *testing.T) {
 	// Ignored inputs.
 	tl.Add(9, 1, 0, 5)  // inverted
 	tl.Add(9, 0, 1, -5) // negative
-	tl.Add(9, -1, 1, 5) // negative origin
 	if len(tl.Series(9)) != 0 {
 		t.Fatal("invalid charges must be ignored")
 	}
-	if links := tl.Links(); len(links) != 2 || links[0] != 7 || links[1] != 8 {
-		t.Fatalf("links = %v, want [7 8]", links)
+	// A window starting before t=0 is clamped, not dropped: the bytes stay.
+	tl.Add(10, -1, 1, 5)
+	if got := tl.TotalBytes(10); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("clamped charge kept %g bytes, want 5", got)
+	}
+	if links := tl.Links(); len(links) != 3 || links[0] != 7 || links[1] != 8 || links[2] != 10 {
+		t.Fatalf("links = %v, want [7 8 10]", links)
 	}
 	util := tl.Utilization(7, 20) // capacity 20 B/s, bucket 1 s
 	if math.Abs(util[1]-0.5) > 1e-9 {

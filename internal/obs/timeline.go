@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -14,9 +15,12 @@ import (
 // cumulative link byte counters while adding the time dimension the
 // end-of-run aggregates lack. Safe for concurrent use.
 type LinkTimeline struct {
-	mu     sync.Mutex
-	bucket sim.Duration
-	bytes  map[int][]float64
+	mu      sync.Mutex
+	bucket  sim.Duration
+	bytes   map[int][]float64
+	dropped int64 // windows discarded (non-positive bytes, inverted, non-finite)
+	clamped int64 // windows with from < 0 clamped to start at 0
+	reg     *Registry
 }
 
 // NewLinkTimeline returns a timeline with the given bucket width.
@@ -31,16 +35,59 @@ func NewLinkTimeline(bucket sim.Duration) *LinkTimeline {
 // Bucket reports the bucket width.
 func (t *LinkTimeline) Bucket() sim.Duration { return t.bucket }
 
+// SetRegistry attaches a metrics registry: dropped and clamped window
+// counts are mirrored into "obs/timeline/windows_dropped" and
+// "obs/timeline/windows_clamped" as they occur, so a -metrics snapshot
+// carries them alongside the series they taint. Pass nil to detach.
+func (t *LinkTimeline) SetRegistry(reg *Registry) {
+	t.mu.Lock()
+	t.reg = reg
+	t.mu.Unlock()
+}
+
+// DroppedWindows reports how many Add calls were discarded outright
+// (non-positive or non-finite byte counts, inverted windows). A
+// conservation check that sees DroppedWindows() == 0 knows a timeline
+// deficit means "no traffic", not "discarded traffic".
+func (t *LinkTimeline) DroppedWindows() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// ClampedWindows reports how many windows started before t=0 and were
+// clamped to start at 0 (their bytes are all recorded, shifted into the
+// valid range).
+func (t *LinkTimeline) ClampedWindows() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clamped
+}
+
 // Add attributes b bytes carried by link across [from, to], spreading
 // them over the buckets the window covers proportionally to overlap. A
 // zero-width window charges the whole amount to the bucket containing
-// to. Non-positive amounts and inverted windows are ignored.
+// to. Non-positive/non-finite amounts and inverted windows are dropped
+// and counted; a window starting before t=0 is clamped to start at 0
+// and counted — either way the counters distinguish "no traffic" from
+// "discarded traffic" (see DroppedWindows).
 func (t *LinkTimeline) Add(link int, from, to sim.Time, b float64) {
-	if b <= 0 || to < from || from < 0 {
-		return
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if !(b > 0) || math.IsInf(b, 0) || !(to >= from) || to < 0 || math.IsInf(float64(to), 0) {
+		t.dropped++
+		if t.reg != nil {
+			t.reg.Counter("obs/timeline/windows_dropped").Inc()
+		}
+		return
+	}
+	if from < 0 {
+		from = 0
+		t.clamped++
+		if t.reg != nil {
+			t.reg.Counter("obs/timeline/windows_clamped").Inc()
+		}
+	}
 	w := float64(t.bucket)
 	last := int(float64(to) / w)
 	// A window ending exactly on a bucket boundary contributes nothing to

@@ -99,15 +99,21 @@ func (c *Cache) route(src, dst torus.NodeID, order []int, sig uint32) Route {
 	c.mu.RLock()
 	disabled := c.disabled
 	links, ok := c.routes[key]
+	if ok && !disabled {
+		// Count the hit while still holding the read lock: Invalidate
+		// resets the counters under the write lock, so counting after
+		// RUnlock would let a concurrent Invalidate zero the counters
+		// first and leak this epoch-N hit into epoch N+1 — observers
+		// would see hits > 0 on a cache that is provably empty.
+		c.hits.Add(1)
+	}
 	c.mu.RUnlock()
 	if disabled {
 		return RouteWithOrder(c.t, src, dst, order)
 	}
 	if ok {
-		c.hits.Add(1)
 		return Route{Src: src, Dst: dst, Links: links}
 	}
-	c.misses.Add(1)
 	r := RouteWithOrder(c.t, src, dst, order)
 	// Store an exactly-sized copy so callers appending to Links always
 	// reallocate instead of scribbling over the cached slice.
@@ -115,6 +121,10 @@ func (c *Cache) route(src, dst torus.NodeID, order []int, sig uint32) Route {
 	copy(links, r.Links)
 	c.mu.Lock()
 	if !c.disabled {
+		// The miss is counted in the same critical section that stores
+		// the entry, so it always lands in the epoch whose map it
+		// populated, even when an Invalidate slid in since the read.
+		c.misses.Add(1)
 		c.routes[key] = links
 	}
 	c.mu.Unlock()

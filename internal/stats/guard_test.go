@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// A single NaN used to poison Summarize (Min/Max comparisons go false,
+// the mean goes NaN) and garble Percentile's sort order; non-finite
+// samples are now dropped and counted.
+func TestSummarizeDropsNonFinite(t *testing.T) {
+	xs := []float64{1, math.NaN(), 2, math.Inf(1), 3, math.Inf(-1)}
+	s := Summarize(xs)
+	if s.N != 3 || s.Dropped != 3 {
+		t.Fatalf("N=%d Dropped=%d, want 3 and 3", s.N, s.Dropped)
+	}
+	if s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Fatalf("Min=%g Max=%g Mean=%g, want 1, 3, 2", s.Min, s.Max, s.Mean)
+	}
+	if math.IsNaN(s.Stddev) {
+		t.Fatal("Stddev is NaN")
+	}
+}
+
+func TestSummarizeAllNonFinite(t *testing.T) {
+	s := Summarize([]float64{math.NaN(), math.Inf(1)})
+	if s.N != 0 || s.Dropped != 2 {
+		t.Fatalf("N=%d Dropped=%d, want 0 and 2", s.N, s.Dropped)
+	}
+}
+
+func TestPercentileDropsNonFinite(t *testing.T) {
+	xs := []float64{3, math.NaN(), 1, 2, math.Inf(1)}
+	if got := Percentile(xs, 50); got != 2 {
+		t.Fatalf("P50 = %g, want 2", got)
+	}
+	if got := Percentile(xs, 100); got != 3 {
+		t.Fatalf("P100 = %g, want 3 (Inf dropped)", got)
+	}
+}
+
+func TestPercentilePanicsAllNonFinite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for all-NaN sample")
+		}
+	}()
+	Percentile([]float64{math.NaN()}, 50)
+}
+
+func TestImbalanceRatioIgnoresNaN(t *testing.T) {
+	got := ImbalanceRatio([]float64{2, math.NaN(), 4})
+	if want := 4.0 / 3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ImbalanceRatio = %g, want %g", got, want)
+	}
+}

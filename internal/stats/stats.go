@@ -18,28 +18,47 @@ type Summary struct {
 	Max    float64
 	Mean   float64
 	Stddev float64
+	// Dropped counts NaN/Inf inputs excluded from the statistics; N
+	// counts only the finite samples. A single NaN would otherwise
+	// poison every comparison-based field (Min/Max stop updating, the
+	// mean goes NaN), so non-finite values are dropped and counted
+	// rather than propagated.
+	Dropped int
 }
 
-// Summarize computes a Summary. An empty sample returns the zero value.
+// Summarize computes a Summary over the finite values of xs; non-finite
+// inputs are dropped and counted. An all-dropped or empty sample
+// returns a Summary with N == 0.
 func Summarize(xs []float64) Summary {
-	s := Summary{N: len(xs)}
-	if s.N == 0 {
-		return s
-	}
-	s.Min, s.Max = xs[0], xs[0]
+	var s Summary
 	var sum float64
 	for _, x := range xs {
-		if x < s.Min {
-			s.Min = x
+		if !isFinite(x) {
+			s.Dropped++
+			continue
 		}
-		if x > s.Max {
-			s.Max = x
+		if s.N == 0 {
+			s.Min, s.Max = x, x
+		} else {
+			if x < s.Min {
+				s.Min = x
+			}
+			if x > s.Max {
+				s.Max = x
+			}
 		}
+		s.N++
 		sum += x
+	}
+	if s.N == 0 {
+		return s
 	}
 	s.Mean = sum / float64(s.N)
 	var ss float64
 	for _, x := range xs {
+		if !isFinite(x) {
+			continue
+		}
 		d := x - s.Mean
 		ss += d * d
 	}
@@ -49,13 +68,25 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
-// Percentile returns the p-th percentile (0..100) by linear
-// interpolation; it panics on an empty sample.
+// isFinite reports whether x is a usable sample (not NaN, not ±Inf).
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// Percentile returns the p-th percentile (0..100) of the finite values
+// of xs by linear interpolation; non-finite inputs are dropped first (a
+// NaN would garble the sort order and with it every percentile). It
+// panics when no finite sample remains.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if isFinite(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
 		panic("stats: percentile of empty sample")
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]
