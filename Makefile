@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench quick check
+.PHONY: build test lint verify bench quick check soak
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,13 @@ lint:
 
 # Tier-1 verification: full build + static checks + tests, plus the race
 # detector over the packages that run worker pools or schedule failure
-# events (see ROADMAP.md), plus the differential-oracle suite.
+# events (see ROADMAP.md), plus the differential-oracle suite, plus a
+# 10-second bgqload smoke against an in-process daemon (zero 5xx,
+# coalescing observed).
 verify: build lint check
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments ./internal/netsim ./internal/faultinject
+	$(GO) test -race ./internal/experiments ./internal/netsim ./internal/faultinject ./internal/serve
+	$(GO) run ./cmd/bgqload -selftest -duration 10s -rps 300 -agg-every 16 -seed 7 -require-coalesce
 
 # Correctness oracle (DESIGN.md §11): the invariant + differential test
 # suite (200 generated scenarios through both engines, the archived
@@ -44,3 +47,10 @@ quick:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	./scripts/bench.sh
+
+# Load/soak gate: spawn a real bgqd on a Unix socket, drive it with
+# bgqload for 30s at a fixed request rate, fail on any 5xx, on a shed
+# rate above 50%, or on a p99 regression against the checked-in baseline
+# (scripts/soak_baseline.json). Archives the report as LOAD_<date>.json.
+soak:
+	./scripts/soak.sh

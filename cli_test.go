@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildTool compiles one of the repo's commands into a temp dir and
@@ -78,6 +79,163 @@ func TestBgqsimCLI(t *testing.T) {
 	bad.Stdin = strings.NewReader(`{"shape": "2x2x4x4x2"}`)
 	if err := bad.Run(); err == nil {
 		t.Fatal("invalid scenario accepted")
+	}
+}
+
+// Input problems must exit 2 up front — before any simulation work —
+// matching the bgqbench convention; only runtime failures exit 1.
+func TestBgqsimFlagValidation(t *testing.T) {
+	bin := buildTool(t, "cmd/bgqsim")
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+		want  string
+	}{
+		{"no args", nil, "", "usage:"},
+		{"two args", []string{"a.json", "b.json"}, "", "usage:"},
+		{"unreadable file", []string{missing}, "", "no such file"},
+		{"invalid json", []string{"-"}, `{"shape": }`, "parse"},
+		{"invalid scenario", []string{"-"}, `{"shape": "2x2x4x4x2"}`, "scenario"},
+		{"bad trace dir", []string{"-trace", filepath.Join(missing, "t.json"), "-"},
+			`{"shape":"2x2x4x4x2","transfer":{"kind":"pair","src":0,"dst":1,"bytes":1024}}`, "trace"},
+	}
+	for _, c := range cases {
+		cmd := exec.Command(bin, c.args...)
+		if c.stdin != "" {
+			cmd.Stdin = strings.NewReader(c.stdin)
+		}
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s: accepted, output:\n%s", c.name, out)
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Fatalf("%s: want exit 2, got %v\n%s", c.name, err, out)
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Fatalf("%s: error output missing %q:\n%s", c.name, c.want, out)
+		}
+		if strings.Contains(string(out), "throughput:") {
+			t.Fatalf("%s: simulation ran despite invalid input:\n%s", c.name, out)
+		}
+	}
+}
+
+func TestBgqdFlagValidation(t *testing.T) {
+	bin := buildTool(t, "cmd/bgqd")
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad listen", []string{"-listen", "nonsense"}, "-listen"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers"},
+		{"negative queue", []string{"-queue", "-5"}, "-queue"},
+		{"negative shards", []string{"-shards", "-2"}, "-shards"},
+		{"negative retry-after", []string{"-retry-after", "-1s"}, "-retry-after"},
+		{"extra args", []string{"surprise"}, "unexpected arguments"},
+	}
+	for _, c := range cases {
+		out, err := exec.Command(bin, c.args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Fatalf("%s: want exit 2, got %v\n%s", c.name, err, out)
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Fatalf("%s: error output missing %q:\n%s", c.name, c.want, out)
+		}
+	}
+}
+
+func TestBgqloadFlagValidation(t *testing.T) {
+	bin := buildTool(t, "cmd/bgqload")
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no addr", nil, "-addr"},
+		{"bad mode", []string{"-addr", "x:1", "-mode", "sideways"}, "mode"},
+		{"bad pattern", []string{"-addr", "x:1", "-patterns", "bogus"}, "pattern"},
+		{"bad shape", []string{"-addr", "x:1", "-shape", "nope"}, "shape"},
+		{"zero rps", []string{"-addr", "x:1", "-rps", "0"}, "rps"},
+		{"bad p99 ratio", []string{"-addr", "x:1", "-p99-ratio", "0"}, "-p99-ratio"},
+		{"bad shed rate", []string{"-addr", "x:1", "-max-shed-rate", "1.5"}, "-max-shed-rate"},
+		{"missing baseline", []string{"-addr", "x:1", "-baseline", filepath.Join(t.TempDir(), "nope.json")}, "baseline"},
+	}
+	for _, c := range cases {
+		out, err := exec.Command(bin, c.args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Fatalf("%s: want exit 2, got %v\n%s", c.name, err, out)
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Fatalf("%s: error output missing %q:\n%s", c.name, c.want, out)
+		}
+	}
+}
+
+// TestBgqdBgqloadEndToEnd spawns a real bgqd on a Unix socket and drives
+// it with bgqload — the miniature of `make soak`.
+func TestBgqdBgqloadEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bgqd := buildTool(t, "cmd/bgqd")
+	bgqload := buildTool(t, "cmd/bgqload")
+	sock := filepath.Join(t.TempDir(), "bgqd.sock")
+
+	daemon := exec.Command(bgqd, "-socket", sock)
+	var dout bytes.Buffer
+	daemon.Stdout = &dout
+	daemon.Stderr = &dout
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Signal(os.Interrupt)
+		daemon.Wait()
+	}()
+	// Wait for the socket to appear.
+	for i := 0; ; i++ {
+		if _, err := os.Stat(sock); err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("bgqd never bound %s:\n%s", sock, dout.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	reportPath := filepath.Join(t.TempDir(), "load.json")
+	out, err := exec.Command(bgqload,
+		"-addr", "unix://"+sock, "-duration", "2s", "-rps", "150",
+		"-seed", "7", "-json", reportPath, "-require-coalesce").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bgqload: %v\n%s\ndaemon:\n%s", err, out, dout.String())
+	}
+	for _, want := range []string{"0 5xx", "all soak gates passed"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("bgqload output missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Requests  int   `json:"requests"`
+		Status5xx int   `json:"status_5xx"`
+		CacheHits int64 `json:"cache_hits"`
+		Coalesced int64 `json:"coalesced"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Status5xx != 0 || rep.CacheHits+rep.Coalesced == 0 {
+		t.Fatalf("bad report: %+v", rep)
 	}
 }
 

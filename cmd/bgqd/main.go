@@ -1,0 +1,142 @@
+// Command bgqd is the plan-serving daemon: a long-running service that
+// answers point-to-point, group, aggregation, and full-scenario planning
+// requests over HTTP/JSON, on a TCP port or a Unix socket.
+//
+// Usage:
+//
+//	bgqd [-listen host:port | -socket /path/bgqd.sock]
+//	     [-workers N] [-queue N] [-shards N] [-retry-after dur]
+//
+// The daemon runs a fixed worker pool behind a bounded admission queue:
+// when the queue is full new requests are shed with 429 + Retry-After
+// instead of queueing without bound. Identical concurrent requests are
+// coalesced onto one computation and completed plans are cached until a
+// fault event (POST /v1/fault) bumps the invalidation epoch. GET
+// /metrics exposes the observability registry (latency histograms,
+// queue depth, cache hit/miss/coalesce counters, shed count) as JSON.
+//
+// Flags are validated up front; a bad flag exits 2 with a one-line
+// error. SIGINT/SIGTERM shut the daemon down gracefully (in-flight
+// requests finish, the socket file is removed).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bgqflow/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8347", "TCP listen address (host:port)")
+	socket := flag.String("socket", "", "Unix socket path to serve on instead of TCP")
+	workers := flag.Int("workers", 0, "plan-computation workers; 0 = one per CPU")
+	queue := flag.Int("queue", 0, "admission queue depth; 0 = 4x workers")
+	shards := flag.Int("shards", 0, "plan-cache shards; 0 = 16")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+	flag.Parse()
+
+	if err := validate(*listen, *socket, *workers, *queue, *shards, *retryAfter, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "bgqd: %v\n", err)
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		CacheShards: *shards,
+		RetryAfter:  *retryAfter,
+	})
+	defer srv.Close()
+
+	var (
+		ln   net.Listener
+		addr string
+		err  error
+	)
+	if *socket != "" {
+		// A stale socket file from a crashed daemon would fail the bind;
+		// remove it only if nothing is listening there.
+		if conn, derr := net.DialTimeout("unix", *socket, 200*time.Millisecond); derr == nil {
+			conn.Close()
+			fmt.Fprintf(os.Stderr, "bgqd: socket %s is already in use\n", *socket)
+			os.Exit(1)
+		}
+		os.Remove(*socket)
+		ln, err = net.Listen("unix", *socket)
+		addr = "unix://" + *socket
+		if err == nil {
+			defer os.Remove(*socket)
+		}
+	} else {
+		ln, err = net.Listen("tcp", *listen)
+		if ln != nil {
+			addr = ln.Addr().String()
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bgqd: listen: %v\n", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("bgqd: serving on %s\n", addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "bgqd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "bgqd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "bgqd: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// validate rejects bad flags before the daemon binds anything; errors
+// print as one line and exit 2, matching bgqbench and bgqsim.
+func validate(listen, socket string, workers, queue, shards int, retryAfter time.Duration, extra []string) error {
+	if len(extra) > 0 {
+		return fmt.Errorf("unexpected arguments: %v", extra)
+	}
+	if socket == "" {
+		if listen == "" {
+			return fmt.Errorf("one of -listen or -socket is required")
+		}
+		if _, _, err := net.SplitHostPort(listen); err != nil {
+			return fmt.Errorf("-listen %q: %v", listen, err)
+		}
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	if queue < 0 {
+		return fmt.Errorf("-queue must be >= 0, got %d", queue)
+	}
+	if shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", shards)
+	}
+	if retryAfter < 0 {
+		return fmt.Errorf("-retry-after must be >= 0, got %v", retryAfter)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+// Command bgqload drives a bgqd plan-serving daemon with a seeded,
+// deterministic request mix and reports latency, throughput, shed-rate,
+// and coalescing statistics. It is the soak/stress driver behind
+// `make soak`.
+//
+// Usage:
+//
+//	bgqload -addr host:port|unix:///path [-duration 30s] [-mode open|closed]
+//	        [-rps 500] [-concurrency 8] [-seed 1] [-shape 2x2x4x4x2]
+//	        [-patterns uniform,neighbor,shift,sparse] [-agg-every N]
+//	        [-json out.json] [-baseline prev.json] [-p99-ratio 5]
+//	        [-max-shed-rate 0.5] [-require-coalesce] [-selftest]
+//
+// Open-loop mode issues requests on a fixed-rate clock (-rps); closed
+// loop keeps -concurrency workers saturated. The mix is deterministic in
+// -seed: hot pairs from the sparse patterns repeat as identical
+// requests, exercising the daemon's cache and request coalescing.
+//
+// Soak gates (exit 1 when violated): any 5xx or transport error, shed
+// rate above -max-shed-rate, p99 above the -baseline report's p99 times
+// -p99-ratio, and — with -require-coalesce — a server that reports no
+// cache hits or coalesced requests at all. -json archives the full
+// report (client stats plus the daemon's /metrics snapshot).
+//
+// -selftest spins an in-process daemon on a loopback port and runs the
+// load against it — no external bgqd needed; used by `make verify`.
+// Flags are validated up front; a bad flag exits 2 with a one-line
+// error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"bgqflow/internal/loadgen"
+	"bgqflow/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "daemon address: host:port, http://..., or unix:///path")
+	duration := flag.Duration("duration", 30*time.Second, "load duration")
+	mode := flag.String("mode", "open", "load mode: open (fixed-rate arrivals) or closed (fixed workers)")
+	rps := flag.Float64("rps", 500, "open-loop arrival rate (requests/sec)")
+	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
+	seed := flag.Int64("seed", 1, "request-mix seed")
+	shape := flag.String("shape", "", "torus shape for plan requests (default 2x2x4x4x2)")
+	patterns := flag.String("patterns", "", "comma-separated pair patterns (default all: uniform,neighbor,shift,sparse)")
+	aggEvery := flag.Int("agg-every", 0, "make every Nth request an aggregation plan (0 = none)")
+	jsonOut := flag.String("json", "", "write the full report JSON to this file")
+	baseline := flag.String("baseline", "", "previous report to gate p99 against")
+	p99Ratio := flag.Float64("p99-ratio", 5, "fail when p99 exceeds baseline p99 times this ratio")
+	maxShed := flag.Float64("max-shed-rate", 0.5, "fail when shed/requests exceeds this (0 disables)")
+	requireCoalesce := flag.Bool("require-coalesce", false, "fail when the server reports zero cache hits and zero coalesced requests")
+	selftest := flag.Bool("selftest", false, "spin an in-process daemon on loopback and load it (ignores -addr)")
+	flag.Parse()
+
+	opts := loadgen.Options{
+		Mode:        *mode,
+		Duration:    *duration,
+		RPS:         *rps,
+		Concurrency: *concurrency,
+		Seed:        *seed,
+		Shape:       *shape,
+		AggEvery:    *aggEvery,
+	}
+	if *patterns != "" {
+		opts.Patterns = strings.Split(*patterns, ",")
+	}
+	baseP99, err := validate(*addr, *selftest, *baseline, *p99Ratio, *maxShed, opts, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bgqload: %v\n", err)
+		os.Exit(2)
+	}
+
+	target := *addr
+	var cleanup func()
+	if *selftest {
+		target, cleanup, err = startInProcess()
+		if err != nil {
+			fatal("selftest: %v", err)
+		}
+		defer cleanup()
+	}
+	client, err := serve.NewClient(target)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := client.Health(context.Background()); err != nil {
+		fatal("daemon not reachable at %s: %v", target, err)
+	}
+
+	rep, err := loadgen.Run(context.Background(), client, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("bgqload: %s %v against %s: %d requests (%.0f/s), %d ok, %d shed (%.1f%%), %d 4xx, %d 5xx, %d transport errors\n",
+		rep.Mode, *duration, target, rep.Requests, rep.AchievedRPS,
+		rep.OK, rep.Shed, rep.ShedRate*100, rep.Status4xx, rep.Status5xx, rep.TransportErrors)
+	fmt.Printf("bgqload: latency p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms; server computed %d plans, %d cache hits, %d coalesced (%.0f%% saved)\n",
+		rep.Latency.P50MS, rep.Latency.P90MS, rep.Latency.P99MS, rep.Latency.MaxMS,
+		rep.PlansComputed, rep.CacheHits, rep.Coalesced, rep.CoalesceRate*100)
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal("json: %v", err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fatal("json: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("json: %v", err)
+		}
+		fmt.Printf("bgqload: report written to %s\n", *jsonOut)
+	}
+
+	crit := loadgen.Criteria{
+		MaxShedRate:     *maxShed,
+		RequireCoalesce: *requireCoalesce,
+		MinRequests:     1,
+	}
+	if baseP99 > 0 {
+		crit.MaxP99MS = baseP99 * *p99Ratio
+	}
+	if err := rep.Check(crit); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println("bgqload: all soak gates passed")
+}
+
+// validate rejects bad flags up front (exit 2), reading the baseline's
+// p99 while at it so a missing or corrupt baseline fails before the
+// 30-second load runs, not after.
+func validate(addr string, selftest bool, baseline string, p99Ratio, maxShed float64, opts loadgen.Options, extra []string) (baseP99 float64, err error) {
+	if len(extra) > 0 {
+		return 0, fmt.Errorf("unexpected arguments: %v", extra)
+	}
+	if addr == "" && !selftest {
+		return 0, fmt.Errorf("-addr is required (or use -selftest)")
+	}
+	if p99Ratio <= 0 {
+		return 0, fmt.Errorf("-p99-ratio must be > 0, got %g", p99Ratio)
+	}
+	if maxShed < 0 || maxShed > 1 {
+		return 0, fmt.Errorf("-max-shed-rate must be in [0,1], got %g", maxShed)
+	}
+	// Validate mode/shape/patterns/duration via the loadgen mix builder.
+	if _, err := loadgen.BuildMix(opts); err != nil {
+		return 0, err
+	}
+	if baseline != "" {
+		f, err := os.Open(baseline)
+		if err != nil {
+			return 0, fmt.Errorf("baseline: %v", err)
+		}
+		defer f.Close()
+		base, err := loadgen.ReadReport(f)
+		if err != nil {
+			return 0, fmt.Errorf("baseline %s: %v", baseline, err)
+		}
+		if base.Latency.P99MS <= 0 {
+			return 0, fmt.Errorf("baseline %s has no p99 latency", baseline)
+		}
+		baseP99 = base.Latency.P99MS
+	}
+	return baseP99, nil
+}
+
+// startInProcess runs a daemon inside this process on a loopback port.
+func startInProcess() (addr string, cleanup func(), err error) {
+	srv := serve.New(serve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	cleanup = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Close()
+	}
+	return ln.Addr().String(), cleanup, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bgqload: "+format+"\n", args...)
+	os.Exit(1)
+}

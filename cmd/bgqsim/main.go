@@ -22,6 +22,11 @@
 //	  "transfer": {"kind": "pair", "src": 0, "dst": 127,
 //	               "bytes": 67108864, "proxies": 4}
 //	}
+//
+// Inputs are validated up front, matching bgqbench: a missing or extra
+// argument, an unreadable scenario file, invalid scenario JSON, or an
+// uncreatable -trace path exits 2 with a one-line error before the
+// simulation starts. Runtime failures exit 1.
 package main
 
 import (
@@ -29,35 +34,51 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"bgqflow/internal/scenario"
 )
 
-func main() {
-	traceOut := flag.String("trace", "", "write a JSON flow-timeline trace to this file")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bgqsim [-trace out.json] <scenario.json | ->")
-		os.Exit(2)
+// validateAndLoad checks every input before any simulation work: the
+// argument list, the scenario source (readable, parseable, valid), and
+// the -trace destination (writable directory). Errors exit 2.
+func validateAndLoad(args []string, traceOut string) (scenario.Config, error) {
+	if len(args) != 1 {
+		return scenario.Config{}, fmt.Errorf("usage: bgqsim [-trace out.json] <scenario.json | ->")
 	}
-	arg := flag.Arg(0)
 	var in io.Reader
-	if arg == "-" {
+	if args[0] == "-" {
 		in = os.Stdin
 	} else {
-		f, err := os.Open(arg)
+		f, err := os.Open(args[0])
 		if err != nil {
-			fatal(err)
+			return scenario.Config{}, err
 		}
 		defer f.Close()
 		in = f
 	}
 	cfg, err := scenario.Load(in)
 	if err != nil {
-		fatal(err)
+		return scenario.Config{}, err
 	}
-	if *traceOut != "" {
+	if traceOut != "" {
+		if dir := filepath.Dir(traceOut); dir != "" {
+			if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+				return scenario.Config{}, fmt.Errorf("trace: directory %s does not exist", dir)
+			}
+		}
 		cfg.CollectTrace = true
+	}
+	return cfg, nil
+}
+
+func main() {
+	traceOut := flag.String("trace", "", "write a JSON flow-timeline trace to this file")
+	flag.Parse()
+	cfg, err := validateAndLoad(flag.Args(), *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgqsim:", err)
+		os.Exit(2)
 	}
 	res, err := scenario.Run(cfg)
 	if err != nil {

@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"bgqflow/internal/serve"
+)
+
+func TestBuildMixDeterministic(t *testing.T) {
+	opts := Options{Mode: "closed", Duration: time.Second, Seed: 42, AggEvery: 10, MixSize: 64}
+	a, err := BuildMix(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildMix(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same options produced different request mixes")
+	}
+	opts.Seed = 43
+	c, err := BuildMix(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical mixes")
+	}
+	aggs := 0
+	for i, r := range a {
+		if r.agg != nil {
+			aggs++
+			if (i+1)%10 != 0 {
+				t.Fatalf("agg request at slot %d, want every 10th", i)
+			}
+		} else if r.pair == nil {
+			t.Fatalf("slot %d has neither pair nor agg", i)
+		} else if r.pair.Src == r.pair.Dst {
+			t.Fatalf("slot %d is a self-pair", i)
+		}
+	}
+	if aggs != 6 {
+		t.Fatalf("%d agg slots in 64, want 6", aggs)
+	}
+}
+
+func TestMixSizesTiedToPair(t *testing.T) {
+	// Identical pairs must request identical sizes, or hot pairs would
+	// never repeat as identical requests and the daemon's cache would be
+	// useless against sparse traffic.
+	ring, err := BuildMix(Options{Mode: "closed", Duration: time.Second, Seed: 7,
+		Patterns: []string{"sparse"}, MixSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]int64{}
+	repeats := 0
+	for _, r := range ring {
+		k := [2]int{r.pair.Src, r.pair.Dst}
+		if prev, ok := seen[k]; ok {
+			repeats++
+			if prev != r.pair.Bytes {
+				t.Fatalf("pair %v requested %d then %d bytes", k, prev, r.pair.Bytes)
+			}
+		}
+		seen[k] = r.pair.Bytes
+	}
+	if repeats == 0 {
+		t.Fatal("sparse mix of 256 requests has no repeated pair")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	base := Options{Mode: "closed", Duration: time.Second}
+	for name, mutate := range map[string]func(*Options){
+		"bad mode":     func(o *Options) { o.Mode = "sideways" },
+		"zero rps":     func(o *Options) { o.Mode = "open"; o.RPS = 0 },
+		"bad duration": func(o *Options) { o.Duration = 0 },
+		"bad shape":    func(o *Options) { o.Shape = "nope" },
+		"bad pattern":  func(o *Options) { o.Patterns = []string{"bogus"} },
+		"neg agg":      func(o *Options) { o.AggEvery = -1 },
+	} {
+		o := base
+		mutate(&o)
+		if _, err := BuildMix(o); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() { hs.Close(); srv.Close() }()
+	client, err := serve.NewClient(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), client, Options{
+		Mode:        "closed",
+		Duration:    500 * time.Millisecond,
+		Concurrency: 4,
+		Seed:        1,
+		MixSize:     16, // small ring: repeats guarantee cache traffic
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.OK == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.Status5xx != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("errors: %+v", rep)
+	}
+	if rep.CacheHits+rep.Coalesced == 0 {
+		t.Error("16-slot ring produced no cache hits or coalescing")
+	}
+	if rep.Latency.N == 0 || rep.Latency.P99MS < rep.Latency.P50MS {
+		t.Errorf("bad latency summary: %+v", rep.Latency)
+	}
+	if err := rep.Check(Criteria{MaxShedRate: 0.5, RequireCoalesce: true, MinRequests: 1}); err != nil {
+		t.Errorf("gates: %v", err)
+	}
+}
+
+func TestReportRoundTripAndGates(t *testing.T) {
+	rep := Report{Mode: "open", Seed: 3, Requests: 100, OK: 90, Shed: 10, ShedRate: 0.1,
+		Latency: LatencySummary{N: 90, P50MS: 1, P99MS: 8}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != 100 || back.Latency.P99MS != 8 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	for name, c := range map[string]struct {
+		rep  Report
+		crit Criteria
+		want string
+	}{
+		"5xx":       {Report{Status5xx: 1}, Criteria{}, "5xx"},
+		"transport": {Report{TransportErrors: 2}, Criteria{}, "transport"},
+		"shed":      {Report{Requests: 10, Shed: 9, ShedRate: 0.9}, Criteria{MaxShedRate: 0.5}, "shed rate"},
+		"coalesce":  {Report{}, Criteria{RequireCoalesce: true}, "no cache hits"},
+		"p99":       {Report{Latency: LatencySummary{P99MS: 100}}, Criteria{MaxP99MS: 10}, "p99"},
+		"vacuous":   {Report{}, Criteria{MinRequests: 1}, "requests issued"},
+	} {
+		err := c.rep.Check(c.crit)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err %v, want mention of %q", name, err, c.want)
+		}
+	}
+	if err := (Report{Requests: 5, OK: 5}).Check(Criteria{MaxShedRate: 0.5}); err != nil {
+		t.Errorf("clean report failed gates: %v", err)
+	}
+}

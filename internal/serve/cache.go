@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// planCache is a sharded, epoch-invalidated plan cache with
+// singleflight-style request coalescing.
+//
+// Concurrency discipline (the same stamp-and-check epoch rule as
+// routing.Cache.Invalidate, see DESIGN.md §8/§12):
+//
+//   - A computing request reads the epoch FIRST, then snapshots the
+//     fault set, then computes; the entry is stamped with that pre-read
+//     epoch.
+//   - A fault event mutates the fault set FIRST, then bumps the epoch.
+//   - A lookup only accepts an entry whose stamp equals the CURRENT
+//     epoch.
+//
+// Together these guarantee no lost invalidation: any plan computed from
+// a pre-event fault snapshot carries a pre-event stamp, and the bump
+// makes every such entry invisible to post-event lookups. A request that
+// raced the event may still receive the pre-event plan it asked for —
+// that is the serializable outcome "request before fault" — but nothing
+// computed against stale faults can be served after the bump.
+type planCache struct {
+	epoch    atomic.Uint64
+	maxShard int
+	shards   []cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+// cacheEntry is one cached (or in-flight) plan computation. ready is
+// closed once val/err are final; waiters that find an unready entry are
+// coalesced onto it instead of recomputing.
+type cacheEntry struct {
+	epoch uint64
+	ready chan struct{}
+	val   []byte
+	err   error
+}
+
+// cacheOutcome says how a Do call was satisfied.
+type cacheOutcome int
+
+const (
+	// outcomeComputed: this caller ran the computation.
+	outcomeComputed cacheOutcome = iota
+	// outcomeHit: a completed, epoch-valid entry was served.
+	outcomeHit
+	// outcomeCoalesced: the caller attached to an in-flight computation.
+	outcomeCoalesced
+)
+
+func newPlanCache(shards, entriesPerShard int) *planCache {
+	if shards < 1 {
+		shards = 1
+	}
+	if entriesPerShard < 1 {
+		entriesPerShard = 1
+	}
+	c := &planCache{maxShard: entriesPerShard, shards: make([]cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// Epoch returns the current invalidation epoch.
+func (c *planCache) Epoch() uint64 { return c.epoch.Load() }
+
+// Invalidate bumps the epoch, atomically making every cached and
+// in-flight entry invisible to subsequent lookups, and returns the new
+// epoch. Entries are evicted lazily (on collision or shard overflow)
+// rather than swept, so Invalidate is O(1) — the property that lets a
+// fault event fire on the request path.
+func (c *planCache) Invalidate() uint64 { return c.epoch.Add(1) }
+
+func (c *planCache) shardFor(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[int(h.Sum32())%len(c.shards)]
+}
+
+// Do returns the plan for key, computing it at most once per epoch
+// across concurrent callers. epoch must be the caller's pre-snapshot
+// epoch read (see the type comment). Failed computations are not cached.
+func (c *planCache) Do(key string, epoch uint64, compute func() ([]byte, error)) ([]byte, error, cacheOutcome) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok && e.epoch == c.epoch.Load() {
+		sh.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.val, e.err, outcomeHit
+		default:
+		}
+		<-e.ready
+		return e.val, e.err, outcomeCoalesced
+	}
+	e := &cacheEntry{epoch: epoch, ready: make(chan struct{})}
+	if len(sh.m) >= c.maxShard {
+		// Shard full: drop one entry, stale-epoch entries first. Eviction
+		// never blocks waiters — they hold the entry pointer, not the map
+		// slot.
+		evicted := false
+		cur := c.epoch.Load()
+		for k, old := range sh.m {
+			if old.epoch != cur {
+				delete(sh.m, k)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			for k := range sh.m {
+				delete(sh.m, k)
+				break
+			}
+		}
+	}
+	sh.m[key] = e
+	sh.mu.Unlock()
+
+	e.val, e.err = compute()
+	close(e.ready)
+	if e.err != nil {
+		// Do not cache failures (including load-shed computations): the
+		// next request must be free to retry. Only remove the slot if it
+		// is still ours — a newer epoch's entry may have replaced it.
+		sh.mu.Lock()
+		if sh.m[key] == e {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+	}
+	return e.val, e.err, outcomeComputed
+}
+
+// Len reports the number of resident entries across all shards (stale
+// entries included until lazily evicted).
+func (c *planCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

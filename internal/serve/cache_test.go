@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheComputeThenHit(t *testing.T) {
+	c := newPlanCache(4, 16)
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte("plan"), nil }
+
+	v, err, out := c.Do("k", c.Epoch(), compute)
+	if err != nil || string(v) != "plan" || out != outcomeComputed {
+		t.Fatalf("first Do: %q %v %v", v, err, out)
+	}
+	v, err, out = c.Do("k", c.Epoch(), compute)
+	if err != nil || string(v) != "plan" || out != outcomeHit {
+		t.Fatalf("second Do: %q %v %v", v, err, out)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+func TestCacheCoalescesConcurrentCallers(t *testing.T) {
+	c := newPlanCache(1, 16)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int64
+
+	go c.Do("k", c.Epoch(), func() ([]byte, error) {
+		computes.Add(1)
+		close(started)
+		<-release
+		return []byte("plan"), nil
+	})
+	<-started
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	var coalesced atomic.Int64
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer wg.Done()
+			v, err, out := c.Do("k", c.Epoch(), func() ([]byte, error) {
+				computes.Add(1)
+				return []byte("other"), nil
+			})
+			if err != nil || string(v) != "plan" {
+				t.Errorf("waiter got %q, %v", v, err)
+			}
+			if out == outcomeCoalesced {
+				coalesced.Add(1)
+			}
+		}()
+	}
+	// Give the waiters time to attach to the in-flight entry before the
+	// computation finishes. The entry is inserted before compute runs, so
+	// the computes==1 assertion holds regardless; the window only makes
+	// the coalesced-outcome observation robust.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	if coalesced.Load() == 0 {
+		t.Fatalf("no waiter was coalesced")
+	}
+}
+
+func TestCacheInvalidateHidesOldEntries(t *testing.T) {
+	c := newPlanCache(4, 16)
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte(fmt.Sprint(calls)), nil }
+
+	c.Do("k", c.Epoch(), compute)
+	c.Invalidate()
+	v, _, out := c.Do("k", c.Epoch(), compute)
+	if out != outcomeComputed || string(v) != "2" {
+		t.Fatalf("post-invalidate Do: %q %v (calls %d)", v, out, calls)
+	}
+}
+
+// TestCacheNoLostInvalidation pins the stamp-and-check discipline: a
+// computation that began under the old epoch must be invisible to
+// lookups after the bump, even though it finished after the bump.
+func TestCacheNoLostInvalidation(t *testing.T) {
+	c := newPlanCache(1, 16)
+	preEpoch := c.Epoch()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do("k", preEpoch, func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("stale"), nil
+		})
+	}()
+	<-started
+	c.Invalidate() // fault event lands mid-computation
+	close(release)
+	<-done
+
+	v, _, out := c.Do("k", c.Epoch(), func() ([]byte, error) { return []byte("fresh"), nil })
+	if string(v) != "fresh" || out != outcomeComputed {
+		t.Fatalf("stale entry served after invalidation: %q %v", v, out)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newPlanCache(4, 16)
+	calls := 0
+	c.Do("k", c.Epoch(), func() ([]byte, error) { calls++; return nil, fmt.Errorf("boom") })
+	v, err, _ := c.Do("k", c.Epoch(), func() ([]byte, error) { calls++; return []byte("ok"), nil })
+	if err != nil || string(v) != "ok" || calls != 2 {
+		t.Fatalf("retry after error: %q %v calls=%d", v, err, calls)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (failed entry evicted)", c.Len())
+	}
+}
+
+func TestCacheShardOverflowEvicts(t *testing.T) {
+	c := newPlanCache(1, 4)
+	for i := 0; i < 32; i++ {
+		c.Do(fmt.Sprintf("k%d", i), c.Epoch(), func() ([]byte, error) { return []byte("x"), nil })
+	}
+	if n := c.Len(); n > 5 {
+		t.Fatalf("shard grew to %d entries, cap 4 (+1 in flight)", n)
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"bgqflow/internal/obs"
+	"bgqflow/internal/scenario"
+)
+
+// Client talks to a bgqd daemon over TCP ("host:port" or
+// "http://host:port") or a Unix socket ("unix:///path/to/bgqd.sock").
+// It is safe for concurrent use; bgqload drives one Client from many
+// goroutines.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the given address.
+func NewClient(addr string) (*Client, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("serve: empty address")
+	}
+	if path, ok := strings.CutPrefix(addr, "unix://"); ok {
+		if path == "" {
+			return nil, fmt.Errorf("serve: empty unix socket path")
+		}
+		tr := &http.Transport{
+			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "unix", path)
+			},
+		}
+		// The host is a placeholder; the transport always dials the
+		// socket.
+		return &Client{base: "http://bgqd", hc: &http.Client{Transport: tr}}, nil
+	}
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}, nil
+}
+
+// PlanResult is one plan response as the client saw it.
+type PlanResult struct {
+	// Status is the HTTP status code (200 = plan served, 429 = shed).
+	Status int
+	// Plan is the raw plan JSON (unmarshal into PairPlan / GroupPlan /
+	// AggPlan / SimResult). Empty unless Status is 200.
+	Plan json.RawMessage
+	// Epoch is the fault epoch the plan was served under.
+	Epoch uint64
+	// Cached and Coalesced say how the server satisfied the request.
+	Cached    bool
+	Coalesced bool
+	// RetryAfter is the server's backoff hint on shed (429) responses.
+	RetryAfter time.Duration
+	// Err is the server-side error message on non-200 responses.
+	Err string
+}
+
+// Shed reports whether the request was load-shed (429).
+func (r PlanResult) Shed() bool { return r.Status == http.StatusTooManyRequests }
+
+// OK reports whether a plan was served.
+func (r PlanResult) OK() bool { return r.Status == http.StatusOK }
+
+// post sends one JSON request and decodes the envelope. A non-2xx
+// status is NOT a Go error — load tests need to count shed and rejected
+// requests without aborting; transport and decode failures are errors.
+func (c *Client) post(ctx context.Context, path string, body any) (PlanResult, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return PlanResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	defer resp.Body.Close()
+	var env planEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return PlanResult{}, fmt.Errorf("serve: decode %s response (status %d): %w", path, resp.StatusCode, err)
+	}
+	out := PlanResult{
+		Status:    resp.StatusCode,
+		Plan:      env.Plan,
+		Epoch:     env.Epoch,
+		Cached:    env.Cached,
+		Coalesced: env.Coalesced,
+		Err:       env.Error,
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil {
+			out.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return out, nil
+}
+
+// PlanPair requests a point-to-point plan.
+func (c *Client) PlanPair(ctx context.Context, req PairRequest) (PlanResult, error) {
+	return c.post(ctx, "/v1/plan/pair", req)
+}
+
+// PlanGroup requests a group-coupling plan.
+func (c *Client) PlanGroup(ctx context.Context, req GroupRequest) (PlanResult, error) {
+	return c.post(ctx, "/v1/plan/group", req)
+}
+
+// PlanAgg requests an I/O aggregation plan.
+func (c *Client) PlanAgg(ctx context.Context, req AggRequest) (PlanResult, error) {
+	return c.post(ctx, "/v1/plan/agg", req)
+}
+
+// Simulate runs a full declarative scenario.
+func (c *Client) Simulate(ctx context.Context, cfg scenario.Config) (PlanResult, error) {
+	return c.post(ctx, "/v1/simulate", cfg)
+}
+
+// Fault posts a fault event and returns the new epoch.
+func (c *Client) Fault(ctx context.Context, ev FaultEvent) (uint64, error) {
+	res, err := c.post(ctx, "/v1/fault", ev)
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != http.StatusOK {
+		return 0, fmt.Errorf("serve: fault event rejected (status %d): %s", res.Status, res.Err)
+	}
+	return res.Epoch, nil
+}
+
+// Metrics fetches the /metrics registry snapshot.
+func (c *Client) Metrics(ctx context.Context) (obs.MetricsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return obs.MetricsSnapshot{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return obs.MetricsSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return obs.MetricsSnapshot{}, fmt.Errorf("serve: /metrics status %d: %s", resp.StatusCode, b)
+	}
+	return obs.ReadMetricsSnapshot(resp.Body)
+}
+
+// Health checks the daemon's /healthz endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: /healthz status %d", resp.StatusCode)
+	}
+	return nil
+}

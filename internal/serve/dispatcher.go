@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned when the dispatcher's bounded queue is full;
+// the HTTP layer maps it to 429 + Retry-After. Overload degrades by
+// refusing work at admission instead of queueing without bound.
+var ErrOverloaded = errors.New("serve: queue full, request shed")
+
+// dispatcher is a fixed worker pool with a bounded queue. Plan
+// computations — each of which builds and runs a private simulation
+// engine — are CPU-bound, so the pool both caps memory (at most
+// workers+queue engines alive) and keeps latency predictable under
+// load.
+type dispatcher struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newDispatcher(workers, queue int) *dispatcher {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		// An unbuffered queue would make admission depend on whether a
+		// worker happens to be parked in receive — racy shedding.
+		queue = 1
+	}
+	d := &dispatcher{jobs: make(chan func(), queue)}
+	d.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+func (d *dispatcher) worker() {
+	defer d.wg.Done()
+	for f := range d.jobs {
+		f()
+	}
+}
+
+// trySubmit enqueues f without blocking; false means the queue is full
+// (admission refused — the caller sheds the request).
+func (d *dispatcher) trySubmit(f func()) bool {
+	select {
+	case d.jobs <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// queued reports the current queue depth (jobs admitted, not yet picked
+// up by a worker).
+func (d *dispatcher) queued() int { return len(d.jobs) }
+
+// close drains the queue and stops the workers. Submitting after close
+// panics; the Server guarantees ordering.
+func (d *dispatcher) close() {
+	close(d.jobs)
+	d.wg.Wait()
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDispatcherRunsJobs(t *testing.T) {
+	d := newDispatcher(2, 8)
+	var ran atomic.Int64
+	done := make(chan struct{}, 16)
+	for i := 0; i < 16; i++ {
+		if !d.trySubmit(func() { ran.Add(1); done <- struct{}{} }) {
+			// Queue momentarily full; that's the shed path, tested below.
+			done <- struct{}{}
+		}
+	}
+	for i := 0; i < 16; i++ {
+		<-done
+	}
+	d.close()
+	if ran.Load() == 0 {
+		t.Fatal("no job ran")
+	}
+}
+
+func TestDispatcherShedsWhenFull(t *testing.T) {
+	d := newDispatcher(1, 1)
+	defer d.close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if !d.trySubmit(func() { close(started); <-release }) {
+		t.Fatal("first job refused")
+	}
+	<-started // worker is now pinned on the first job
+	if !d.trySubmit(func() {}) {
+		t.Fatal("second job refused with an empty queue slot")
+	}
+	// Worker busy, queue full: admission must refuse, not block.
+	if d.trySubmit(func() {}) {
+		t.Fatal("third job admitted with worker busy and queue full")
+	}
+	close(release)
+}
+
+func TestDispatcherCloseDrains(t *testing.T) {
+	d := newDispatcher(1, 8)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		d.trySubmit(func() { ran.Add(1) })
+	}
+	d.close() // must wait for queued jobs
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("close drained %d jobs, want 8", got)
+	}
+}

@@ -1,0 +1,177 @@
+package serve_test
+
+// The concurrency hammer: one daemon, 64 goroutines of mixed identical
+// and distinct requests, with a fault event landing mid-storm. Run under
+// -race (tier-1: go test -race ./internal/serve). Asserts:
+//
+//   - every request is answered 200 (queue sized to avoid shedding);
+//   - coalescing/caching worked: plans computed < requests served, and
+//     cache_hits + coalesced > 0 (the obs counters, not a guess);
+//   - no lost invalidation: every response stamped with the post-fault
+//     epoch avoids the failed link (responses that raced the event may
+//     carry the old epoch and the old route — that is the serializable
+//     "request before fault" outcome — but a post-epoch response built
+//     from stale faults would be a correctness bug).
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"bgqflow/internal/scenario"
+	"bgqflow/internal/serve"
+)
+
+func TestConcurrentHammerCoalescingAndInvalidation(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{Workers: 4, QueueDepth: 4096})
+	ctx := context.Background()
+
+	// The hot request every goroutine repeats, and the link its unfaulted
+	// plan rides — the fault event targets that link.
+	hot := serve.PairRequest{Shape: testShape, Src: 0, Dst: 97, Bytes: 4 << 20}
+	pre, err := client.PlanPair(ctx, hot)
+	if err != nil || !pre.OK() {
+		t.Fatalf("warmup: %v status %d", err, pre.Status)
+	}
+	var prePlan serve.PairPlan
+	if err := json.Unmarshal(pre.Plan, &prePlan); err != nil {
+		t.Fatal(err)
+	}
+	target := prePlan.Flows[0].Links[0]
+	fl, ok := linkToFail(t, testShape, target)
+	if !ok {
+		t.Fatalf("cannot invert link %d", target)
+	}
+
+	const goroutines = 64
+	const perG = 8
+	type answer struct {
+		epoch uint64
+		plan  []byte
+	}
+	var (
+		mu      sync.Mutex
+		hotAns  []answer
+		wg      sync.WaitGroup
+		barrier = make(chan struct{})
+	)
+	var postEpoch uint64
+	wg.Add(goroutines + 1)
+	// The fault event races the request storm.
+	go func() {
+		defer wg.Done()
+		<-barrier
+		ep, ferr := client.Fault(ctx, serve.FaultEvent{Links: []scenario.FailLink{fl}})
+		if ferr != nil {
+			t.Errorf("fault: %v", ferr)
+			return
+		}
+		mu.Lock()
+		postEpoch = ep
+		mu.Unlock()
+	}()
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			<-barrier
+			for i := 0; i < perG; i++ {
+				var res serve.PlanResult
+				var rerr error
+				if i%2 == 0 {
+					// Identical hot request — the coalescing/caching target.
+					res, rerr = client.PlanPair(ctx, hot)
+				} else {
+					// Distinct per (goroutine, iteration): genuine plan work.
+					res, rerr = client.PlanPair(ctx, serve.PairRequest{
+						Shape: testShape,
+						Src:   g % 128,
+						Dst:   (g*perG + i*37 + 5) % 128,
+						Bytes: int64(1+i) << 20,
+					})
+				}
+				if rerr != nil {
+					t.Errorf("g%d/%d: %v", g, i, rerr)
+					continue
+				}
+				if !res.OK() {
+					// Self-pairs in the distinct mix are rejected 400; anything
+					// else is a failure. No shedding: the queue is deep enough.
+					if res.Status == 400 && i%2 == 1 {
+						continue
+					}
+					t.Errorf("g%d/%d: status %d: %s", g, i, res.Status, res.Err)
+					continue
+				}
+				if i%2 == 0 {
+					mu.Lock()
+					hotAns = append(hotAns, answer{res.Epoch, res.Plan})
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	close(barrier)
+	wg.Wait()
+
+	// Coalescing actually happened: the server computed strictly fewer
+	// plans than it served, and says so in its own counters.
+	snap := srv.Registry().Snapshot()
+	requests := snap.Counters["serve/requests"]
+	computed := snap.Counters["serve/plans_computed"]
+	saved := snap.Counters["serve/cache_hits"] + snap.Counters["serve/coalesced"]
+	if computed >= requests {
+		t.Errorf("plans_computed %d >= requests %d: no coalescing/caching", computed, requests)
+	}
+	if saved == 0 {
+		t.Error("cache_hits + coalesced = 0")
+	}
+	if shed := snap.Counters["serve/shed"]; shed != 0 {
+		t.Errorf("%d requests shed despite deep queue", shed)
+	}
+
+	// No lost invalidation across the concurrent epoch bump.
+	if postEpoch == 0 {
+		t.Fatal("fault goroutine never ran")
+	}
+	postSeen := 0
+	for _, a := range hotAns {
+		if a.epoch < postEpoch {
+			continue // raced the fault; pre-event plan is the correct answer
+		}
+		postSeen++
+		var p serve.PairPlan
+		if err := json.Unmarshal(a.plan, &p); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range p.Flows {
+			for _, l := range f.Links {
+				if l == target {
+					t.Fatalf("epoch-%d response uses link %d failed at epoch %d (lost invalidation)",
+						a.epoch, target, postEpoch)
+				}
+			}
+		}
+	}
+	// And the daemon's final answer must definitely avoid the link.
+	res, err := client.PlanPair(ctx, hot)
+	if err != nil || !res.OK() {
+		t.Fatalf("final plan: %v status %d", err, res.Status)
+	}
+	if res.Epoch != postEpoch {
+		t.Fatalf("final epoch %d, want %d", res.Epoch, postEpoch)
+	}
+	var p serve.PairPlan
+	if err := json.Unmarshal(res.Plan, &p); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Flows {
+		for _, l := range f.Links {
+			if l == target {
+				t.Fatal("final post-fault plan still uses the failed link")
+			}
+		}
+	}
+	t.Logf("hammer: %d requests, %d computed, %d saved, %d post-epoch hot answers",
+		requests, computed, saved, postSeen)
+}

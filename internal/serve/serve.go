@@ -1,0 +1,351 @@
+// Package serve turns the repo's planners into a long-running,
+// concurrent planning service: the bgqd daemon answers PlanPair /
+// PlanGroup / PlanAggregation / Simulate requests over HTTP/JSON on a
+// TCP or Unix socket.
+//
+// Three mechanisms make it safe to put in front of heavy traffic
+// (DESIGN.md §12):
+//
+//   - A worker-pool dispatcher with a bounded queue: each plan builds
+//     and runs a private simulation engine, so admission control caps
+//     both CPU and memory. When the queue is full the request is shed
+//     with 429 + Retry-After instead of queueing without bound.
+//   - A sharded plan cache keyed on (kind, shape, params-hash,
+//     endpoints, bytes-bucket, canonical request) with singleflight
+//     coalescing: N concurrent identical requests compute once. Sparse
+//     request streams — a few hot (src, dst) couples dominating, the
+//     Pattern-2 shape — hit the cache almost always.
+//   - Epoch invalidation wired to fault events: a POST /v1/fault
+//     mutates the fault set then bumps the epoch, making every cached
+//     and in-flight plan invisible to later lookups (the routing.Cache
+//     epoch discipline lifted to the service layer).
+//
+// Every request is instrumented through internal/obs; GET /metrics
+// returns the registry snapshot as flat JSON.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"bgqflow/internal/obs"
+	"bgqflow/internal/scenario"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers is the plan-computation pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the dispatcher queue; admission beyond it sheds
+	// with 429. 0 means 4x workers; the minimum is 1 (a zero-length
+	// queue would make admission depend on worker scheduling).
+	QueueDepth int
+	// CacheShards is the plan-cache shard count; 0 means 16.
+	CacheShards int
+	// CacheEntriesPerShard bounds each shard; 0 means 4096.
+	CacheEntriesPerShard int
+	// RetryAfter is the backoff hint attached to shed responses; 0 means
+	// 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheEntriesPerShard <= 0 {
+		c.CacheEntriesPerShard = 4096
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// FaultEvent is the body of POST /v1/fault: link failures to add to the
+// daemon's fault set, or Clear to reset it (a repair). Either way the
+// plan-cache epoch is bumped.
+type FaultEvent struct {
+	Links []scenario.FailLink `json:"links,omitempty"`
+	Clear bool                `json:"clear,omitempty"`
+}
+
+// Server is the planning service. Create with New, mount Handler on any
+// http.Server (TCP or Unix listener), Close when done.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *planCache
+	disp  *dispatcher
+	start time.Time
+
+	mu     sync.Mutex
+	faults []scenario.FailLink
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		reg:   obs.NewRegistry(),
+		cache: newPlanCache(cfg.CacheShards, cfg.CacheEntriesPerShard),
+		disp:  newDispatcher(cfg.Workers, cfg.QueueDepth),
+		start: time.Now(),
+	}
+}
+
+// Registry exposes the server's metrics registry (tests and embedders
+// read counters from it directly).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Epoch returns the current plan-cache invalidation epoch.
+func (s *Server) Epoch() uint64 { return s.cache.Epoch() }
+
+// Close drains the worker pool. In-flight HTTP requests must have
+// completed (http.Server.Shutdown before Close).
+func (s *Server) Close() { s.disp.close() }
+
+// snapshot reads the epoch, then the fault set — in that order; see the
+// planCache type comment for why the order matters.
+func (s *Server) snapshot() (uint64, []scenario.FailLink) {
+	epoch := s.cache.Epoch()
+	s.mu.Lock()
+	faults := append([]scenario.FailLink(nil), s.faults...)
+	s.mu.Unlock()
+	return epoch, faults
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan/pair", s.handlePair)
+	mux.HandleFunc("POST /v1/plan/group", s.handleGroup)
+	mux.HandleFunc("POST /v1/plan/agg", s.handleAgg)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/fault", s.handleFault)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// planEnvelope wraps every plan response. Plan carries the cacheable
+// payload; the remaining fields describe how THIS request was served and
+// are deliberately outside Plan so that byte-identity of plans holds
+// across cache hits, coalesced waits, and fresh computations.
+type planEnvelope struct {
+	Plan      json.RawMessage `json:"plan,omitempty"`
+	Epoch     uint64          `json:"epoch"`
+	Cached    bool            `json:"cached,omitempty"`
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// servePlan is the shared request path: admission, coalescing, caching,
+// instrumentation.
+func (s *Server) servePlan(w http.ResponseWriter, endpoint, key string,
+	compute func(faults []scenario.FailLink) (any, error)) {
+	t0 := time.Now()
+	s.reg.Counter("serve/requests").Inc()
+	s.reg.Counter("serve/requests/" + endpoint).Inc()
+	epoch, faults := s.snapshot()
+	val, err, outcome := s.cache.Do(key, epoch, func() ([]byte, error) {
+		type result struct {
+			b []byte
+			e error
+		}
+		ch := make(chan result, 1)
+		admitted := s.disp.trySubmit(func() {
+			plan, cerr := compute(faults)
+			if cerr != nil {
+				ch <- result{nil, cerr}
+				return
+			}
+			b, merr := json.Marshal(plan)
+			ch <- result{b, merr}
+		})
+		s.reg.Gauge("serve/queue_depth").Set(float64(s.disp.queued()))
+		if !admitted {
+			return nil, ErrOverloaded
+		}
+		r := <-ch
+		return r.b, r.e
+	})
+	switch outcome {
+	case outcomeHit:
+		s.reg.Counter("serve/cache_hits").Inc()
+	case outcomeCoalesced:
+		s.reg.Counter("serve/coalesced").Inc()
+	case outcomeComputed:
+		if err == nil {
+			s.reg.Counter("serve/plans_computed").Inc()
+		}
+	}
+	if err == ErrOverloaded {
+		s.reg.Counter("serve/shed").Inc()
+		secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, planEnvelope{Epoch: epoch, Error: err.Error()})
+		return
+	}
+	if err != nil {
+		s.reg.Counter("serve/errors").Inc()
+		writeJSON(w, http.StatusBadRequest, planEnvelope{Epoch: epoch, Error: err.Error()})
+		return
+	}
+	s.reg.Histogram("serve/latency_ms/" + endpoint).Observe(float64(time.Since(t0)) / 1e6)
+	writeJSON(w, http.StatusOK, planEnvelope{
+		Plan:      val,
+		Epoch:     epoch,
+		Cached:    outcome == outcomeHit,
+		Coalesced: outcome == outcomeCoalesced,
+	})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, reg *obs.Registry, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		reg.Counter("serve/errors").Inc()
+		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: fmt.Sprintf("serve: bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	var req PairRequest
+	if !decodeBody(w, r, s.reg, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.reg.Counter("serve/errors").Inc()
+		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
+		return
+	}
+	s.servePlan(w, "pair", req.cacheKey(), func(faults []scenario.FailLink) (any, error) {
+		return ComputePair(req, faults)
+	})
+}
+
+func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
+	var req GroupRequest
+	if !decodeBody(w, r, s.reg, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.reg.Counter("serve/errors").Inc()
+		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
+		return
+	}
+	s.servePlan(w, "group", req.cacheKey(), func(faults []scenario.FailLink) (any, error) {
+		return ComputeGroup(req, faults)
+	})
+}
+
+func (s *Server) handleAgg(w http.ResponseWriter, r *http.Request) {
+	var req AggRequest
+	if !decodeBody(w, r, s.reg, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.reg.Counter("serve/errors").Inc()
+		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
+		return
+	}
+	s.servePlan(w, "agg", req.cacheKey(), func(faults []scenario.FailLink) (any, error) {
+		return ComputeAgg(req, faults)
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var cfg scenario.Config
+	if !decodeBody(w, r, s.reg, &cfg) {
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		s.reg.Counter("serve/errors").Inc()
+		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
+		return
+	}
+	// Canonicalize (Validate filled defaults) so equal scenarios hash
+	// equal regardless of JSON field order or omitted defaults.
+	canon, err := json.Marshal(cfg)
+	if err != nil {
+		s.reg.Counter("serve/errors").Inc()
+		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
+		return
+	}
+	s.servePlan(w, "sim", simCacheKey(cfg, canon), func(faults []scenario.FailLink) (any, error) {
+		return ComputeSim(cfg, faults)
+	})
+}
+
+// handleFault ingests a fault event: mutate the fault set FIRST, then
+// bump the epoch (see planCache). Responds with the new epoch.
+func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
+	var ev FaultEvent
+	if !decodeBody(w, r, s.reg, &ev) {
+		return
+	}
+	for _, fl := range ev.Links {
+		if fl.Dir != 1 && fl.Dir != -1 {
+			s.reg.Counter("serve/errors").Inc()
+			writeJSON(w, http.StatusBadRequest, planEnvelope{Error: fmt.Sprintf("serve: fault dir %d must be +1 or -1", fl.Dir)})
+			return
+		}
+		if fl.Node < 0 || fl.Dim < 0 {
+			s.reg.Counter("serve/errors").Inc()
+			writeJSON(w, http.StatusBadRequest, planEnvelope{Error: fmt.Sprintf("serve: bad fault link %+v", fl)})
+			return
+		}
+	}
+	s.mu.Lock()
+	if ev.Clear {
+		s.faults = nil
+	}
+	s.faults = append(s.faults, ev.Links...)
+	n := len(s.faults)
+	s.mu.Unlock()
+	epoch := s.cache.Invalidate()
+	s.reg.Counter("serve/fault_events").Inc()
+	s.reg.Gauge("serve/fault_links").Set(float64(n))
+	writeJSON(w, http.StatusOK, planEnvelope{Epoch: epoch})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Refresh the point-in-time gauges, then snapshot.
+	s.reg.Gauge("serve/queue_depth").Set(float64(s.disp.queued()))
+	s.reg.Gauge("serve/cache_entries").Set(float64(s.cache.Len()))
+	s.reg.Gauge("serve/epoch").Set(float64(s.cache.Epoch()))
+	s.reg.Gauge("serve/uptime_seconds").Set(time.Since(s.start).Seconds())
+	snap := s.reg.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	snap.WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pair is one (source, destination) transfer endpoint pair, by node ID.
+// The pair-pattern generators below describe the *communication
+// structure* of a request stream the way Uniform/Pareto/Pattern2
+// describe its per-rank sizes: who talks to whom when many sparse
+// point-to-point transfers are in flight at once. They drive the bgqload
+// request mix and any study that needs a reproducible stream of
+// endpoints.
+type Pair struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+// UniformPairs draws n pairs with both endpoints uniform over
+// [0, nodes), src != dst — the unstructured all-to-all-ish background
+// traffic case. Deterministic in seed.
+func UniformPairs(n, nodes int, seed int64) []Pair {
+	if n < 0 || nodes < 2 {
+		panic(fmt.Sprintf("workload: UniformPairs(n=%d, nodes=%d)", n, nodes))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Pair, n)
+	for i := range out {
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		out[i] = Pair{src, dst}
+	}
+	return out
+}
+
+// NeighborPairs draws n pairs whose destination is the node ID adjacent
+// to the source (src±1 mod nodes, direction chosen per draw) — the
+// nearest-neighbor halo-exchange shape where transfers are short and
+// plentiful. Deterministic in seed.
+func NeighborPairs(n, nodes int, seed int64) []Pair {
+	if n < 0 || nodes < 2 {
+		panic(fmt.Sprintf("workload: NeighborPairs(n=%d, nodes=%d)", n, nodes))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Pair, n)
+	for i := range out {
+		src := rng.Intn(nodes)
+		step := 1
+		if rng.Intn(2) == 1 {
+			step = nodes - 1 // -1 mod nodes
+		}
+		out[i] = Pair{src, (src + step) % nodes}
+	}
+	return out
+}
+
+// ShiftPairs draws n pairs with dst = (src + shift) mod nodes for a
+// fixed shift — the ring/transpose permutation traffic of FFTs and
+// redistributions, where every pair is distinct but the displacement is
+// shared. shift is normalized into [1, nodes). Deterministic in seed.
+func ShiftPairs(n, nodes, shift int, seed int64) []Pair {
+	if n < 0 || nodes < 2 {
+		panic(fmt.Sprintf("workload: ShiftPairs(n=%d, nodes=%d)", n, nodes))
+	}
+	shift %= nodes
+	if shift < 0 {
+		shift += nodes
+	}
+	if shift == 0 {
+		shift = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Pair, n)
+	for i := range out {
+		src := rng.Intn(nodes)
+		out[i] = Pair{src, (src + shift) % nodes}
+	}
+	return out
+}
+
+// SparsePairHotFraction is the share of SparsePairs draws taken from the
+// hot set; the rest are uniform background pairs.
+const SparsePairHotFraction = 0.9
+
+// SparsePairs draws n pairs from a sparse skewed pattern: a seeded hot
+// set of `hot` distinct pairs carries SparsePairHotFraction of the
+// draws (earlier hot pairs weighted harder, Zipf-style s=1), and the
+// remainder is uniform background. This is the Pattern-2 analogue for
+// endpoints: a few (src, dst) couples dominate the stream — exactly the
+// case request coalescing and plan caching exploit. Deterministic in
+// seed.
+func SparsePairs(n, nodes, hot int, seed int64) []Pair {
+	if n < 0 || nodes < 2 || hot < 1 {
+		panic(fmt.Sprintf("workload: SparsePairs(n=%d, nodes=%d, hot=%d)", n, nodes, hot))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Build the hot set: distinct pairs, capped by the number of
+	// distinct ordered pairs available.
+	if max := nodes * (nodes - 1); hot > max {
+		hot = max
+	}
+	hotSet := make([]Pair, 0, hot)
+	seen := make(map[Pair]struct{}, hot)
+	for len(hotSet) < hot {
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		p := Pair{src, dst}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		hotSet = append(hotSet, p)
+	}
+	// Zipf(s=1) cumulative weights over the hot set: weight(i) = 1/(i+1).
+	cum := make([]float64, len(hotSet))
+	total := 0.0
+	for i := range cum {
+		total += 1 / float64(i+1)
+		cum[i] = total
+	}
+	out := make([]Pair, n)
+	for i := range out {
+		if rng.Float64() < SparsePairHotFraction {
+			x := rng.Float64() * total
+			k := 0
+			for k < len(cum)-1 && cum[k] < x {
+				k++
+			}
+			out[i] = hotSet[k]
+			continue
+		}
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		out[i] = Pair{src, dst}
+	}
+	return out
+}
+
+// PairPatterns lists the pattern names Pairs accepts, in canonical
+// order. bgqload's -patterns flag and the serve docs reference it.
+var PairPatterns = []string{"uniform", "neighbor", "shift", "sparse"}
+
+// Pairs dispatches by pattern name: "uniform", "neighbor", "shift"
+// (shift = nodes/2), or "sparse" (hot = 8). Unknown names return an
+// error rather than panicking so CLI layers can report them.
+func Pairs(pattern string, n, nodes int, seed int64) ([]Pair, error) {
+	switch pattern {
+	case "uniform":
+		return UniformPairs(n, nodes, seed), nil
+	case "neighbor":
+		return NeighborPairs(n, nodes, seed), nil
+	case "shift":
+		return ShiftPairs(n, nodes, nodes/2, seed), nil
+	case "sparse":
+		return SparsePairs(n, nodes, 8, seed), nil
+	}
+	return nil, fmt.Errorf("workload: unknown pair pattern %q (known: uniform, neighbor, shift, sparse)", pattern)
+}
+
+// DistinctPairs counts the distinct (src, dst) pairs in a stream — the
+// working-set size a plan cache sees.
+func DistinctPairs(pairs []Pair) int {
+	seen := make(map[Pair]struct{}, len(pairs))
+	for _, p := range pairs {
+		seen[p] = struct{}{}
+	}
+	return len(seen)
+}

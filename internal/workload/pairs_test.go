@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestUniformPairsDeterministicAndValid(t *testing.T) {
+	a := UniformPairs(500, 128, 7)
+	b := UniformPairs(500, 128, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different pair streams")
+	}
+	c := UniformPairs(500, 128, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical pair streams")
+	}
+	for _, p := range a {
+		if p.Src < 0 || p.Src >= 128 || p.Dst < 0 || p.Dst >= 128 {
+			t.Fatalf("pair %+v outside [0,128)", p)
+		}
+		if p.Src == p.Dst {
+			t.Fatalf("self pair %+v", p)
+		}
+	}
+	// Unstructured: the working set should be large.
+	if d := DistinctPairs(a); d < 400 {
+		t.Fatalf("uniform pairs working set %d, want near 500", d)
+	}
+}
+
+func TestNeighborPairsAdjacent(t *testing.T) {
+	pairs := NeighborPairs(300, 64, 3)
+	for _, p := range pairs {
+		fwd := (p.Src + 1) % 64
+		back := (p.Src + 63) % 64
+		if p.Dst != fwd && p.Dst != back {
+			t.Fatalf("pair %+v is not a ±1 neighbor", p)
+		}
+	}
+	if !reflect.DeepEqual(pairs, NeighborPairs(300, 64, 3)) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestShiftPairsFixedDisplacement(t *testing.T) {
+	pairs := ShiftPairs(200, 128, 64, 5)
+	for _, p := range pairs {
+		if p.Dst != (p.Src+64)%128 {
+			t.Fatalf("pair %+v does not respect shift 64", p)
+		}
+	}
+	// Zero and negative shifts normalize to a valid non-identity shift.
+	for _, p := range ShiftPairs(50, 16, 0, 1) {
+		if p.Src == p.Dst {
+			t.Fatalf("zero shift produced self pair %+v", p)
+		}
+	}
+	for _, p := range ShiftPairs(50, 16, -3, 1) {
+		if p.Dst != (p.Src+13)%16 {
+			t.Fatalf("negative shift not normalized: %+v", p)
+		}
+	}
+}
+
+func TestSparsePairsSkew(t *testing.T) {
+	pairs := SparsePairs(2000, 128, 8, 11)
+	if !reflect.DeepEqual(pairs, SparsePairs(2000, 128, 8, 11)) {
+		t.Fatal("not deterministic")
+	}
+	counts := make(map[Pair]int)
+	for _, p := range pairs {
+		if p.Src == p.Dst {
+			t.Fatalf("self pair %+v", p)
+		}
+		counts[p]++
+	}
+	// The hot set dominates: the top-8 pairs should carry most of the
+	// stream (hot fraction 0.9 split Zipf-style over 8 pairs).
+	var all []int
+	for _, n := range counts {
+		all = append(all, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	top := 0
+	for i := 0; i < 8 && i < len(all); i++ {
+		top += all[i]
+	}
+	if frac := float64(top) / float64(len(pairs)); frac < 0.75 {
+		t.Fatalf("top-8 pairs carry %.2f of the stream, want >= 0.75", frac)
+	}
+	// Background draws keep the tail non-empty.
+	if len(counts) <= 8 {
+		t.Fatalf("no background pairs at all: %d distinct", len(counts))
+	}
+}
+
+func TestSparsePairsHotCap(t *testing.T) {
+	// hot larger than the number of distinct ordered pairs must not hang.
+	pairs := SparsePairs(100, 3, 100, 2)
+	if len(pairs) != 100 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+}
+
+func TestPairsDispatch(t *testing.T) {
+	for _, name := range PairPatterns {
+		ps, err := Pairs(name, 10, 32, 1)
+		if err != nil || len(ps) != 10 {
+			t.Fatalf("Pairs(%q): %v, %d pairs", name, err, len(ps))
+		}
+	}
+	if _, err := Pairs("nonsense", 10, 32, 1); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}

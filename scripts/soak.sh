@@ -1,0 +1,60 @@
+#!/bin/sh
+# Load/soak gate for the bgqd plan-serving daemon: build bgqd and
+# bgqload, spawn a real daemon on a Unix socket, drive it for 30 seconds
+# at a fixed open-loop request rate with a seeded deterministic mix, and
+# fail the run on any 5xx or transport error, a shed rate above 50%, a
+# p99 latency above the checked-in baseline's p99 x 5
+# (scripts/soak_baseline.json), or a server that never coalesced or
+# cache-hit a request. The full report — client-side latency and status
+# counts plus the daemon's /metrics snapshot — is archived as
+# LOAD_<date>.json.
+#
+# Environment knobs: SOAK_DURATION (default 30s), SOAK_RPS (default
+# 500), SOAK_SEED (default 7).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+duration="${SOAK_DURATION:-30s}"
+rps="${SOAK_RPS:-500}"
+seed="${SOAK_SEED:-7}"
+out="LOAD_$(date +%Y%m%d).json"
+
+bindir=$(mktemp -d)
+sock="$bindir/bgqd.sock"
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$bindir"' EXIT INT TERM
+
+go build -o "$bindir/bgqd" ./cmd/bgqd
+go build -o "$bindir/bgqload" ./cmd/bgqload
+
+"$bindir/bgqd" -socket "$sock" &
+daemon_pid=$!
+
+# Wait for the daemon to bind its socket.
+i=0
+while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "soak: bgqd never bound $sock" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+
+status=0
+"$bindir/bgqload" \
+    -addr "unix://$sock" \
+    -duration "$duration" -mode open -rps "$rps" -seed "$seed" \
+    -agg-every 16 -require-coalesce -max-shed-rate 0.5 \
+    -baseline scripts/soak_baseline.json -p99-ratio 5 \
+    -json "$out" || status=$?
+
+kill "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+
+if [ "$status" -eq 0 ]; then
+    echo "soak: passed; report archived as $out"
+else
+    echo "soak: FAILED (exit $status); report (if written): $out" >&2
+fi
+exit "$status"
