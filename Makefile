@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench quick check soak
+.PHONY: build test lint verify bench bench-scale quick check soak
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,15 @@ quick:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	./scripts/bench.sh
+
+# Full-machine tentpole benchmark (DESIGN.md §13): 48K nodes / 131,072
+# ranks through the incremental waterfill, archived as
+# BENCH_SCALE_<date>.json. Fails on a >2x wall-clock regression against
+# the most recent committed BENCH_SCALE_*.json. Not part of `make
+# verify` (it is a multi-second perf gate, not a correctness gate); run
+# it before merging engine-touching changes.
+bench-scale:
+	./scripts/bench.sh scale
 
 # Load/soak gate: spawn a real bgqd on a Unix socket, drive it with
 # bgqload for 30s at a fixed request rate, fail on any 5xx, on a shed

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	bgqbench [-run fig5|fig6|fig7|fig8|fig9|fig10|fig11|r1|ablations|all] [-quick]
-//	         [-parallel N] [-json out.json] [-compare prev.json]
+//	bgqbench [-run fig5|fig6|fig7|fig8|fig9|fig10|fig11|r1|ablations|extensions|scale|all]
+//	         [-quick] [-parallel N] [-engine incremental|global]
+//	         [-json out.json] [-compare prev.json]
 //	         [-obs-trace f] [-metrics f] [-check]
 //	         [-cpuprofile f] [-memprofile f] [-trace f]
 //
@@ -23,6 +24,12 @@
 // counters and histograms as a flat JSON snapshot. Both also embed a
 // metrics summary in the -json report. The observability hooks are
 // currently wired through the r1 runner.
+//
+// -engine selects the netsim rate-update strategy for every engine the
+// runners build: the default incremental waterfill or the global
+// full-sweep oracle (DESIGN.md §13). Combined with -check this audits
+// the incremental engine live; combined with -run scale it measures the
+// two strategies head to head on the full-Mira scenario.
 //
 // -check attaches an invariant auditor (internal/check) to every engine
 // the runners build: per-sweep capacity and rate-cap checks plus
@@ -95,12 +102,13 @@ var runners = []struct {
 	{"r1", printR1},
 	{"ablations", printAblations},
 	{"extensions", printExtensions},
+	{"scale", printScale},
 }
 
 // validateFlags rejects bad flags before any experiment runs, so a long
 // sweep never dies halfway through on a typo. Returned errors are
 // printed as a single line and exit with status 2.
-func validateFlags(selected []string, parallel int, checkOn bool, obsTrace, metricsOut, compare string) error {
+func validateFlags(selected []string, parallel int, engine string, checkOn bool, obsTrace, metricsOut, compare string) error {
 	known := make([]string, 0, len(runners)+1)
 	for _, r := range runners {
 		known = append(known, r.name)
@@ -120,6 +128,9 @@ func validateFlags(selected []string, parallel int, checkOn bool, obsTrace, metr
 	}
 	if parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", parallel)
+	}
+	if engine != "incremental" && engine != "global" {
+		return fmt.Errorf("-engine must be incremental or global, got %q", engine)
 	}
 	if checkOn && (obsTrace != "" || metricsOut != "") {
 		return fmt.Errorf("-check cannot be combined with -obs-trace or -metrics: the invariant auditor claims each engine's observability sink")
@@ -176,13 +187,14 @@ func main() {
 	obsTrace := flag.String("obs-trace", "", "write the run's simulation-time spans as Chrome trace-event JSON (ui.perfetto.dev)")
 	metricsOut := flag.String("metrics", "", "write the observability metrics registry as a JSON snapshot")
 	checkOn := flag.Bool("check", false, "attach invariant auditors (internal/check) to every engine; exit non-zero on any violation")
+	engine := flag.String("engine", "incremental", "netsim sweep strategy: incremental (default) or global (the full-sweep oracle)")
 	flag.Parse()
 
 	if *mode != "" {
 		run = mode
 	}
 	selected := strings.Split(*run, ",")
-	if err := validateFlags(selected, *parallel, *checkOn, *obsTrace, *metricsOut, *compare); err != nil {
+	if err := validateFlags(selected, *parallel, *engine, *checkOn, *obsTrace, *metricsOut, *compare); err != nil {
 		fmt.Fprintf(os.Stderr, "bgqbench: %v\n", err)
 		os.Exit(2)
 	}
@@ -197,6 +209,17 @@ func main() {
 	if *checkOn {
 		checker = &checkCollector{}
 		opt.EngineHook = checker.attach
+	}
+	if *engine == "global" {
+		// Compose ahead of the checker hook: SetSweepMode must run before
+		// any flow is submitted, and the auditor only observes.
+		base := opt.EngineHook
+		opt.EngineHook = func(e *netsim.Engine) {
+			e.SetSweepMode(netsim.SweepGlobal)
+			if base != nil {
+				base(e)
+			}
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -660,4 +683,18 @@ func printExtensions(w io.Writer, opt experiments.Options) error {
 			fmt.Sprintf("%.2fx", r.OursGBps/r.DefaultGBps))
 	}
 	return t5.Write(w)
+}
+
+func printScale(w io.Writer, opt experiments.Options) error {
+	res, err := experiments.ScaleSparse(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Scale: full-machine sparse exchange in %v (%d nodes, %d ranks)\n",
+		res.Shape, res.Nodes, res.Ranks)
+	fmt.Fprintf(w, "  flows: %d done, %d aborted (fault campaign)\n", res.Done, res.Aborted)
+	fmt.Fprintf(w, "  volume: %.1f GB in %.1f ms simulated (%.1f GB/s aggregate)\n",
+		res.TotalGB, res.SimSeconds*1e3, res.GBps)
+	fmt.Fprintf(w, "  sweeps: %d incremental, %d full\n", res.IncSweeps, res.FullSweeps)
+	return nil
 }

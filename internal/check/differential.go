@@ -17,11 +17,15 @@ type RunOutput struct {
 	LinkBytes []float64   `json:"link_bytes"`
 }
 
-// Divergence is one observed disagreement between the two engines.
+// Divergence is one observed disagreement between two engines.
 type Divergence struct {
-	Kind   string `json:"kind"` // "error", "outcome", "time", "link_bytes"
-	Flow   int    `json:"flow,omitempty"`
-	Link   int    `json:"link,omitempty"`
+	Kind string `json:"kind"` // "error", "outcome", "time", "link_bytes"
+	Flow int    `json:"flow,omitempty"`
+	Link int    `json:"link,omitempty"`
+	// Pair names the engine pair that disagreed ("incremental vs ref",
+	// "incremental vs global"); empty in records predating the
+	// incremental engine and in direct CompareRuns use.
+	Pair   string `json:"pair,omitempty"`
 	Detail string `json:"detail"`
 }
 
@@ -32,13 +36,24 @@ func (d Divergence) String() string {
 	} else if d.Kind != "error" {
 		s += fmt.Sprintf(" flow=%d", d.Flow)
 	}
+	if d.Pair != "" {
+		s += " [" + d.Pair + "]"
+	}
 	return s + ": " + d.Detail
 }
 
-// RunNetsim executes a scenario on the optimized engine. hook, when
-// non-nil, runs on the engine before any flow is submitted (bgqbench and
-// the invariant tests attach an Auditor here).
+// RunNetsim executes a scenario on the optimized engine in its default
+// (incremental) sweep mode. hook, when non-nil, runs on the engine
+// before any flow is submitted (bgqbench and the invariant tests attach
+// an Auditor here).
 func RunNetsim(sc Scenario, hook func(*netsim.Engine)) (RunOutput, error) {
+	return RunNetsimMode(sc, netsim.SweepIncremental, hook)
+}
+
+// RunNetsimMode executes a scenario on the optimized engine with an
+// explicit sweep mode — the handle the differential suite uses to pin
+// the incremental engine against the global one.
+func RunNetsimMode(sc Scenario, mode netsim.SweepMode, hook func(*netsim.Engine)) (RunOutput, error) {
 	tor, err := torus.New(torus.Shape(sc.Shape))
 	if err != nil {
 		return RunOutput{}, fmt.Errorf("check: scenario shape %v: %w", sc.Shape, err)
@@ -59,6 +74,7 @@ func RunNetsim(sc Scenario, hook func(*netsim.Engine)) (RunOutput, error) {
 	if err != nil {
 		return RunOutput{}, err
 	}
+	e.SetSweepMode(mode)
 	if hook != nil {
 		hook(e)
 	}
@@ -213,20 +229,35 @@ func CompareRuns(got, want RunOutput) []Divergence {
 	return divs
 }
 
-// RunDifferential runs a scenario through both engines and returns every
-// divergence. An error in exactly one engine is itself a divergence; an
-// error in both (same scenario defect seen by both) is clean.
+// labelPair stamps the engine pair a comparison ran between onto its
+// divergences.
+func labelPair(divs []Divergence, pair string) []Divergence {
+	for i := range divs {
+		divs[i].Pair = pair
+	}
+	return divs
+}
+
+// RunDifferential runs a scenario through the incremental netsim engine,
+// the global netsim engine, and the reference engine, and returns every
+// divergence: incremental vs ref pins the model, incremental vs global
+// pins the dirty-set cutoff (rates, completion times, and per-link
+// bytes must agree, including under fault campaigns). An error in one
+// engine but not the others is itself a divergence; an error in all
+// three (same scenario defect seen everywhere) is clean.
 func RunDifferential(sc Scenario) []Divergence {
-	gotOut, gotErr := RunNetsim(sc, nil)
-	wantOut, wantErr := RunRef(sc)
-	if gotErr != nil || wantErr != nil {
-		if gotErr != nil && wantErr != nil {
+	incOut, incErr := RunNetsimMode(sc, netsim.SweepIncremental, nil)
+	glbOut, glbErr := RunNetsimMode(sc, netsim.SweepGlobal, nil)
+	refOut, refErr := RunRef(sc)
+	if incErr != nil || glbErr != nil || refErr != nil {
+		if incErr != nil && glbErr != nil && refErr != nil {
 			return nil
 		}
 		return []Divergence{{
 			Kind:   "error",
-			Detail: fmt.Sprintf("netsim err=%v, ref err=%v", gotErr, wantErr),
+			Detail: fmt.Sprintf("incremental err=%v, global err=%v, ref err=%v", incErr, glbErr, refErr),
 		}}
 	}
-	return CompareRuns(gotOut, wantOut)
+	divs := labelPair(CompareRuns(incOut, refOut), "incremental vs ref")
+	return append(divs, labelPair(CompareRuns(incOut, glbOut), "incremental vs global")...)
 }

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"bgqflow/internal/netsim"
 )
 
 // TestDifferentialSeeds drives the generator's first 200 seeds through
@@ -23,6 +25,56 @@ func TestDifferentialSeeds(t *testing.T) {
 			t.Fatalf("seed %d: %d divergences (scenario: %d flows on %v, %d link / %d node failures)",
 				seed, len(divs), len(sc.Flows), sc.Shape, len(sc.LinkFailures), len(sc.NodeFailures))
 		}
+	}
+}
+
+// TestIncrementalVsGlobalSparseSeeds pins the incremental sweep against
+// the global sweep on the larger sparse generator — the regime where the
+// dirty-set cutoff actually prunes (the 200-seed suite above also runs
+// both modes, but its scenarios are small enough that regions often span
+// the whole component). The reference engine is skipped: at these sizes
+// only the two netsim modes are tractable, and global mode is the
+// oracle.
+func TestIncrementalVsGlobalSparseSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sparse differential sweep is seconds-long; skipped in -short")
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		sc := GenerateSparse(seed)
+		inc, incErr := RunNetsimMode(sc, netsim.SweepIncremental, nil)
+		glb, glbErr := RunNetsimMode(sc, netsim.SweepGlobal, nil)
+		if (incErr != nil) != (glbErr != nil) {
+			t.Fatalf("seed %d: incremental err=%v, global err=%v", seed, incErr, glbErr)
+		}
+		if incErr != nil {
+			continue
+		}
+		if divs := CompareRuns(inc, glb); len(divs) > 0 {
+			for _, d := range divs {
+				t.Errorf("seed %d: %s", seed, d)
+			}
+			t.Fatalf("seed %d: %d divergences (%d flows on %v, %d link / %d node failures)",
+				seed, len(divs), len(sc.Flows), sc.Shape, len(sc.LinkFailures), len(sc.NodeFailures))
+		}
+	}
+}
+
+// TestSparseSeedsExerciseCutoff guards the suite above against
+// vacuousness: the sparse scenarios must actually take the incremental
+// path (many incremental sweeps, few fallbacks), otherwise the
+// comparison would only be re-testing the global engine.
+func TestSparseSeedsExerciseCutoff(t *testing.T) {
+	var full, inc int64
+	for seed := int64(0); seed < 5; seed++ {
+		var e *netsim.Engine
+		if _, err := RunNetsim(GenerateSparse(seed), func(eng *netsim.Engine) { e = eng }); err != nil {
+			t.Fatal(err)
+		}
+		f, i := e.SweepStats()
+		full, inc = full+f, inc+i
+	}
+	if inc == 0 || inc < 10*full {
+		t.Fatalf("sweeps: %d incremental vs %d full — sparse generator is not exercising the cutoff", inc, full)
 	}
 }
 

@@ -154,7 +154,7 @@ var _ obs.Sink = auditSink{}
 func (auditSink) FlowActivated(now sim.Time, id int, label string) {}
 func (auditSink) FlowEnded(now, activated sim.Time, id int, label string, bytes int64, aborted bool) {
 }
-func (auditSink) SweepDone(now sim.Time, flows, links int)                      {}
+func (auditSink) SweepDone(now sim.Time, flows, links int, full bool)           {}
 func (auditSink) FailureApplied(now sim.Time, node int, isNode bool, links int) {}
 
 func (s auditSink) LinkWindow(link int, from, to sim.Time, bytes float64) {

@@ -183,6 +183,92 @@ func Generate(seed int64) Scenario {
 	return sc
 }
 
+// sparseShapes are the larger geometries GenerateSparse draws from: big
+// enough that the incremental engine's dirty regions see real frontiers
+// (hundreds of nodes, thousands of links), and already past what the
+// O(flows²·links) reference engine can sweep in test time.
+var sparseShapes = [][]int{
+	{4, 4, 4, 2},
+	{2, 4, 4, 4, 2},
+	{4, 4, 4, 4, 2},
+	{8, 4, 4, 4},
+}
+
+// GenerateSparse builds a bigger, sparser scenario for one seed: a few
+// hundred mostly-neighborhood flows with jittered release times on a
+// medium torus — the regime the incremental waterfill's cutoff targets
+// (most links unsaturated, changes local). The same determinism contract
+// as Generate holds. Used by the incremental-vs-global differential
+// suite, which skips the reference engine.
+func GenerateSparse(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed5eed))
+	sc := Scenario{Seed: seed}
+	sc.Shape = append([]int(nil), sparseShapes[rng.Intn(len(sparseShapes))]...)
+	tor, err := torus.New(torus.Shape(sc.Shape))
+	if err != nil {
+		panic(fmt.Sprintf("check: generator shape %v: %v", sc.Shape, err))
+	}
+	size := tor.Size()
+
+	lb := 1e9 + rng.Float64()*1e9
+	sc.Params = RefParams{
+		LinkBandwidth:      lb,
+		PerFlowBandwidth:   (0.5 + rng.Float64()) * lb,
+		LocalCopyBandwidth: (4 + 8*rng.Float64()) * 1e9,
+		SenderOverhead:     1e-6 + rng.Float64()*29e-6,
+		ReceiverOverhead:   1e-6 + rng.Float64()*29e-6,
+		HopLatency:         1e-9 + rng.Float64()*99e-9,
+	}
+	totalLinks := tor.NumTorusLinks()
+
+	nFlows := 150 + rng.Intn(250)
+	for i := 0; i < nFlows; i++ {
+		src := rng.Intn(size)
+		var dst int
+		if rng.Intn(10) < 7 {
+			// Neighborhood exchange: a small node-index shift, the sparse
+			// halo pattern the paper's workloads exhibit.
+			dst = (src + 1 + rng.Intn(7)) % size
+		} else {
+			// Long-haul stragglers keep some routes crossing the machine.
+			dst = rng.Intn(size)
+			if dst == src {
+				dst = (dst + size/2) % size
+			}
+		}
+		f := ScenarioFlow{Src: src, Dst: dst}
+		// Log-uniform in [1 KB, 4 MB]; zero-byte syncs stay rare.
+		if rng.Intn(20) == 0 {
+			f.Bytes = 0
+		} else {
+			f.Bytes = 1 << 10 << uint(rng.Intn(13))
+		}
+		if i > 0 && rng.Intn(10) == 0 {
+			f.Deps = append(f.Deps, rng.Intn(i))
+		}
+		// Jittered releases spread activations over many distinct
+		// instants, so sweeps see small dirty sets instead of one
+		// everything-at-t0 component.
+		f.ExtraDelay = rng.Float64() * 2e-3
+		sc.Flows = append(sc.Flows, f)
+	}
+
+	horizon := 3e-3
+	for i, n := 0, rng.Intn(6); i < n; i++ {
+		sc.LinkFailures = append(sc.LinkFailures, LinkFailure{
+			Link: rng.Intn(totalLinks),
+			At:   rng.Float64() * horizon,
+		})
+	}
+	if rng.Intn(3) == 0 {
+		sc.NodeFailures = append(sc.NodeFailures, NodeFailure{
+			Node: rng.Intn(size),
+			At:   rng.Float64() * horizon,
+		})
+	}
+	return sc
+}
+
 // WriteScenario archives a scenario as indented JSON.
 func WriteScenario(path string, sc Scenario) error {
 	b, err := json.MarshalIndent(sc, "", "  ")

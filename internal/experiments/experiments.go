@@ -134,7 +134,9 @@ func (r *ioRig) engine() (*netsim.Engine, error) {
 
 // WeakScalingShapes maps core counts to BG/Q partition geometries
 // (16 application cores per node), covering the paper's 2,048 to 131,072
-// core sweep.
+// core sweep plus a 262,144-core point (a 16K-node half-rack row beyond
+// the paper's largest run) that the incremental waterfill (DESIGN.md
+// §13) makes affordable in the default full sweep.
 var WeakScalingShapes = []struct {
 	Cores int
 	Shape torus.Shape
@@ -146,6 +148,7 @@ var WeakScalingShapes = []struct {
 	{32768, torus.Shape{4, 4, 4, 16, 2}},
 	{65536, torus.Shape{4, 4, 8, 16, 2}},
 	{131072, torus.Shape{4, 8, 8, 16, 2}},
+	{262144, torus.Shape{8, 8, 8, 16, 2}},
 }
 
 // ShapeForCores returns the partition geometry for a core count.

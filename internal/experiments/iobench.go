@@ -165,7 +165,7 @@ func fig11Scales(quick bool) []int {
 	if quick {
 		return []int{8192}
 	}
-	return []int{8192, 16384, 32768, 65536, 131072}
+	return []int{8192, 16384, 32768, 65536, 131072, 262144}
 }
 
 // Fig11 runs the HACC I/O comparison.

@@ -107,3 +107,63 @@ func TestDedupLinksLeavesCleanRoutesAlone(t *testing.T) {
 		}
 	}
 }
+
+// TestSameInstantDedupBatchMatchesGlobal crosses the duplicate-link
+// regression with the same-instant batching contract: a batch of flows
+// activating at one virtual instant — some over routes listing links
+// multiple times — must trigger exactly one sweep in incremental mode,
+// and that sweep's outcome must be bit-identical to the global engine's,
+// with each duplicated link counted once in rate shares and byte
+// charges.
+func TestSameInstantDedupBatchMatchesGlobal(t *testing.T) {
+	const (
+		nDup   = 4
+		nClean = 2
+		bytes  = 1 << 20
+	)
+	p := DefaultParams()
+	logs := map[SweepMode]*sweepLog{}
+	inc, glb := twinRun(t, p, func(e *Engine) {
+		sl := &sweepLog{}
+		logs[e.SweepMode()] = sl
+		e.SetSink(sl)
+		for i := 0; i < nDup; i++ {
+			e.Submit(FlowSpec{Src: 0, Dst: 1, Bytes: bytes, Links: []int{5, 5, 9, 9, 5}})
+		}
+		for i := 0; i < nClean; i++ {
+			e.Submit(FlowSpec{Src: 2, Dst: 3, Bytes: bytes, Links: []int{9}})
+		}
+	})
+	requireIdenticalRuns(t, inc, glb, true)
+
+	// Link 9 carries all six flows (the batch's bottleneck), link 5 only
+	// the four deduplicated routes; each flow's full size crosses each
+	// route link exactly once.
+	lb := inc.LinkBytes()
+	if lb[5] != nDup*bytes || lb[9] != (nDup+nClean)*bytes {
+		t.Fatalf("link bytes 5=%g 9=%g, want %d and %d", lb[5], lb[9], nDup*bytes, (nDup+nClean)*bytes)
+	}
+	r0 := inc.Result(FlowID(0))
+	approx(t, "dup flow transfer span",
+		float64(r0.TransferEnd-r0.Activated), float64(bytes)/(p.LinkBandwidth/(nDup+nClean)), 1e-9)
+
+	activateAt := r0.Activated
+	for mode, sl := range logs {
+		atInstant := 0
+		for _, at := range sl.times {
+			if at == activateAt {
+				atInstant++
+			}
+		}
+		if atInstant != 1 {
+			t.Fatalf("mode %d: %d sweeps at the activation instant, want exactly 1 (times %v)",
+				mode, atInstant, sl.times)
+		}
+	}
+	if il := logs[SweepIncremental]; il.flows[0] != nDup+nClean {
+		t.Fatalf("batched sweep covered %d flows, want %d", il.flows[0], nDup+nClean)
+	}
+	if full, _ := inc.SweepStats(); full != 0 {
+		t.Fatalf("incremental engine fell back to %d full sweeps", full)
+	}
+}

@@ -102,8 +102,26 @@ type flow struct {
 	endEvent   sim.EventID
 	hasEnd     bool
 	res        FlowResult
-	visit      uint64 // component-BFS epoch stamp
+	visit      uint64 // component-BFS / dirty-set epoch stamp
+	dIdx       int32  // position in the current dirty set (valid when visit matches)
 }
+
+// SweepMode selects the engine's rate-reallocation strategy.
+type SweepMode uint8
+
+const (
+	// SweepIncremental (the default) re-levels, on each change, only the
+	// region of links whose max-min bottleneck level can actually have
+	// changed: the dirty set seeds with the changed flows' links and
+	// expands across a link only when its residual capacity proves a
+	// neighboring flow's rate must move (DESIGN.md §13). Flows outside
+	// the frontier keep their rates and byte accounting untouched.
+	SweepIncremental SweepMode = iota
+	// SweepGlobal re-levels the changed flows' whole connected component
+	// on every change — the original engine behavior, kept selectable as
+	// the oracle the differential suite pins SweepIncremental against.
+	SweepGlobal
+)
 
 // Engine executes a DAG of flows over a Network and reports per-flow
 // timing. Submit all flows, then call Run once.
@@ -143,6 +161,20 @@ type Engine struct {
 	pendingFlows   []*flow
 	pendingLinks   []int
 	sweepScheduled bool
+
+	// Incremental-sweep state: the selected mode, the dirty flow set and
+	// region-link scratch reused across sweeps, and the full/incremental
+	// sweep counters surfaced via SweepStats and obs.
+	mode      SweepMode
+	dirty     []*flow
+	regLinks  []int
+	regOut    []float64 // outside (non-dirty) load per region link
+	regOld    []float64 // total pre-sweep load per region link
+	regOldMax []float64 // highest pre-sweep flow rate per region link
+	regNew    []float64 // tentative post-solve load per region link
+
+	fullSweeps int64
+	incSweeps  int64
 
 	active      int // flows not yet done or aborted
 	aborted     int // flows cut by failure events
@@ -249,6 +281,29 @@ func (e *Engine) SetSink(s obs.Sink) { e.sink = s }
 
 // Sink returns the installed observability sink (nil when off).
 func (e *Engine) Sink() obs.Sink { return e.sink }
+
+// SetSweepMode selects the rate-update strategy. The mode shapes every
+// reallocation from the first activation on, so it must be chosen before
+// any flow is submitted (in practice: right after NewEngine, e.g. from
+// experiments.Options.EngineHook).
+func (e *Engine) SetSweepMode(m SweepMode) {
+	if len(e.flows) > 0 {
+		panic("netsim: SetSweepMode after Submit")
+	}
+	e.mode = m
+}
+
+// SweepMode reports the selected rate-update strategy.
+func (e *Engine) SweepMode() SweepMode { return e.mode }
+
+// SweepStats reports how many full (whole-component) and incremental
+// (dirty-region) sweeps the engine has performed. In SweepGlobal mode
+// every sweep is full; in SweepIncremental mode the full count is the
+// fallbacks (DESIGN.md §13), so incremental ≫ full is the signature of
+// an effective cutoff.
+func (e *Engine) SweepStats() (full, incremental int64) {
+	return e.fullSweeps, e.incSweeps
+}
 
 // Params returns the engine's parameters.
 func (e *Engine) Params() Params { return e.p }
@@ -616,17 +671,29 @@ func (e *Engine) requestRealloc(f *flow, links []int) {
 
 func (e *Engine) sweep() {
 	e.sweepScheduled = false
-	flows, links := e.component(e.pendingFlows, e.pendingLinks)
-	e.pendingFlows = e.pendingFlows[:0]
-	e.pendingLinks = e.pendingLinks[:0]
-	if len(flows) > 0 {
-		e.waterfill(flows, links)
+	if e.mode == SweepGlobal {
+		flows, links := e.component(e.pendingFlows, e.pendingLinks)
+		e.pendingFlows = e.pendingFlows[:0]
+		e.pendingLinks = e.pendingLinks[:0]
+		if len(flows) > 0 {
+			e.chargeProgress(flows)
+			e.solveWaterfill(flows, links, nil)
+			e.applyRates(flows)
+		}
+		e.fullSweeps++
+		e.finishSweep(len(flows), len(links), true)
+		return
 	}
+	e.incrementalSweep()
+}
+
+// finishSweep runs the post-sweep hooks shared by every sweep flavor.
+func (e *Engine) finishSweep(flows, links int, full bool) {
 	if e.sweepObserver != nil {
 		e.sweepObserver(e.clock.Now())
 	}
 	if e.sink != nil {
-		e.sink.SweepDone(e.clock.Now(), len(flows), len(links))
+		e.sink.SweepDone(e.clock.Now(), flows, links, full)
 	}
 }
 
@@ -711,14 +778,17 @@ func (e *Engine) component(seedFlows []*flow, seedLinks []int) ([]*flow, []int) 
 	return flows, links
 }
 
-// waterfill assigns max-min fair rates to the component's flows: the
-// common rate level of unfrozen flows rises until a link saturates or a
-// flow hits its rate cap; those flows freeze; repeat. Before changing
-// rates it charges the progress made at the old rates.
-func (e *Engine) waterfill(flows []*flow, links []int) {
-	now := e.clock.Now()
+// relEps is the relative tolerance the waterfill solver and the
+// incremental cutoff rules share for level and saturation comparisons.
+const relEps = 1e-9
 
-	// Charge progress at old rates.
+// chargeProgress charges each flow's progress at its old rate to the
+// link byte counters and advances lastUpdate, so a following rate change
+// only governs time from this instant on. Flows outside the set are
+// untouched: their rates are constant, so their bytes are charged
+// exactly when they next enter a sweep, end, or abort.
+func (e *Engine) chargeProgress(flows []*flow) {
+	now := e.clock.Now()
 	for _, f := range flows {
 		if dt := float64(now - f.lastUpdate); dt > 0 && f.rate > 0 {
 			moved := f.rate * dt
@@ -735,22 +805,43 @@ func (e *Engine) waterfill(flows []*flow, links []int) {
 		}
 		f.lastUpdate = now
 	}
+}
 
-	// Local link indices (dense scratch; only component links are read
+// solveWaterfill assigns max-min fair rates to flows over links by
+// progressive filling: the common rate level of unfrozen flows rises
+// until a link saturates or a flow hits its rate cap; those flows
+// freeze; repeat. extLoad, when non-nil, is per-link load from flows
+// outside the set whose rates are pinned — the restricted solve the
+// incremental sweep uses; nil means the set covers every flow on the
+// links. Results are left in e.wfNewRate (indexed like flows) and the
+// link positions in e.linkIndex; no engine state changes.
+func (e *Engine) solveWaterfill(flows []*flow, links []int, extLoad []float64) {
+	// Local link indices (dense scratch; only the passed links are read
 	// back, so no invalidation between sweeps is needed).
 	idx := e.linkIndex
 	for i, l := range links {
 		idx[l] = int32(i)
 	}
-	// Engine-owned scratch, reused across sweeps: load must start at
-	// zero; the others are fully written before being read.
-	load := growFloats(&e.wfLoad, len(links), true)        // frozen load per link
+	// Engine-owned scratch, reused across sweeps: load starts at the
+	// pinned outside load (zero when the set is complete); the others are
+	// fully written before being read.
+	load := growFloats(&e.wfLoad, len(links), true)        // frozen + pinned load per link
 	unfrozen := growInts(&e.wfUnfrozen, len(links))        // unfrozen flow count per link
 	capLeft := growFloats(&e.wfCapLeft, len(links), false) // capacity per link
-	aliveLinks := e.wfAliveLinks[:0]
 	for i, l := range links {
 		capLeft[i] = e.net.Capacity(l)
-		unfrozen[i] = len(e.linkFlows[l])
+		unfrozen[i] = 0
+		if extLoad != nil {
+			load[i] = extLoad[i]
+		}
+	}
+	for _, f := range flows {
+		for _, l := range f.links {
+			unfrozen[idx[l]]++
+		}
+	}
+	aliveLinks := e.wfAliveLinks[:0]
+	for i := range links {
 		if unfrozen[i] > 0 {
 			aliveLinks = append(aliveLinks, i)
 		}
@@ -761,7 +852,6 @@ func (e *Engine) waterfill(flows []*flow, links []int) {
 		aliveFlows[i] = i
 	}
 
-	const relEps = 1e-9
 	for len(aliveFlows) > 0 {
 		// Find the level at which the next constraint binds, compacting
 		// away links with no unfrozen flows.
@@ -817,11 +907,18 @@ func (e *Engine) waterfill(flows []*flow, links []int) {
 		aliveFlows = keptFlows
 	}
 
-	// Apply rates and (re)schedule completion events. When a flow's rate
-	// is unchanged its previously scheduled completion time is still
-	// exact, so the event is kept.
+	// Keep the (possibly regrown) compaction scratch for the next sweep.
+	e.wfAliveLinks = aliveLinks[:0]
+	e.wfAliveFlows = aliveFlows[:0]
+}
+
+// applyRates installs the rates left in e.wfNewRate by solveWaterfill
+// and (re)schedules completion events. When a flow's rate is unchanged
+// its previously scheduled completion time is still exact, so the event
+// is kept.
+func (e *Engine) applyRates(flows []*flow) {
 	for fi, f := range flows {
-		r := newRate[fi]
+		r := e.wfNewRate[fi]
 		if r <= 0 {
 			panic(fmt.Sprintf("netsim: flow %d allocated zero rate", f.id))
 		}
@@ -837,10 +934,190 @@ func (e *Engine) waterfill(flows []*flow, links []int) {
 		f.endEvent = e.clock.AfterCall(dt, e, f)
 		f.hasEnd = true
 	}
+}
 
-	// Keep the (possibly regrown) compaction scratch for the next sweep.
-	e.wfAliveLinks = aliveLinks[:0]
-	e.wfAliveFlows = aliveFlows[:0]
+// incMaxRounds bounds the dirty-set expansion before the engine gives up
+// on locality and falls back to a full component sweep: each round
+// re-solves the whole dirty set, so runaway expansion would cost more
+// than the one full sweep it replaces.
+const incMaxRounds = 8
+
+// incrementalSweep re-levels only the flows whose max-min rate can have
+// changed (DESIGN.md §13). The dirty set seeds with the changed flows
+// plus every flow sharing one of the changed links; each round solves a
+// restricted waterfill over the dirty set with all outside rates pinned
+// as fixed link load, then audits every region link for the three ways
+// an outside flow's optimal rate can move:
+//
+//	(i)   squeeze — the link is saturated after the solve and the flow
+//	      sits above the dirty level, so fairness must pull it down;
+//	(ii)  freed — a previously saturated link lost load, so the flows
+//	      riding its old level can rise;
+//	(iii) rose — the link stays saturated but its level went up
+//	      (dirty flows redistributed), so old-level riders can rise too.
+//
+// Flows flagged by an audit join the dirty set and the solve repeats;
+// when no rule fires, every outside flow provably keeps its rate, and
+// the restricted solution is the global max-min solution. The dirty set
+// only grows, so the loop terminates; incMaxRounds (or a degenerate
+// zero-rate solve, which means the frontier cut a binding constraint)
+// falls back to the classic full component sweep.
+func (e *Engine) incrementalSweep() {
+	// Seed the dirty set.
+	e.epoch++
+	ep := e.epoch
+	dirty := e.dirty[:0]
+	for _, f := range e.pendingFlows {
+		if f.visit != ep && f.state == stateActive {
+			f.visit = ep
+			dirty = append(dirty, f)
+		}
+	}
+	for _, l := range e.pendingLinks {
+		for _, g := range e.linkFlows[l] {
+			if g.visit != ep {
+				g.visit = ep
+				dirty = append(dirty, g)
+			}
+		}
+	}
+	e.pendingFlows = e.pendingFlows[:0]
+	e.pendingLinks = e.pendingLinks[:0]
+	e.dirty = dirty
+	if len(dirty) == 0 {
+		// All requesting flows ended or aborted at this instant and left
+		// no neighbors behind: nothing to re-level.
+		e.incSweeps++
+		e.finishSweep(0, 0, false)
+		return
+	}
+
+	links := e.regLinks[:0]
+	for round := 0; ; round++ {
+		if round == incMaxRounds {
+			e.dirty, e.regLinks = dirty, links
+			e.fullReLevel(dirty)
+			return
+		}
+		// Region = the dirty flows' links. Each round restarts with a
+		// fresh epoch so the previous round's link stamps are forgotten;
+		// the flow stamps and dirty indices are re-applied.
+		e.epoch++
+		ep = e.epoch
+		for i, f := range dirty {
+			f.visit = ep
+			f.dIdx = int32(i)
+		}
+		links = links[:0]
+		for _, f := range dirty {
+			for _, l := range f.links {
+				if e.linkVisit[l] != ep {
+					e.linkVisit[l] = ep
+					links = append(links, l)
+				}
+			}
+		}
+		// Pre-solve region state: total load, outside (pinned) load, and
+		// each link's old level (its highest flow rate).
+		out := growFloats(&e.regOut, len(links), true)
+		old := growFloats(&e.regOld, len(links), true)
+		oldMax := growFloats(&e.regOldMax, len(links), true)
+		for i, l := range links {
+			for _, g := range e.linkFlows[l] {
+				old[i] += g.rate
+				if g.rate > oldMax[i] {
+					oldMax[i] = g.rate
+				}
+				if g.visit != ep {
+					out[i] += g.rate
+				}
+			}
+		}
+		e.solveWaterfill(dirty, links, out)
+		// Tentative post-solve load per region link.
+		nw := growFloats(&e.regNew, len(links), false)
+		copy(nw, out)
+		for fi, f := range dirty {
+			r := e.wfNewRate[fi]
+			for _, l := range f.links {
+				nw[e.linkIndex[l]] += r
+			}
+		}
+		// Audit each region link; flows marked dirty mid-audit are
+		// excluded from later links' outside checks but have no solved
+		// rate yet, so the solved count gates the level lookups.
+		solved := len(dirty)
+		grew := false
+		for i, l := range links {
+			capL := e.net.Capacity(l)
+			epsL := capL*relEps + 1e-15
+			satAfter := nw[i] >= capL-epsL
+			satBefore := old[i] >= capL-epsL
+			if !satAfter && !satBefore {
+				continue // slack before and after: l binds nobody
+			}
+			var lvl float64 // highest solved dirty rate on l
+			for _, g := range e.linkFlows[l] {
+				if g.visit == ep && int(g.dIdx) < solved {
+					if r := e.wfNewRate[g.dIdx]; r > lvl {
+						lvl = r
+					}
+				}
+			}
+			squeeze := satAfter
+			freed := satBefore && nw[i] < old[i]-epsL
+			rose := satBefore && satAfter && lvl > oldMax[i]+oldMax[i]*relEps+1e-15
+			if !squeeze && !freed && !rose {
+				continue
+			}
+			squeezeCeil := lvl + lvl*relEps + 1e-15
+			riderFloor := oldMax[i] - (oldMax[i]*relEps + 1e-15)
+			for _, g := range e.linkFlows[l] {
+				if g.visit == ep {
+					continue
+				}
+				if (squeeze && g.rate > squeezeCeil) ||
+					((freed || rose) && g.rate >= riderFloor) {
+					g.visit = ep
+					g.dIdx = int32(len(dirty))
+					dirty = append(dirty, g)
+					grew = true
+				}
+			}
+		}
+		if grew {
+			continue
+		}
+		// Converged: every outside flow provably keeps its rate. A zero
+		// rate can only mean the region boundary cut a binding
+		// constraint; re-level the whole component instead.
+		for fi := range dirty {
+			if e.wfNewRate[fi] <= 0 {
+				e.dirty, e.regLinks = dirty, links
+				e.fullReLevel(dirty)
+				return
+			}
+		}
+		e.chargeProgress(dirty)
+		e.applyRates(dirty)
+		e.dirty, e.regLinks = dirty, links
+		e.incSweeps++
+		e.finishSweep(len(dirty), len(links), false)
+		return
+	}
+}
+
+// fullReLevel abandons locality: it re-levels the entire connected
+// component reachable from the seeds — the incremental sweep's fallback.
+func (e *Engine) fullReLevel(seeds []*flow) {
+	flows, links := e.component(seeds, nil)
+	if len(flows) > 0 {
+		e.chargeProgress(flows)
+		e.solveWaterfill(flows, links, nil)
+		e.applyRates(flows)
+	}
+	e.fullSweeps++
+	e.finishSweep(len(flows), len(links), true)
 }
 
 // growFloats resizes an engine scratch buffer to length n, reusing its

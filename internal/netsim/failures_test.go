@@ -274,3 +274,88 @@ func TestRepeatedFailureEventsAreIdempotent(t *testing.T) {
 		t.Fatalf("aborted count %d after repeated events, want 1", aborted)
 	}
 }
+
+// TestSameInstantSubmitsAndFailureOneSweep pins the same-instant
+// batching contract under faults: N simultaneous activations mixed with
+// a failure at the same virtual time coalesce into ONE sweep at that
+// instant, and the incremental result is bit-identical to the global
+// engine's — byte counters included. Both event orderings are covered:
+// the failure firing before the activations (victims die while still
+// paying sender overhead) and after (victims activate, then abort
+// mid-instant).
+func TestSameInstantSubmitsAndFailureOneSweep(t *testing.T) {
+	const (
+		nSurvivors = 6
+		nVictims   = 4
+		bytes      = 1 << 20
+	)
+	for _, failFirst := range []bool{true, false} {
+		name := "failure-after-activations"
+		if failFirst {
+			name = "failure-before-activations"
+		}
+		t.Run(name, func(t *testing.T) {
+			p := DefaultParams()
+			failAt := sim.Time(p.SenderOverhead) // exactly the activation instant
+			logs := map[SweepMode]*sweepLog{}
+			build := func(e *Engine) {
+				sl := &sweepLog{}
+				logs[e.SweepMode()] = sl
+				e.SetSink(sl)
+				submit := func() {
+					for i := 0; i < nSurvivors; i++ {
+						e.Submit(FlowSpec{Src: 0, Dst: 1, Bytes: bytes, Links: []int{20, 21}})
+					}
+					for i := 0; i < nVictims; i++ {
+						e.Submit(FlowSpec{Src: 2, Dst: 3, Bytes: bytes, Links: []int{10, 11}})
+					}
+				}
+				if failFirst {
+					e.FailLinkAt(10, failAt)
+					submit()
+				} else {
+					submit()
+					e.FailLinkAt(10, failAt)
+				}
+			}
+			inc, glb := twinRun(t, p, build)
+			requireIdenticalRuns(t, inc, glb, true)
+
+			for i := 0; i < nSurvivors; i++ {
+				if r := inc.Result(FlowID(i)); !r.Done || r.Aborted {
+					t.Fatalf("survivor %d: %+v, want done", i, r)
+				}
+			}
+			for i := nSurvivors; i < nSurvivors+nVictims; i++ {
+				r := inc.Result(FlowID(i))
+				if !r.Aborted || r.AbortTime != failAt {
+					t.Fatalf("victim %d: %+v, want aborted at %g", i, r, float64(failAt))
+				}
+			}
+			// The six survivors share both links: rate cap/6 each.
+			r0 := inc.Result(FlowID(0))
+			approx(t, "survivor transfer span",
+				float64(r0.TransferEnd-r0.Activated), bytes/(p.LinkBandwidth/nSurvivors), 1e-9)
+
+			for mode, sl := range logs {
+				atInstant := 0
+				for _, at := range sl.times {
+					if at == failAt {
+						atInstant++
+					}
+				}
+				if atInstant != 1 {
+					t.Fatalf("mode %d: %d sweeps at the mixed instant, want exactly 1 (times %v)",
+						mode, atInstant, sl.times)
+				}
+			}
+			il := logs[SweepIncremental]
+			if il.flows[0] != nSurvivors {
+				t.Fatalf("batched sweep covered %d flows, want the %d survivors", il.flows[0], nSurvivors)
+			}
+			if full, incr := inc.SweepStats(); full != 0 || incr == 0 {
+				t.Fatalf("incremental engine sweeps: %d full / %d incremental, want 0 full", full, incr)
+			}
+		})
+	}
+}

@@ -46,9 +46,12 @@ type Sink interface {
 	// FlowActivated fired; [activated, now] is the wire span.
 	FlowEnded(now, activated sim.Time, id int, label string, bytes int64, aborted bool)
 
-	// SweepDone fires after each rate-reallocation sweep with the size of
-	// the component that was rebalanced.
-	SweepDone(now sim.Time, flows, links int)
+	// SweepDone fires after each rate-reallocation sweep with the number
+	// of flows and links that were rebalanced. full distinguishes a
+	// whole-component sweep (global mode, or an incremental fallback)
+	// from an incremental dirty-region sweep, where flows/links count
+	// only the re-leveled region.
+	SweepDone(now sim.Time, flows, links int, full bool)
 
 	// FailureApplied fires after a scheduled failure event has been
 	// applied and its victims aborted. node is meaningful when isNode.

@@ -241,7 +241,8 @@ func TestEngineSinkAdapts(t *testing.T) {
 	s.FlowEnded(2e-3, 0, 0, "f", 100, false)
 	s.FlowActivated(2e-3, 1, "")
 	s.FlowEnded(3e-3, 2e-3, 1, "", 50, true)
-	s.SweepDone(3e-3, 2, 4)
+	s.SweepDone(3e-3, 2, 4, true)
+	s.SweepDone(4e-3, 1, 3, false)
 	s.FailureApplied(1e-3, 5, true, 10)
 
 	spans := r.Spans()
@@ -257,9 +258,14 @@ func TestEngineSinkAdapts(t *testing.T) {
 	reg := r.Registry()
 	if reg.Counter("netsim/flows_done").Value() != 1 ||
 		reg.Counter("netsim/flows_aborted").Value() != 1 ||
-		reg.Counter("netsim/sweeps").Value() != 1 ||
+		reg.Counter("netsim/sweeps").Value() != 2 ||
+		reg.Counter("netsim/sweeps_full").Value() != 1 ||
+		reg.Counter("netsim/sweeps_incremental").Value() != 1 ||
 		reg.Counter("netsim/failures").Value() != 1 {
 		t.Fatalf("counters = %v", reg.Snapshot().Counters)
+	}
+	if h := reg.Histogram("netsim/dirty_links").Summary(); h.N != 1 || h.Max != 3 {
+		t.Fatalf("dirty_links histogram = %+v, want one sample of 3", h)
 	}
 	if got := tl.TotalBytes(3); got != 100 {
 		t.Fatalf("timeline got %g bytes, want 100", got)

@@ -227,9 +227,18 @@ func (s *EngineSink) FlowEnded(now, activated sim.Time, id int, label string, by
 	}
 }
 
-// SweepDone implements Sink: sweep count plus component-size histogram.
-func (s *EngineSink) SweepDone(now sim.Time, flows, links int) {
+// SweepDone implements Sink: total and per-mode sweep counts, the
+// region-size histograms that make the incremental cutoff's
+// effectiveness visible in -metrics snapshots (netsim/dirty_links is the
+// number of links an incremental sweep actually re-leveled).
+func (s *EngineSink) SweepDone(now sim.Time, flows, links int, full bool) {
 	s.rec.reg.Counter("netsim/sweeps").Inc()
+	if full {
+		s.rec.reg.Counter("netsim/sweeps_full").Inc()
+	} else {
+		s.rec.reg.Counter("netsim/sweeps_incremental").Inc()
+		s.rec.reg.Histogram("netsim/dirty_links").Observe(float64(links))
+	}
 	s.rec.reg.Histogram("netsim/sweep_flows").Observe(float64(flows))
 }
 

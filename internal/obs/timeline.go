@@ -177,7 +177,7 @@ func (TimelineSink) FlowEnded(now, activated sim.Time, id int, label string, byt
 }
 
 // SweepDone implements Sink as a no-op.
-func (TimelineSink) SweepDone(now sim.Time, flows, links int) {}
+func (TimelineSink) SweepDone(now sim.Time, flows, links int, full bool) {}
 
 // FailureApplied implements Sink as a no-op.
 func (TimelineSink) FailureApplied(now sim.Time, node int, isNode bool, links int) {}
