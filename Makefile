@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench bench-scale quick check soak
+.PHONY: build test lint verify bench bench-scale quick check soak soak-sessions
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,13 @@ lint:
 # detector over the packages that run worker pools or schedule failure
 # events (see ROADMAP.md), plus the differential-oracle suite, plus a
 # 10-second bgqload smoke against an in-process daemon (zero 5xx,
-# coalescing observed).
+# coalescing observed), plus the short-mode session chaos soak (real
+# daemon, mid-run SIGTERM/restart, byte-verified session reports).
 verify: build lint check
 	$(GO) test ./...
 	$(GO) test -race ./internal/experiments ./internal/netsim ./internal/faultinject ./internal/serve
 	$(GO) run ./cmd/bgqload -selftest -duration 10s -rps 300 -agg-every 16 -seed 7 -require-coalesce
+	SOAK_SHORT=1 ./scripts/soak_sessions.sh
 
 # Correctness oracle (DESIGN.md §11): the invariant + differential test
 # suite (200 generated scenarios through both engines, the archived
@@ -63,3 +65,12 @@ bench-scale:
 # (scripts/soak_baseline.json). Archives the report as LOAD_<date>.json.
 soak:
 	./scripts/soak.sh
+
+# Session chaos soak (DESIGN.md §14): 1000 concurrent resilient
+# transfer sessions against a real bgqd with fault events, forced
+# disconnects, and a mid-run SIGTERM/restart. Gates: zero lost, zero
+# duplicated, zero mismatched sessions (every report byte-identical to
+# a direct MoveResilient replay), with resumes and pushed faults
+# actually exercised. Archives SESSIONS_<date>.json.
+soak-sessions:
+	./scripts/soak_sessions.sh

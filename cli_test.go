@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
+
+	"bgqflow/internal/serve"
 )
 
 // buildTool compiles one of the repo's commands into a temp dir and
@@ -135,6 +140,11 @@ func TestBgqdFlagValidation(t *testing.T) {
 		{"negative queue", []string{"-queue", "-5"}, "-queue"},
 		{"negative shards", []string{"-shards", "-2"}, "-shards"},
 		{"negative retry-after", []string{"-retry-after", "-1s"}, "-retry-after"},
+		{"negative max-sessions", []string{"-max-sessions", "-1"}, "-max-sessions"},
+		{"negative session-idle", []string{"-session-idle", "-1s"}, "-session-idle"},
+		{"negative replay-events", []string{"-replay-events", "-3"}, "-replay-events"},
+		{"negative batch-window", []string{"-batch-window", "-1ms"}, "-batch-window"},
+		{"zero drain-timeout", []string{"-drain-timeout", "0s"}, "-drain-timeout"},
 		{"extra args", []string{"surprise"}, "unexpected arguments"},
 	}
 	for _, c := range cases {
@@ -164,6 +174,12 @@ func TestBgqloadFlagValidation(t *testing.T) {
 		{"bad p99 ratio", []string{"-addr", "x:1", "-p99-ratio", "0"}, "-p99-ratio"},
 		{"bad shed rate", []string{"-addr", "x:1", "-max-shed-rate", "1.5"}, "-max-shed-rate"},
 		{"missing baseline", []string{"-addr", "x:1", "-baseline", filepath.Join(t.TempDir(), "nope.json")}, "baseline"},
+		{"session no addr", []string{"-sessions", "4"}, "-addr"},
+		{"negative sessions", []string{"-addr", "x:1", "-sessions", "-2"}, "sessions"},
+		{"bad session pattern", []string{"-addr", "x:1", "-sessions", "4", "-pattern", "bogus"}, "pattern"},
+		{"bad session shape", []string{"-addr", "x:1", "-sessions", "4", "-shape", "nope"}, "shape"},
+		{"negative min-resumes", []string{"-addr", "x:1", "-sessions", "4", "-min-resumes", "-1"}, "-min-resumes"},
+		{"negative min-pushed-faults", []string{"-addr", "x:1", "-sessions", "4", "-min-pushed-faults", "-1"}, "-min-pushed-faults"},
 	}
 	for _, c := range cases {
 		out, err := exec.Command(bin, c.args...).CombinedOutput()
@@ -392,5 +408,139 @@ func TestBgqbenchObsTraceCLI(t *testing.T) {
 	}
 	if report.Metrics == nil || report.Metrics.Counters["transport/replans"] == 0 {
 		t.Fatal("-json report did not embed the metrics snapshot")
+	}
+}
+
+// startBgqd spawns a bgqd binary on a fresh Unix socket and waits for
+// the bind; the returned buffer accumulates both output streams.
+func startBgqd(t *testing.T, bin string, extra ...string) (*exec.Cmd, *bytes.Buffer, *serve.Client) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "bgqd.sock")
+	daemon := exec.Command(bin, append([]string{"-socket", sock}, extra...)...)
+	var out bytes.Buffer
+	daemon.Stdout = &out
+	daemon.Stderr = &out
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		daemon.Process.Kill()
+		daemon.Wait() // second Wait after a test's own is a harmless error
+	})
+	for i := 0; ; i++ {
+		if _, err := os.Stat(sock); err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("bgqd never bound %s:\n%s", sock, out.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	client, err := serve.NewClient("unix://" + sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return daemon, &out, client
+}
+
+// TestBgqdDrainCLI covers the graceful-shutdown contract end to end:
+// SIGTERM with a session in flight drains it and exits 0; an expired
+// -drain-timeout aborts the session and the daemon exits 1 so
+// supervisors can see the drain was not clean.
+func TestBgqdDrainCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "cmd/bgqd")
+
+	launch := func(client *serve.Client, id string, paceUS int, pol serve.RetryPolicy) (<-chan struct{}, <-chan struct{}, *serve.TransferOutcome, *error) {
+		started := make(chan struct{})
+		done := make(chan struct{})
+		var out serve.TransferOutcome
+		var terr error
+		go func() {
+			defer close(done)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			var once sync.Once
+			out, terr = client.Transfer(ctx, serve.TransferRequest{
+				ID: id, Shape: "2x2x4x4x2", Src: 0, Dst: 97, Bytes: 64 << 20, PaceUS: paceUS,
+			}, serve.TransferOpts{
+				Backoff: pol,
+				OnFrame: func(serve.SessionFrame) { once.Do(func() { close(started) }) },
+			})
+		}()
+		return started, done, &out, &terr
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		daemon, dout, client := startBgqd(t, bin, "-drain-timeout", "30s")
+		started, done, out, terr := launch(client, "cli-drain-ok", 2000, serve.RetryPolicy{})
+		<-started
+		daemon.Process.Signal(syscall.SIGTERM)
+		if err := daemon.Wait(); err != nil {
+			t.Fatalf("clean drain exited nonzero: %v\n%s", err, dout.String())
+		}
+		if !strings.Contains(dout.String(), "1 sessions finished, 0 aborted") {
+			t.Errorf("daemon output missing clean drain line:\n%s", dout.String())
+		}
+		<-done
+		if *terr != nil || out.Err != "" || len(out.Report) == 0 {
+			t.Fatalf("in-flight session failed under clean drain: %v / %q", *terr, out.Err)
+		}
+	})
+
+	t.Run("aborted", func(t *testing.T) {
+		daemon, dout, client := startBgqd(t, bin, "-drain-timeout", "150ms")
+		// Paced hard enough that the session cannot finish inside 150ms;
+		// no retries, so the client gives up once the daemon is gone.
+		started, done, _, _ := launch(client, "cli-drain-abort", 50000, serve.NoRetryPolicy())
+		<-started
+		daemon.Process.Signal(syscall.SIGTERM)
+		err := daemon.Wait()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("dirty drain: want exit 1, got %v\n%s", err, dout.String())
+		}
+		if !strings.Contains(dout.String(), "1 aborted") {
+			t.Errorf("daemon output missing aborted drain line:\n%s", dout.String())
+		}
+		<-done
+	})
+}
+
+// TestBgqloadSessionsCLI runs the session chaos soak in miniature via
+// the -selftest daemon: all gates green, report archived and readable.
+func TestBgqloadSessionsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "cmd/bgqload")
+	reportPath := filepath.Join(t.TempDir(), "sessions.json")
+	out, err := exec.Command(bin,
+		"-selftest", "-sessions", "16", "-seed", "7", "-batch-every", "1",
+		"-min-resumes", "1", "-json", reportPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("bgqload -sessions: %v\n%s", err, out)
+	}
+	for _, want := range []string{"0 lost, 0 mismatched, 0 duplicated", "all session gates passed"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("bgqload output missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Completed int  `json:"completed"`
+		Lost      int  `json:"lost"`
+		Verified  bool `json:"verified"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 16 || rep.Lost != 0 || !rep.Verified {
+		t.Fatalf("bad session report: %+v", rep)
 	}
 }

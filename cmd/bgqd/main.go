@@ -6,6 +6,8 @@
 //
 //	bgqd [-listen host:port | -socket /path/bgqd.sock]
 //	     [-workers N] [-queue N] [-shards N] [-retry-after dur]
+//	     [-max-sessions N] [-session-idle dur] [-replay-events N]
+//	     [-batch-window dur] [-drain-timeout dur]
 //
 // The daemon runs a fixed worker pool behind a bounded admission queue:
 // when the queue is full new requests are shed with 429 + Retry-After
@@ -15,9 +17,19 @@
 // /metrics exposes the observability registry (latency histograms,
 // queue depth, cache hit/miss/coalesce counters, shed count) as JSON.
 //
+// POST /v1/transfer runs long-lived resilient transfer sessions that
+// stream progress frames and survive client disconnects; -max-sessions
+// caps them, -session-idle reaps abandoned ones, -replay-events bounds
+// each session's reconnect replay ring, and -batch-window enables
+// Träff-style combining of small same-pair transfers.
+//
 // Flags are validated up front; a bad flag exits 2 with a one-line
-// error. SIGINT/SIGTERM shut the daemon down gracefully (in-flight
-// requests finish, the socket file is removed).
+// error. SIGINT/SIGTERM shut the daemon down gracefully: new sessions
+// are refused while in-flight ones run to completion under
+// -drain-timeout; sessions still running at the deadline are aborted at
+// their next safe point and the daemon exits 1 so supervisors can see
+// the drain was not clean. In-flight plan requests finish and the
+// socket file is removed either way.
 package main
 
 import (
@@ -42,18 +54,28 @@ func main() {
 	queue := flag.Int("queue", 0, "admission queue depth; 0 = 4x workers")
 	shards := flag.Int("shards", 0, "plan-cache shards; 0 = 16")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+	maxSessions := flag.Int("max-sessions", 0, "concurrent transfer-session cap; 0 = 4096")
+	sessionIdle := flag.Duration("session-idle", 0, "reap sessions with no subscriber or heartbeat for this long; 0 = 60s")
+	replayEvents := flag.Int("replay-events", 0, "per-session reconnect replay ring size; 0 = 256")
+	batchWindow := flag.Duration("batch-window", 0, "combine small same-pair Batch transfers arriving within this window; 0 disables")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight sessions before they are aborted")
 	flag.Parse()
 
-	if err := validate(*listen, *socket, *workers, *queue, *shards, *retryAfter, flag.Args()); err != nil {
+	if err := validate(*listen, *socket, *workers, *queue, *shards, *retryAfter,
+		*maxSessions, *sessionIdle, *replayEvents, *batchWindow, *drainTimeout, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "bgqd: %v\n", err)
 		os.Exit(2)
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		CacheShards: *shards,
-		RetryAfter:  *retryAfter,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheShards:  *shards,
+		RetryAfter:   *retryAfter,
+		MaxSessions:  *maxSessions,
+		SessionIdle:  *sessionIdle,
+		ReplayEvents: *replayEvents,
+		BatchWindow:  *batchWindow,
 	})
 	defer srv.Close()
 
@@ -97,11 +119,27 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "bgqd: shutting down")
+		// Sessions drain before the HTTP server shuts down: streaming
+		// subscribers hold their connections until the session delivers a
+		// report frame, so Shutdown would otherwise hang on them.
+		fmt.Fprintf(os.Stderr, "bgqd: draining sessions (timeout %v)\n", *drainTimeout)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+		res := srv.Drain(drainCtx)
+		cancelDrain()
+		fmt.Fprintf(os.Stderr, "bgqd: drain: %d sessions finished, %d aborted in %.0fms\n",
+			res.Drained, res.Aborted, res.ElapsedMS)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintf(os.Stderr, "bgqd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		if res.Aborted > 0 {
+			// A dirty drain exits nonzero so supervisors and soak scripts
+			// can tell "every session finished" from "clients must re-arm".
+			if *socket != "" {
+				os.Remove(*socket)
+			}
 			os.Exit(1)
 		}
 	case err := <-errc:
@@ -114,7 +152,8 @@ func main() {
 
 // validate rejects bad flags before the daemon binds anything; errors
 // print as one line and exit 2, matching bgqbench and bgqsim.
-func validate(listen, socket string, workers, queue, shards int, retryAfter time.Duration, extra []string) error {
+func validate(listen, socket string, workers, queue, shards int, retryAfter time.Duration,
+	maxSessions int, sessionIdle time.Duration, replayEvents int, batchWindow, drainTimeout time.Duration, extra []string) error {
 	if len(extra) > 0 {
 		return fmt.Errorf("unexpected arguments: %v", extra)
 	}
@@ -137,6 +176,21 @@ func validate(listen, socket string, workers, queue, shards int, retryAfter time
 	}
 	if retryAfter < 0 {
 		return fmt.Errorf("-retry-after must be >= 0, got %v", retryAfter)
+	}
+	if maxSessions < 0 {
+		return fmt.Errorf("-max-sessions must be >= 0, got %d", maxSessions)
+	}
+	if sessionIdle < 0 {
+		return fmt.Errorf("-session-idle must be >= 0, got %v", sessionIdle)
+	}
+	if replayEvents < 0 {
+		return fmt.Errorf("-replay-events must be >= 0, got %d", replayEvents)
+	}
+	if batchWindow < 0 {
+		return fmt.Errorf("-batch-window must be >= 0, got %v", batchWindow)
+	}
+	if drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be > 0, got %v", drainTimeout)
 	}
 	return nil
 }

@@ -11,6 +11,12 @@
 //	        [-json out.json] [-baseline prev.json] [-p99-ratio 5]
 //	        [-max-shed-rate 0.5] [-require-coalesce] [-selftest]
 //
+//	bgqload -sessions N [-addr ... | -selftest] [-seed S] [-shape ...]
+//	        [-pattern burst] [-concurrency 0] [-pace-us 500]
+//	        [-campaign-every 5] [-batch-every 0] [-drop-every 4]
+//	        [-fault-events 2] [-no-verify] [-session-timeout 2m]
+//	        [-min-resumes N] [-min-pushed-faults N] [-json out.json]
+//
 // Open-loop mode issues requests on a fixed-rate clock (-rps); closed
 // loop keeps -concurrency workers saturated. The mix is deterministic in
 // -seed: hot pairs from the sparse patterns repeat as identical
@@ -21,6 +27,14 @@
 // -p99-ratio, and — with -require-coalesce — a server that reports no
 // cache hits or coalesced requests at all. -json archives the full
 // report (client stats plus the daemon's /metrics snapshot).
+//
+// -sessions N switches bgqload into the chaos-soak driver for resilient
+// transfer sessions: N concurrent sessions with seeded fault campaigns,
+// forced disconnects, server-side fault events, and optional combining,
+// every report byte-verified against a direct-run oracle. Gates (exit 1
+// when violated): zero lost, zero duplicated, zero mismatched sessions,
+// all N completed, plus the -min-resumes / -min-pushed-faults floors.
+// -json archives the session report (the SESSIONS_<date>.json format).
 //
 // -selftest spins an in-process daemon on a loopback port and runs the
 // load against it — no external bgqd needed; used by `make verify`.
@@ -58,7 +72,50 @@ func main() {
 	maxShed := flag.Float64("max-shed-rate", 0.5, "fail when shed/requests exceeds this (0 disables)")
 	requireCoalesce := flag.Bool("require-coalesce", false, "fail when the server reports zero cache hits and zero coalesced requests")
 	selftest := flag.Bool("selftest", false, "spin an in-process daemon on loopback and load it (ignores -addr)")
+	sessions := flag.Int("sessions", 0, "run N resilient transfer sessions instead of the plan-request mix (0 = plan mode)")
+	pattern := flag.String("pattern", "", "session-mode pair pattern (default burst)")
+	paceUS := flag.Int("pace-us", 500, "session-mode pacing per safe point, microseconds")
+	campaignEvery := flag.Int("campaign-every", 5, "give every Nth session a seeded fault campaign (0 disables)")
+	batchEvery := flag.Int("batch-every", 0, "mark every Nth session combinable (0 disables; needs a daemon batch window)")
+	dropEvery := flag.Int("drop-every", 4, "force a disconnect every N frames on every third session (0 disables)")
+	faultEvents := flag.Int("fault-events", 2, "server-side fault events to post while sessions run (0 disables)")
+	noVerify := flag.Bool("no-verify", false, "skip the byte-exact oracle replay of every session report")
+	sessionTimeout := flag.Duration("session-timeout", 2*time.Minute, "per-session budget")
+	minResumes := flag.Int("min-resumes", 0, "session gate: fail with fewer than N stream resumes")
+	minPushed := flag.Int("min-pushed-faults", 0, "session gate: fail with fewer than N pushed mid-session faults")
 	flag.Parse()
+
+	if *sessions != 0 {
+		// -concurrency defaults to 8 for the plan mix; in session mode an
+		// unset flag means "all sessions at once" (the peak-concurrency
+		// soak shape), so only an explicit value caps the fleet.
+		sessConc := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "concurrency" {
+				sessConc = *concurrency
+			}
+		})
+		sopts := loadgen.SessionOptions{
+			Sessions:      *sessions,
+			Concurrency:   sessConc,
+			Seed:          *seed,
+			Shape:         *shape,
+			Pattern:       *pattern,
+			PaceUS:        *paceUS,
+			CampaignEvery: *campaignEvery,
+			BatchEvery:    *batchEvery,
+			DropEvery:     *dropEvery,
+			FaultEvents:   *faultEvents,
+			Verify:        !*noVerify,
+			Timeout:       *sessionTimeout,
+		}
+		if err := validateSessions(*addr, *selftest, sopts, *minResumes, *minPushed, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "bgqload: %v\n", err)
+			os.Exit(2)
+		}
+		runSessionMode(*addr, *selftest, sopts, *minResumes, *minPushed, *jsonOut)
+		return
+	}
 
 	opts := loadgen.Options{
 		Mode:        *mode,
@@ -81,7 +138,7 @@ func main() {
 	target := *addr
 	var cleanup func()
 	if *selftest {
-		target, cleanup, err = startInProcess()
+		target, cleanup, err = startInProcess(serve.Config{})
 		if err != nil {
 			fatal("selftest: %v", err)
 		}
@@ -174,9 +231,84 @@ func validate(addr string, selftest bool, baseline string, p99Ratio, maxShed flo
 	return baseP99, nil
 }
 
+// validateSessions rejects bad session-mode flags up front (exit 2).
+func validateSessions(addr string, selftest bool, o loadgen.SessionOptions, minResumes, minPushed int, extra []string) error {
+	if len(extra) > 0 {
+		return fmt.Errorf("unexpected arguments: %v", extra)
+	}
+	if addr == "" && !selftest {
+		return fmt.Errorf("-addr is required (or use -selftest)")
+	}
+	if minResumes < 0 {
+		return fmt.Errorf("-min-resumes must be >= 0, got %d", minResumes)
+	}
+	if minPushed < 0 {
+		return fmt.Errorf("-min-pushed-faults must be >= 0, got %d", minPushed)
+	}
+	return loadgen.ValidateSessionOptions(o)
+}
+
+// runSessionMode drives the resilient-session chaos soak and applies
+// its gates.
+func runSessionMode(addr string, selftest bool, o loadgen.SessionOptions, minResumes, minPushed int, jsonOut string) {
+	target := addr
+	if selftest {
+		// The in-process daemon gets a batch window so -batch-every has
+		// something to combine against; it is inert without Batch requests.
+		t, cleanup, err := startInProcess(serve.Config{BatchWindow: 50 * time.Millisecond})
+		if err != nil {
+			fatal("selftest: %v", err)
+		}
+		defer cleanup()
+		target = t
+	}
+	client, err := serve.NewClient(target)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := client.Health(context.Background()); err != nil {
+		fatal("daemon not reachable at %s: %v", target, err)
+	}
+
+	rep, err := loadgen.RunSessions(context.Background(), client, o)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("bgqload: %d sessions (%s/%s, seed %d) against %s in %.1fs: %d completed, %d failed, %d lost, %d mismatched, %d duplicated\n",
+		rep.Sessions, rep.Shape, rep.Pattern, rep.Seed, target, rep.WallSec,
+		rep.Completed, rep.Failed, rep.Lost, rep.Mismatched, rep.Duplicated)
+	fmt.Printf("bgqload: resilience: %d resumes, %d restarts, %d pushed faults, %d combined sessions, peak %d concurrent, %d fault events posted\n",
+		rep.Resumes, rep.Restarts, rep.PushedFaults, rep.BatchedMembers, rep.PeakConcurrent, rep.FaultsPosted)
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			fatal("json: %v", err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fatal("json: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("json: %v", err)
+		}
+		fmt.Printf("bgqload: session report written to %s\n", jsonOut)
+	}
+
+	if err := rep.Check(loadgen.SessionCriteria{
+		MinCompleted:    rep.Sessions,
+		MinResumes:      minResumes,
+		MinPushedFaults: minPushed,
+		RequireVerified: o.Verify,
+	}); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println("bgqload: all session gates passed")
+}
+
 // startInProcess runs a daemon inside this process on a loopback port.
-func startInProcess() (addr string, cleanup func(), err error) {
-	srv := serve.New(serve.Config{})
+func startInProcess(cfg serve.Config) (addr string, cleanup func(), err error) {
+	srv := serve.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		srv.Close()

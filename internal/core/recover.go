@@ -26,6 +26,71 @@ type RecoveryConfig struct {
 	// every subsequent wave (bounded exponential backoff, in simulated
 	// time).
 	Backoff sim.Duration
+
+	// OnEvent, when set, receives the transfer's progress timeline as it
+	// unfolds: one EventWave per released wave, EventWaveDone when the
+	// wave's flows have all resolved, EventLoss/EventReplan/EventDegrade
+	// along the recovery ladder, and EventComplete on success. Events are
+	// emitted synchronously on the caller's goroutine in virtual-time
+	// order; the streaming session layer (internal/serve) fans them out
+	// to clients.
+	OnEvent func(TransferEvent)
+
+	// Interject, when set, is called on the transfer's own goroutine
+	// before each wave is planned and before every clock step while a
+	// wave resolves. It is the safe point for an outside party to mutate
+	// the engine mid-transfer (inject a pushed fault with FailLinkAt, or
+	// pace virtual time against the wall clock). Returning a non-nil
+	// error aborts the transfer with the bytes delivered so far.
+	Interject func(e *netsim.Engine) error
+}
+
+// TransferEventKind enumerates MoveResilient progress events.
+type TransferEventKind int
+
+const (
+	// EventWave: a wave of flows was planned and released.
+	EventWave TransferEventKind = iota
+	// EventWaveDone: every flow of the wave resolved (done or aborted).
+	EventWaveDone
+	// EventLoss: the resolved wave lost bytes to a failure.
+	EventLoss
+	// EventReplan: the detection timeout and backoff have been charged;
+	// the next wave will be planned with at most Proxies proxies.
+	EventReplan
+	// EventDegrade: the proxy ladder descended below the first wave's
+	// count.
+	EventDegrade
+	// EventComplete: every requested byte was delivered.
+	EventComplete
+)
+
+var transferEventNames = [...]string{"wave", "wavedone", "loss", "replan", "degrade", "complete"}
+
+func (k TransferEventKind) String() string {
+	if k < 0 || int(k) >= len(transferEventNames) {
+		return fmt.Sprintf("TransferEventKind(%d)", int(k))
+	}
+	return transferEventNames[k]
+}
+
+// TransferEvent is one step of a resilient transfer's progress timeline.
+type TransferEvent struct {
+	Kind TransferEventKind
+	// Wave is the zero-based wave index (EventWave/EventWaveDone/EventLoss).
+	Wave int
+	// Replans counts recovery waves so far (EventReplan).
+	Replans int
+	// Proxies is the wave's proxy count (EventWave) or the cap for the
+	// next wave (EventReplan/EventDegrade); 0 means direct.
+	Proxies int
+	// Mode is the wave's transfer mode (EventWave).
+	Mode TransferMode
+	// Bytes is the wave's payload (EventWave), the bytes lost
+	// (EventLoss), or the bytes delivered (EventComplete).
+	Bytes int64
+	// At is the virtual time of the event.
+	At sim.Time
 }
 
 // DefaultRecoveryConfig returns the operating point used by the R1
@@ -115,7 +180,26 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 		}(e.Now())
 	}
 
+	emit := func(ev TransferEvent) {
+		if rc.OnEvent != nil {
+			rc.OnEvent(ev)
+		}
+	}
+	interject := func() error {
+		if rc.Interject == nil {
+			return nil
+		}
+		return rc.Interject(e)
+	}
+
 	for {
+		// The pre-wave safe point: pushed faults injected here land on the
+		// engine clock before the wave is planned, so planning sees them.
+		if err := interject(); err != nil {
+			rep.Delivered = bytes - remaining
+			return rep, fmt.Errorf("core: transfer interrupted after %d bytes: %w", rep.Delivered, err)
+		}
+
 		// Plan this wave against the live failure state. The degradation
 		// ladder caps the proxy count at maxK, which drops by one after
 		// every lossy wave until only the direct path is left.
@@ -169,6 +253,8 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 			predicted = t.model.DirectTime(remaining, len(r.Links))
 		}
 		rep.Attempts++
+		emit(TransferEvent{Kind: EventWave, Wave: rep.Attempts - 1, Proxies: len(proxies),
+			Mode: rep.FinalMode, Bytes: remaining, At: waveStart})
 		var waveSpan obs.SpanID
 		if rec != nil {
 			mode := "direct"
@@ -181,12 +267,20 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 
 		// Drive the clock until every final of this wave resolves. Aborts
 		// fire at the failure instant, so each final ends Done or Aborted.
+		// Each step starts from the interject safe point: a fault pushed
+		// mid-wave aborts the flows it hits through the engine's own
+		// failure machinery, exactly like a scheduled campaign event.
 		for !t.resolved(e, finals) {
+			if err := interject(); err != nil {
+				rep.Delivered = bytes - remaining
+				return rep, fmt.Errorf("core: transfer interrupted after %d bytes: %w", rep.Delivered, err)
+			}
 			if !e.StepClock() {
 				rep.Delivered = bytes - remaining
 				return rep, fmt.Errorf("core: clock ran dry with unresolved flows (wave %d)", rep.Attempts)
 			}
 		}
+		emit(TransferEvent{Kind: EventWaveDone, Wave: rep.Attempts - 1, At: e.Now()})
 		if rec != nil {
 			rec.SpanEnd(waveSpan, e.Now())
 		}
@@ -206,8 +300,10 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 		if lost == 0 {
 			rep.Delivered = bytes
 			rep.Complete = true
+			emit(TransferEvent{Kind: EventComplete, Bytes: bytes, At: e.Now()})
 			return rep, nil
 		}
+		emit(TransferEvent{Kind: EventLoss, Wave: rep.Attempts - 1, Bytes: lost, At: e.Now()})
 
 		if rep.Replans >= rc.MaxReplans {
 			rep.Delivered = bytes - remaining
@@ -231,6 +327,10 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 			maxK = len(proxies) - 1
 		} else {
 			maxK = 0
+		}
+		emit(TransferEvent{Kind: EventReplan, Replans: rep.Replans, Proxies: maxK, Bytes: lost, At: e.Now()})
+		if maxK < degraded {
+			emit(TransferEvent{Kind: EventDegrade, Proxies: maxK, At: e.Now()})
 		}
 		if rec != nil {
 			// The replan span covers the detect-and-backoff window between

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -183,5 +184,160 @@ func TestMoveResilientDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Fatalf("same campaign, different reports:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMoveResilientProgressEvents(t *testing.T) {
+	tor, _, e, tr := resilientRig(t)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+	proxies := selectProxiesAvoiding(tor, src, dst, tr.cfg, nil, nil)
+	e.FailLinkAt(proxies[0].Leg1.Links[0], 5e-3)
+
+	var events []TransferEvent
+	rc := DefaultRecoveryConfig()
+	rc.OnEvent = func(ev TransferEvent) { events = append(events, ev) }
+
+	const bytes = 64 << 20
+	rep, err := tr.MoveResilient(e, src, dst, bytes, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var waves, waveDones, losses, replans, completes int
+	var lostBytes int64
+	last := sim.Time(-1)
+	for _, ev := range events {
+		if ev.At < last {
+			t.Fatalf("event timeline not monotone: %v at %g after %g", ev.Kind, float64(ev.At), float64(last))
+		}
+		last = ev.At
+		switch ev.Kind {
+		case EventWave:
+			if ev.Wave != waves {
+				t.Fatalf("wave %d emitted out of order (expected %d)", ev.Wave, waves)
+			}
+			waves++
+		case EventWaveDone:
+			waveDones++
+		case EventLoss:
+			losses++
+			lostBytes += ev.Bytes
+		case EventReplan:
+			replans++
+			if ev.Replans != replans {
+				t.Fatalf("replan event numbered %d, expected %d", ev.Replans, replans)
+			}
+		case EventComplete:
+			completes++
+			if ev.Bytes != bytes {
+				t.Fatalf("complete event carries %d bytes, want %d", ev.Bytes, bytes)
+			}
+		}
+	}
+	if waves != rep.Attempts {
+		t.Fatalf("%d wave events, report says %d attempts", waves, rep.Attempts)
+	}
+	if waveDones != rep.Attempts {
+		t.Fatalf("%d wavedone events for %d attempts", waveDones, rep.Attempts)
+	}
+	if replans != rep.Replans {
+		t.Fatalf("%d replan events, report says %d replans", replans, rep.Replans)
+	}
+	if lostBytes != rep.BytesRerouted {
+		t.Fatalf("loss events total %d bytes, report rerouted %d", lostBytes, rep.BytesRerouted)
+	}
+	if completes != 1 {
+		t.Fatalf("%d complete events", completes)
+	}
+	if events[len(events)-1].Kind != EventComplete {
+		t.Fatalf("timeline does not end with complete: %v", events[len(events)-1].Kind)
+	}
+}
+
+func TestMoveResilientInterjectCancel(t *testing.T) {
+	tor, _, e, tr := resilientRig(t)
+	src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+
+	// Cancel from the interject safe point once the first wave is in
+	// flight: the transfer must stop with a clear error and report the
+	// partial delivery honestly (nothing landed yet mid-wave).
+	errCanceled := errors.New("client went away")
+	sawWave := false
+	rc := DefaultRecoveryConfig()
+	rc.OnEvent = func(ev TransferEvent) {
+		if ev.Kind == EventWave {
+			sawWave = true
+		}
+	}
+	rc.Interject = func(e *netsim.Engine) error {
+		if sawWave {
+			return errCanceled
+		}
+		return nil
+	}
+	rep, err := tr.MoveResilient(e, src, dst, 64<<20, rc)
+	if err == nil {
+		t.Fatalf("canceled transfer completed: %+v", rep)
+	}
+	if !strings.Contains(err.Error(), "transfer interrupted") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if rep.Complete {
+		t.Fatalf("canceled transfer marked complete: %+v", rep)
+	}
+	if rep.Delivered != 0 {
+		t.Fatalf("first-wave cancel delivered %d bytes", rep.Delivered)
+	}
+	if !sawWave {
+		t.Fatal("cancel fired before any wave was released")
+	}
+}
+
+func TestMoveResilientInterjectPushedFault(t *testing.T) {
+	// Push the fault through the interject hook at a virtual instant
+	// instead of scheduling it upfront: the outcome must be identical to
+	// the scheduled campaign (the session layer depends on this to verify
+	// streamed reports against direct replays).
+	direct := func() TransferReport {
+		tor, _, e, tr := resilientRig(t)
+		src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+		proxies := selectProxiesAvoiding(tor, src, dst, tr.cfg, nil, nil)
+		e.FailLinkAt(proxies[0].Leg1.Links[0], 5e-3)
+		rep, err := tr.MoveResilient(e, src, dst, 64<<20, DefaultRecoveryConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	pushed := func() TransferReport {
+		tor, _, e, tr := resilientRig(t)
+		src, dst := torus.NodeID(0), torus.NodeID(tor.Size()-1)
+		proxies := selectProxiesAvoiding(tor, src, dst, tr.cfg, nil, nil)
+		link := proxies[0].Leg1.Links[0]
+		injected := false
+		rc := DefaultRecoveryConfig()
+		rc.Interject = func(e *netsim.Engine) error {
+			// Inject as soon as the safe point passes the failure instant's
+			// eve: FailLinkAt with a future time reproduces the schedule.
+			if !injected {
+				injected = true
+				e.FailLinkAt(link, 5e-3)
+			}
+			return nil
+		}
+		rep, err := tr.MoveResilient(e, src, dst, 64<<20, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !injected {
+			t.Fatal("interject never ran")
+		}
+		return rep
+	}
+
+	a, b := direct(), pushed()
+	if a != b {
+		t.Fatalf("pushed fault diverges from scheduled campaign:\n%+v\n%+v", a, b)
 	}
 }

@@ -235,6 +235,9 @@ func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	// Shed accounting must be exact: every 429 the daemon sends is one
+	// shed in the report, so the client must not quietly retry them.
+	client.SetRetryPolicy(serve.NoRetryPolicy())
 	rep := Report{
 		Mode:        o.Mode,
 		Seed:        o.Seed,

@@ -121,6 +121,17 @@ func (fc *FaultCampaignConfig) validate() error {
 	return nil
 }
 
+// Build validates the config and instantiates the campaign for a
+// concrete torus. The serve session layer uses this to replay a
+// client-specified campaign against its shared engine; scenario Run uses
+// the same path, so a campaign behaves identically through either door.
+func (fc *FaultCampaignConfig) Build(tor *torus.Torus) (*faultinject.Campaign, error) {
+	if err := fc.validate(); err != nil {
+		return nil, err
+	}
+	return fc.build(tor)
+}
+
 // build instantiates the campaign for a concrete torus.
 func (fc *FaultCampaignConfig) build(tor *torus.Torus) (*faultinject.Campaign, error) {
 	ms := func(v float64) sim.Time { return sim.Time(v * 1e-3) }

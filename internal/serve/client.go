@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -21,11 +22,90 @@ import (
 // It is safe for concurrent use; bgqload drives one Client from many
 // goroutines.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
-// NewClient builds a client for the given address.
+// RetryPolicy governs how the client reacts to shed (429) and
+// unavailable (503) responses — and, with RetryConn, transport errors
+// while a daemon restarts. Waits honor the server's Retry-After hint,
+// grow exponentially across consecutive failures, are capped at
+// MaxBackoff, and carry ±Jitter so a shed herd does not return in
+// lockstep.
+type RetryPolicy struct {
+	// MaxAttempts bounds consecutive attempts; 0 means unlimited (the
+	// context deadline is the only bound).
+	MaxAttempts int
+	// BaseBackoff is the first wait; it doubles per consecutive failure.
+	// 0 means 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the wait, including server Retry-After hints. 0
+	// means 2s.
+	MaxBackoff time.Duration
+	// Jitter spreads each wait by ±Jitter (e.g. 0.25 = ±25%).
+	Jitter float64
+	// RetryConn also retries transport-level errors (connection refused
+	// while a daemon restarts), not just 429/503 responses.
+	RetryConn bool
+}
+
+// DefaultRetryPolicy is the interactive operating point: a handful of
+// attempts with capped jittered exponential backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second, Jitter: 0.25}
+}
+
+// NoRetryPolicy disables client-side retries: every shed surfaces to the
+// caller. Load generators use it so shed accounting stays exact.
+func NoRetryPolicy() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
+
+// backoff computes the wait before retry number attempt (0-based),
+// honoring a server Retry-After hint when it is longer than the
+// exponential schedule, capping at MaxBackoff, then jittering.
+func (p RetryPolicy) backoff(attempt int, hint time.Duration) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < maxB; i++ {
+		d *= 2
+	}
+	if hint > d {
+		d = hint
+	}
+	if d > maxB {
+		d = maxB
+	}
+	if p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*rand.Float64()-1)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// sleep waits the backoff for attempt, or returns early with the
+// context's error.
+func (p RetryPolicy) sleep(ctx context.Context, attempt int, hint time.Duration) error {
+	t := time.NewTimer(p.backoff(attempt, hint))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// NewClient builds a client for the given address with the default
+// retry policy.
 func NewClient(addr string) (*Client, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("serve: empty address")
@@ -42,13 +122,17 @@ func NewClient(addr string) (*Client, error) {
 		}
 		// The host is a placeholder; the transport always dials the
 		// socket.
-		return &Client{base: "http://bgqd", hc: &http.Client{Transport: tr}}, nil
+		return &Client{base: "http://bgqd", hc: &http.Client{Transport: tr}, retry: DefaultRetryPolicy()}, nil
 	}
 	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
 		addr = "http://" + addr
 	}
-	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}, nil
+	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}, retry: DefaultRetryPolicy()}, nil
 }
+
+// SetRetryPolicy replaces the client's retry policy. Not safe to call
+// concurrently with requests; configure before use.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
 
 // PlanResult is one plan response as the client saw it.
 type PlanResult struct {
@@ -66,6 +150,8 @@ type PlanResult struct {
 	RetryAfter time.Duration
 	// Err is the server-side error message on non-200 responses.
 	Err string
+	// Retries counts client-side retry waits spent on this request.
+	Retries int
 }
 
 // Shed reports whether the request was load-shed (429).
@@ -74,10 +160,37 @@ func (r PlanResult) Shed() bool { return r.Status == http.StatusTooManyRequests 
 // OK reports whether a plan was served.
 func (r PlanResult) OK() bool { return r.Status == http.StatusOK }
 
-// post sends one JSON request and decodes the envelope. A non-2xx
-// status is NOT a Go error — load tests need to count shed and rejected
-// requests without aborting; transport and decode failures are errors.
+// post sends one JSON request through the retry policy: 429/503
+// responses (and, with RetryConn, transport errors) back off and retry;
+// when attempts run out the last shed response is returned as-is. A
+// non-2xx status is NOT a Go error — load tests need to count shed and
+// rejected requests without aborting; transport and decode failures are
+// errors.
 func (c *Client) post(ctx context.Context, path string, body any) (PlanResult, error) {
+	pol := c.retry
+	for attempt := 0; ; attempt++ {
+		res, err := c.postOnce(ctx, path, body)
+		retryable := err == nil && (res.Status == http.StatusTooManyRequests || res.Status == http.StatusServiceUnavailable)
+		if err != nil && pol.RetryConn && ctx.Err() == nil {
+			retryable = true
+		}
+		if !retryable {
+			res.Retries = attempt
+			return res, err
+		}
+		if pol.MaxAttempts > 0 && attempt+1 >= pol.MaxAttempts {
+			res.Retries = attempt
+			return res, err
+		}
+		if serr := pol.sleep(ctx, attempt, res.RetryAfter); serr != nil {
+			res.Retries = attempt
+			return res, err
+		}
+	}
+}
+
+// postOnce is a single request/response cycle.
+func (c *Client) postOnce(ctx context.Context, path string, body any) (PlanResult, error) {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return PlanResult{}, err

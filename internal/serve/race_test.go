@@ -14,10 +14,13 @@ package serve_test
 //     from stale faults would be a correctness bug).
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"bgqflow/internal/scenario"
 	"bgqflow/internal/serve"
@@ -174,4 +177,109 @@ func TestConcurrentHammerCoalescingAndInvalidation(t *testing.T) {
 	}
 	t.Logf("hammer: %d requests, %d computed, %d saved, %d post-epoch hot answers",
 		requests, computed, saved, postSeen)
+}
+
+// TestConcurrentSessionsPushedFaultReplay is the session-layer arm of
+// the hammer, run under -race: a pack of paced transfer sessions on one
+// hot pair, a fault event landing mid-flight, and a client-side
+// differential check per session — every streamed report must byte-match
+// a direct MoveResilient replay of that session's recorded timeline
+// (fault-set snapshot + pushed-fault instants through PushedInterject).
+func TestConcurrentSessionsPushedFaultReplay(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// The link the unfaulted hot-pair plan rides: failing it mid-session
+	// forces replans in every session still in flight.
+	hot := serve.PairRequest{Shape: testShape, Src: 0, Dst: 97, Bytes: 32 << 20}
+	pre, err := client.PlanPair(ctx, hot)
+	if err != nil || !pre.OK() {
+		t.Fatalf("warmup: %v status %d", err, pre.Status)
+	}
+	var prePlan serve.PairPlan
+	if err := json.Unmarshal(pre.Plan, &prePlan); err != nil {
+		t.Fatal(err)
+	}
+	fl, ok := linkToFail(t, testShape, prePlan.Flows[0].Links[0])
+	if !ok {
+		t.Fatal("cannot invert plan link")
+	}
+
+	const sessions = 8
+	outs := make([]serve.TransferOutcome, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	waveSeen := make(chan struct{})
+	var waveOnce sync.Once
+	wg.Add(sessions + 1)
+	go func() {
+		// The fault event waits for the first wave frame, then races the
+		// in-flight pack.
+		defer wg.Done()
+		<-waveSeen
+		if _, ferr := client.Fault(ctx, serve.FaultEvent{Links: []scenario.FailLink{fl}}); ferr != nil {
+			t.Errorf("fault: %v", ferr)
+		}
+	}()
+	for i := 0; i < sessions; i++ {
+		go func(i int) {
+			defer wg.Done()
+			req := serve.TransferRequest{
+				ID:    fmt.Sprintf("s-hammer-%d", i),
+				Shape: testShape, Src: 0, Dst: 97, Bytes: 32 << 20,
+				PaceUS: 2000, // stretch wall-clock so the fault lands mid-flight
+			}
+			outs[i], errs[i] = client.Transfer(ctx, req, serve.TransferOpts{
+				OnFrame: func(f serve.SessionFrame) {
+					if f.Type == "wave" {
+						waveOnce.Do(func() { close(waveSeen) })
+					}
+				},
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	pushedSessions := 0
+	pushedFrames := 0
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if outs[i].Err != "" {
+			t.Fatalf("session %d: server-side error: %s", i, outs[i].Err)
+		}
+		if len(outs[i].Pushed) > 0 {
+			pushedSessions++
+			pushedFrames += len(outs[i].Pushed)
+		}
+		req := serve.TransferRequest{
+			ID:    fmt.Sprintf("s-hammer-%d", i),
+			Shape: testShape, Src: 0, Dst: 97, Bytes: 32 << 20,
+		}
+		rep, derr := serve.RunTransfer(req, outs[i].Faults, serve.TransferHooks{
+			Interject: serve.PushedInterject(outs[i].Pushed),
+		})
+		if derr != nil {
+			t.Fatalf("session %d replay: %v", i, derr)
+		}
+		want, _ := json.Marshal(rep)
+		if !bytes.Equal(outs[i].Report, want) {
+			t.Errorf("session %d: streamed report diverges from replay\nstreamed: %s\nreplayed: %s",
+				i, outs[i].Report, want)
+		}
+	}
+	if pushedSessions == 0 {
+		t.Fatal("the fault event reached no session mid-flight; the push path was not exercised")
+	}
+	snap := srv.Registry().Snapshot()
+	if got := snap.Counters["serve/faults_pushed"]; got != int64(pushedFrames) {
+		t.Errorf("faults_pushed = %d, want %d (one per streamed fault frame)", got, pushedFrames)
+	}
+	if snap.Counters["serve/replans_pushed"] == 0 {
+		t.Error("replans_pushed = 0: no replan was attributed to the pushed fault")
+	}
+	t.Logf("session hammer: %d/%d sessions took the pushed fault (%d frames), replans_pushed=%d",
+		pushedSessions, sessions, pushedFrames, snap.Counters["serve/replans_pushed"])
 }

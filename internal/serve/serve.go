@@ -53,6 +53,23 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to shed responses; 0 means
 	// 1s.
 	RetryAfter time.Duration
+
+	// MaxSessions caps concurrently running transfer sessions; past it
+	// new sessions shed with 429. 0 means 4096.
+	MaxSessions int
+	// SessionIdle is the heartbeat deadline: a session with no subscriber
+	// and no heartbeat for this long is canceled (running) or reaped
+	// (done). 0 means 60s.
+	SessionIdle time.Duration
+	// ReplayEvents bounds each session's replay ring. 0 means 256.
+	ReplayEvents int
+	// BatchWindow, when positive, enables Träff-style message combining:
+	// small same-pair transfer requests marked Batch that arrive within
+	// one window coalesce into a single combined session. 0 disables.
+	BatchWindow time.Duration
+	// BatchMaxBytes is the per-request size ceiling for combining; larger
+	// transfers always run alone. 0 means 256 KiB.
+	BatchMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +88,18 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.SessionIdle <= 0 {
+		c.SessionIdle = 60 * time.Second
+	}
+	if c.ReplayEvents <= 0 {
+		c.ReplayEvents = 256
+	}
+	if c.BatchMaxBytes <= 0 {
+		c.BatchMaxBytes = 256 << 10
+	}
 	return c
 }
 
@@ -85,11 +114,12 @@ type FaultEvent struct {
 // Server is the planning service. Create with New, mount Handler on any
 // http.Server (TCP or Unix listener), Close when done.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	cache *planCache
-	disp  *dispatcher
-	start time.Time
+	cfg      Config
+	reg      *obs.Registry
+	cache    *planCache
+	disp     *dispatcher
+	sessions *sessionMgr
+	start    time.Time
 
 	mu     sync.Mutex
 	faults []scenario.FailLink
@@ -98,13 +128,15 @@ type Server struct {
 // New builds a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		reg:   obs.NewRegistry(),
 		cache: newPlanCache(cfg.CacheShards, cfg.CacheEntriesPerShard),
 		disp:  newDispatcher(cfg.Workers, cfg.QueueDepth),
 		start: time.Now(),
 	}
+	s.sessions = newSessionMgr(s)
+	return s
 }
 
 // Registry exposes the server's metrics registry (tests and embedders
@@ -114,9 +146,13 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Epoch returns the current plan-cache invalidation epoch.
 func (s *Server) Epoch() uint64 { return s.cache.Epoch() }
 
-// Close drains the worker pool. In-flight HTTP requests must have
+// Close force-stops the session layer (graceful exits call Drain first)
+// and drains the worker pool. In-flight HTTP requests must have
 // completed (http.Server.Shutdown before Close).
-func (s *Server) Close() { s.disp.close() }
+func (s *Server) Close() {
+	s.sessions.shutdown()
+	s.disp.close()
+}
 
 // snapshot reads the epoch, then the fault set — in that order; see the
 // planCache type comment for why the order matters.
@@ -136,6 +172,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/plan/agg", s.handleAgg)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/fault", s.handleFault)
+	mux.HandleFunc("POST /v1/transfer", s.handleTransfer)
+	mux.HandleFunc("GET /v1/transfer/{id}", s.handleTransferStatus)
+	mux.HandleFunc("GET /v1/transfer/{id}/events", s.handleTransferEvents)
+	mux.HandleFunc("POST /v1/transfer/{id}/ack", s.handleTransferAck)
+	mux.HandleFunc("POST /v1/transfer/{id}/heartbeat", s.handleTransferHeartbeat)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -331,6 +372,11 @@ func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
 	epoch := s.cache.Invalidate()
 	s.reg.Counter("serve/fault_events").Inc()
 	s.reg.Gauge("serve/fault_links").Set(float64(n))
+	// Forward the event into running transfer sessions: each applies the
+	// failure at its next safe point and streams a pushed-fault frame
+	// (repairs — Clear — do not propagate; a session's engine cannot
+	// un-fail a link mid-run).
+	s.sessions.pushFaults(ev.Links, epoch)
 	writeJSON(w, http.StatusOK, planEnvelope{Epoch: epoch})
 }
 

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP surface of the session layer:
+//
+//	POST /v1/transfer                 start / attach / join / re-arm, then stream
+//	GET  /v1/transfer/{id}            status snapshot
+//	GET  /v1/transfer/{id}/events     resume the stream (?after=N)
+//	POST /v1/transfer/{id}/ack        evict acknowledged frames ({"seq":N})
+//	POST /v1/transfer/{id}/heartbeat  keep an unwatched session alive
+
+var newline = []byte("\n")
+
+func (s *Server) retryAfterSecs() int {
+	secs := int(s.cfg.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleTransfer(w http.ResponseWriter, r *http.Request) {
+	var req TransferRequest
+	if !decodeBody(w, r, s.reg, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.reg.Counter("serve/errors").Inc()
+		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
+		return
+	}
+	sess, verdict, err := s.sessions.startOrAttach(req)
+	switch {
+	case errors.Is(err, errSessionMismatch):
+		s.reg.Counter("serve/errors").Inc()
+		writeJSON(w, http.StatusConflict, planEnvelope{Error: err.Error()})
+		return
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+		writeJSON(w, http.StatusServiceUnavailable, planEnvelope{Error: err.Error()})
+		return
+	case errors.Is(err, errSessionLimit):
+		s.reg.Counter("serve/sessions_shed").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+		writeJSON(w, http.StatusTooManyRequests, planEnvelope{Error: err.Error()})
+		return
+	case err != nil:
+		s.reg.Counter("serve/errors").Inc()
+		writeJSON(w, http.StatusInternalServerError, planEnvelope{Error: err.Error()})
+		return
+	}
+	s.reg.Counter("serve/sessions_" + verdict).Inc()
+	s.streamSession(w, r, sess, 0, verdict == "attached")
+}
+
+func (s *Server) sessionByID(w http.ResponseWriter, r *http.Request) *session {
+	id := r.PathValue("id")
+	s.sessions.mu.Lock()
+	sess := s.sessions.sessions[id]
+	s.sessions.mu.Unlock()
+	if sess == nil {
+		writeJSON(w, http.StatusNotFound, planEnvelope{Error: "serve: unknown session " + id})
+	}
+	return sess
+}
+
+// SessionStatus is the GET /v1/transfer/{id} body.
+type SessionStatus struct {
+	ID       string   `json:"id"`
+	State    string   `json:"state"`
+	FirstSeq uint64   `json:"firstSeq"`
+	LastSeq  uint64   `json:"lastSeq"`
+	Aborted  bool     `json:"aborted,omitempty"`
+	Members  []string `json:"members,omitempty"`
+	Epoch    uint64   `json:"epoch"`
+}
+
+func (s *Server) handleTransferStatus(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessionByID(w, r)
+	if sess == nil {
+		return
+	}
+	// Status is a pure observation: it does NOT refresh the idle
+	// deadline. Liveness signals are subscribing, acking, and heartbeats.
+	sess.mu.Lock()
+	st := SessionStatus{
+		ID:       sess.id,
+		State:    sess.state.String(),
+		FirstSeq: sess.firstSeq,
+		LastSeq:  sess.nextSeq - 1,
+		Aborted:  sess.aborted,
+		Members:  sess.members,
+		Epoch:    sess.epoch,
+	}
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleTransferEvents(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessionByID(w, r)
+	if sess == nil {
+		return
+	}
+	var after uint64
+	if q := r.URL.Query().Get("after"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			s.reg.Counter("serve/errors").Inc()
+			writeJSON(w, http.StatusBadRequest, planEnvelope{Error: "serve: bad after cursor: " + err.Error()})
+			return
+		}
+		after = v
+	}
+	s.reg.Counter("serve/sessions_resumed").Inc()
+	s.streamSession(w, r, sess, after, true)
+}
+
+// ackBody is the POST /v1/transfer/{id}/ack payload.
+type ackBody struct {
+	Seq uint64 `json:"seq"`
+}
+
+func (s *Server) handleTransferAck(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessionByID(w, r)
+	if sess == nil {
+		return
+	}
+	var body ackBody
+	if !decodeBody(w, r, s.reg, &body) {
+		return
+	}
+	sess.ack(body.Seq)
+	writeJSON(w, http.StatusOK, map[string]uint64{"acked": body.Seq})
+}
+
+func (s *Server) handleTransferHeartbeat(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessionByID(w, r)
+	if sess == nil {
+		return
+	}
+	sess.touch()
+	s.reg.Counter("serve/session_heartbeats").Inc()
+	writeJSON(w, http.StatusOK, map[string]string{"id": sess.id, "state": "ok"})
+}
+
+func (s *Server) pingInterval() time.Duration {
+	d := s.cfg.SessionIdle / 3
+	if d < 200*time.Millisecond {
+		d = 200 * time.Millisecond
+	}
+	return d
+}
+
+// streamSession writes the ndjson stream: a per-connection hello frame
+// (seq 0, carrying the session's fault-set snapshot for client-side
+// verification), the replay window, then live frames until the terminal
+// report, a drop, or client disconnect. Per-connection ping frames keep
+// intermediaries from timing the stream out and let the client detect a
+// dead daemon.
+func (s *Server) streamSession(w http.ResponseWriter, r *http.Request, sess *session, after uint64, resumed bool) {
+	hello, replay, ch := sess.subscribe(after)
+	hello.Resumed = resumed
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Replay-From", strconv.FormatUint(hello.ReplayFrom, 10))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.Encode(hello)
+	for _, b := range replay {
+		w.Write(b)
+		w.Write(newline)
+	}
+	flush()
+	if ch == nil {
+		return
+	}
+	defer sess.unsubscribe(ch)
+	ping := time.NewTicker(s.pingInterval())
+	defer ping.Stop()
+	for {
+		select {
+		case b, ok := <-ch:
+			if !ok {
+				// Session finished (the report frame was the last send) or
+				// this subscriber fell behind and was dropped; either way the
+				// client's next move is a resume from its cursor.
+				return
+			}
+			if _, err := w.Write(b); err != nil {
+				return
+			}
+			w.Write(newline)
+			flush()
+		case <-r.Context().Done():
+			return
+		case <-ping.C:
+			if err := enc.Encode(SessionFrame{Type: "ping"}); err != nil {
+				return
+			}
+			flush()
+		}
+	}
+}
+
+// DrainResult reports a graceful-shutdown drain: how many in-flight
+// sessions finished under the deadline and how many had to be aborted.
+type DrainResult struct {
+	Drained   int     `json:"drained"`
+	Aborted   int     `json:"aborted"`
+	ElapsedMS float64 `json:"elapsedMS"`
+}
+
+// Drain moves the daemon into draining mode: new sessions (and re-arms)
+// are refused with 503 + Retry-After, open batch windows fire
+// immediately, and in-flight sessions run to completion until ctx
+// expires — whatever is still running then is canceled at its next safe
+// point and its clients receive an aborted report frame (their retry
+// against the restarted daemon re-arms the session). Resumes, acks, and
+// status reads keep working throughout. Safe to call at most once;
+// plan-serving endpoints are unaffected.
+func (s *Server) Drain(ctx context.Context) DrainResult {
+	t0 := time.Now()
+	m := s.sessions
+	s.reg.Gauge("serve/draining").Set(1)
+	m.mu.Lock()
+	m.draining = true
+	m.flushBatchesLocked()
+	var waiting []*session
+	seen := make(map[*session]struct{})
+	for _, sess := range m.sessions {
+		if _, dup := seen[sess]; dup {
+			continue
+		}
+		seen[sess] = struct{}{}
+		sess.mu.Lock()
+		inFlight := sess.state != sessDone
+		sess.mu.Unlock()
+		if inFlight {
+			waiting = append(waiting, sess)
+		}
+	}
+	m.mu.Unlock()
+
+	for _, sess := range waiting {
+		select {
+		case <-sess.done:
+		case <-ctx.Done():
+			// Deadline: abort at the next safe point. Safe points recur
+			// every simulated clock step, so this wait is short.
+			sess.cancel(errDrainAborted)
+			<-sess.done
+		}
+	}
+	res := DrainResult{ElapsedMS: float64(time.Since(t0)) / 1e6}
+	for _, sess := range waiting {
+		sess.mu.Lock()
+		if sess.aborted {
+			res.Aborted++
+		} else {
+			res.Drained++
+		}
+		sess.mu.Unlock()
+	}
+	s.reg.Histogram("serve/drain_ms").Observe(res.ElapsedMS)
+	return res
+}

@@ -1,0 +1,547 @@
+package serve_test
+
+// Session-layer tests: byte-identity of streamed reports against a
+// direct MoveResilient run (including with pushed mid-flight faults),
+// idempotent attach, reconnect-and-resume from the replay buffer, ack
+// eviction, idle reap + re-arm, drain (both paths), Träff-style
+// message combining, and the shed-then-succeed retry policy.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bgqflow/internal/core"
+	"bgqflow/internal/scenario"
+	"bgqflow/internal/serve"
+)
+
+// sessionReq is the canonical test transfer: a cross-machine pair on
+// the 128-node midplane slice, big enough to trigger proxying.
+func sessionReq(id string) serve.TransferRequest {
+	return serve.TransferRequest{ID: id, Shape: testShape, Src: 0, Dst: 97, Bytes: 64 << 20}
+}
+
+// oracleReport replays a session's timeline with a direct RunTransfer —
+// the faults snapshot from its hello frame plus the pushed-fault
+// timeline — and returns the report exactly as the daemon serializes it.
+func oracleReport(t *testing.T, req serve.TransferRequest, out serve.TransferOutcome) []byte {
+	t.Helper()
+	req.PaceUS = 0 // pacing is wall-clock only; virtual outcomes ignore it
+	rep, err := serve.RunTransfer(req, out.Faults, serve.TransferHooks{
+		Interject: serve.PushedInterject(out.Pushed),
+	})
+	if err != nil {
+		t.Fatalf("oracle RunTransfer: %v", err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustTransfer(t *testing.T, client *serve.Client, req serve.TransferRequest, opts serve.TransferOpts) serve.TransferOutcome {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, err := client.Transfer(ctx, req, opts)
+	if err != nil {
+		t.Fatalf("transfer %s: %v", req.ID, err)
+	}
+	if out.Err != "" {
+		t.Fatalf("transfer %s: server-side error: %s", req.ID, out.Err)
+	}
+	return out
+}
+
+// TestSessionByteIdenticalToDirect pins the tentpole claim for the
+// session layer: the report streamed by a concurrent daemon is
+// byte-identical to a direct MoveResilient run — with and without a
+// client-supplied fault campaign.
+func TestSessionByteIdenticalToDirect(t *testing.T) {
+	_, client := newTestDaemon(t, serve.Config{})
+	for _, tc := range []struct {
+		name     string
+		campaign *scenario.FaultCampaignConfig
+	}{
+		{"clean", nil},
+		{"campaign", &scenario.FaultCampaignConfig{Kind: "uniform", Count: 3, Seed: 7, WindowMS: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req := sessionReq("s-direct-" + tc.name)
+			req.Campaign = tc.campaign
+			out := mustTransfer(t, client, req, serve.TransferOpts{})
+			if out.Frames == 0 {
+				t.Fatal("no buffered frames streamed")
+			}
+			want := oracleReport(t, req, out)
+			if !bytes.Equal(out.Report, want) {
+				t.Errorf("streamed report differs from direct run\nstreamed: %s\ndirect:   %s", out.Report, want)
+			}
+			var rep core.TransferReport
+			if err := json.Unmarshal(out.Report, &rep); err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Complete || rep.Delivered != req.Bytes {
+				t.Errorf("incomplete transfer: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestSessionIdempotentAttach: concurrent POSTs under one session ID run
+// the transfer exactly once; every caller gets the same report. A
+// different body under the same ID is refused.
+func TestSessionIdempotentAttach(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{})
+	req := sessionReq("s-idem")
+	req.PaceUS = 2000 // slow the run so attaches land mid-flight
+
+	const callers = 4
+	outs := make([]serve.TransferOutcome, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			out, err := client.Transfer(ctx, req, serve.TransferOpts{})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if !bytes.Equal(outs[i].Report, outs[0].Report) {
+			t.Errorf("caller %d report differs from caller 0", i)
+		}
+	}
+	snap := srv.Registry().Snapshot()
+	if got := snap.Counters["serve/sessions_executed"]; got != 1 {
+		t.Errorf("sessions_executed = %d, want 1 (idempotent retry double-started the transfer)", got)
+	}
+	if snap.Counters["serve/sessions_attached"] == 0 {
+		t.Error("sessions_attached = 0: no caller attached to the running session")
+	}
+
+	// Same ID, different body: 409, not a silent second transfer.
+	mismatched := req
+	mismatched.Bytes *= 2
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := client.Transfer(ctx, mismatched, serve.TransferOpts{})
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("mismatched body: got %v, want 409 rejection", err)
+	}
+}
+
+// TestSessionResumeAfterDrop: a client that keeps dropping its stream
+// resumes from the replay buffer and still assembles the byte-exact
+// report.
+func TestSessionResumeAfterDrop(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{})
+	req := sessionReq("s-resume")
+	req.Campaign = &scenario.FaultCampaignConfig{Kind: "uniform", Count: 2, Seed: 11, WindowMS: 2}
+	req.PaceUS = 1000
+
+	out := mustTransfer(t, client, req, serve.TransferOpts{
+		DropEvery: 3,
+		Backoff:   serve.RetryPolicy{MaxAttempts: 0, BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond},
+	})
+	if out.Resumes == 0 {
+		t.Fatal("DropEvery=3 produced zero resumes")
+	}
+	if want := oracleReport(t, req, out); !bytes.Equal(out.Report, want) {
+		t.Errorf("report after %d resumes differs from direct run\nstreamed: %s\ndirect:   %s",
+			out.Resumes, out.Report, want)
+	}
+	if got := srv.Registry().Snapshot().Counters["serve/sessions_resumed"]; got == 0 {
+		t.Error("sessions_resumed = 0 despite client resumes")
+	}
+}
+
+// TestSessionAckEviction: acked frames leave the replay ring (firstSeq
+// advances) but the terminal report survives eviction — a late attach
+// still fetches the outcome.
+func TestSessionAckEviction(t *testing.T) {
+	_, client := newTestDaemon(t, serve.Config{})
+	req := sessionReq("s-ack")
+	req.PaceUS = 500
+
+	out := mustTransfer(t, client, req, serve.TransferOpts{AckEvery: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := client.TransferStatus(ctx, req.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FirstSeq <= 1 {
+		t.Errorf("firstSeq = %d after acks, want > 1 (nothing evicted)", st.FirstSeq)
+	}
+	if st.State != "done" {
+		t.Errorf("state = %q, want done", st.State)
+	}
+	// A fresh attach replays from the ring; the report frame must still
+	// be there even though everything before it was acked away.
+	late := mustTransfer(t, client, req, serve.TransferOpts{})
+	if !bytes.Equal(late.Report, out.Report) {
+		t.Error("late attach report differs from the original stream")
+	}
+}
+
+// TestSessionReap: a finished session nobody watches or heartbeats is
+// reaped after the idle deadline; its ID becomes unknown.
+func TestSessionReap(t *testing.T) {
+	_, client := newTestDaemon(t, serve.Config{SessionIdle: 100 * time.Millisecond})
+	req := sessionReq("s-reap")
+	mustTransfer(t, client, req, serve.TransferOpts{})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, err := client.TransferStatus(ctx, req.ID)
+		cancel()
+		if err != nil && strings.Contains(err.Error(), "404") {
+			return // reaped
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session not reaped after idle deadline (last status err: %v)", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSessionRearmAfterIdleAbort: a running session whose client
+// vanishes is canceled by the reaper; the client's retry under the same
+// ID re-arms a fresh run that completes, byte-exact.
+func TestSessionRearmAfterIdleAbort(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{SessionIdle: 150 * time.Millisecond})
+	req := sessionReq("s-rearm")
+	req.PaceUS = 5000 // long enough for the reaper to catch it unwatched
+
+	// First attempt: drop after a couple of frames and walk away past the
+	// idle deadline — the reaper cancels the run at a safe point.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	frames := 0
+	_, _ = client.Transfer(ctx, req, serve.TransferOpts{
+		DropEvery: 2,
+		OnFrame: func(serve.SessionFrame) {
+			frames++
+			if frames >= 2 {
+				cancel() // abandon the session entirely
+			}
+		},
+		Backoff: serve.RetryPolicy{MaxAttempts: 1},
+	})
+	cancel()
+	waitFor(t, 5*time.Second, func() bool {
+		return srv.Registry().Snapshot().Counters["serve/sessions_idle_canceled"] > 0
+	}, "reaper never idle-canceled the abandoned session")
+	// The cancel is latched; a heartbeat now only refreshes the idle
+	// deadline so the aborted session is still there for the retry.
+	hbCtx, hbCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := client.Heartbeat(hbCtx, req.ID); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	hbCancel()
+
+	// Retry under the same ID — the body must be byte-identical or the
+	// daemon 409s — and the re-armed run completes.
+	out := mustTransfer(t, client, req, serve.TransferOpts{
+		Backoff: serve.RetryPolicy{MaxAttempts: 0, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, RetryConn: true},
+	})
+	if want := oracleReport(t, req, out); !bytes.Equal(out.Report, want) {
+		t.Error("re-armed report differs from direct run")
+	}
+	snap := srv.Registry().Snapshot()
+	if snap.Counters["serve/sessions_rearmed"] == 0 {
+		t.Error("sessions_rearmed = 0: retry did not re-arm the aborted session")
+	}
+	if snap.Counters["serve/sessions_executed"] < 2 {
+		t.Errorf("sessions_executed = %d, want >= 2 (abort + re-arm)", snap.Counters["serve/sessions_executed"])
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSessionDrainGraceful: Drain waits out in-flight sessions (zero
+// aborts under a generous deadline) while refusing new starts with 503.
+func TestSessionDrainGraceful(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{})
+	req := sessionReq("s-drain-ok")
+	req.PaceUS = 2000
+
+	started := make(chan struct{})
+	var out serve.TransferOutcome
+	var terr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		once := sync.Once{}
+		out, terr = client.Transfer(ctx, req, serve.TransferOpts{
+			OnFrame: func(serve.SessionFrame) { once.Do(func() { close(started) }) },
+		})
+	}()
+	<-started
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res := srv.Drain(drainCtx)
+	if res.Aborted != 0 || res.Drained != 1 {
+		t.Errorf("drain = %+v, want 1 drained / 0 aborted", res)
+	}
+	<-done
+	if terr != nil || out.Err != "" {
+		t.Fatalf("in-flight session failed under graceful drain: %v / %s", terr, out.Err)
+	}
+	if want := oracleReport(t, req, out); !bytes.Equal(out.Report, want) {
+		t.Error("drained session report differs from direct run")
+	}
+
+	// Draining daemon refuses new sessions with 503 + Retry-After.
+	ctx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	_, err := client.Transfer(ctx, sessionReq("s-after-drain"), serve.TransferOpts{
+		Backoff: serve.NoRetryPolicy(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "gave up") {
+		t.Errorf("new session during drain: got %v, want refusal after retry budget", err)
+	}
+}
+
+// TestSessionDrainAborted: an expired drain deadline aborts the session
+// at its next safe point; the client sees the aborted report and its
+// rearm attempt is refused while the daemon drains.
+func TestSessionDrainAborted(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{})
+	req := sessionReq("s-drain-abort")
+	req.PaceUS = 5000
+
+	started := make(chan struct{})
+	done := make(chan struct{})
+	var terr error
+	var out serve.TransferOutcome
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		once := sync.Once{}
+		out, terr = client.Transfer(ctx, req, serve.TransferOpts{
+			OnFrame: func(serve.SessionFrame) { once.Do(func() { close(started) }) },
+			Backoff: serve.RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond},
+		})
+	}()
+	<-started
+
+	expired, cancel := context.WithCancel(context.Background())
+	cancel() // deadline already passed: abort immediately
+	res := srv.Drain(expired)
+	if res.Aborted != 1 {
+		t.Fatalf("drain = %+v, want 1 aborted", res)
+	}
+	<-done
+	// The aborted report triggered a re-POST, which the draining daemon
+	// refused until the retry budget ran out.
+	if terr == nil || !strings.Contains(terr.Error(), "gave up") {
+		t.Errorf("client outcome after aborted drain: %v / %+v, want exhausted retries", terr, out)
+	}
+	if out.Restarts == 0 {
+		t.Error("client never saw the aborted report (Restarts = 0)")
+	}
+	if got := srv.Registry().Snapshot().Counters["serve/sessions_aborted"]; got != 1 {
+		t.Errorf("sessions_aborted = %d, want 1", got)
+	}
+}
+
+// TestSessionBatching: N small same-pair transfers inside the combining
+// window run as ONE session whose byte count is the sum — Träff-style
+// message combining — and every member receives the identical combined
+// report, which matches a direct run at the combined size.
+func TestSessionBatching(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{BatchWindow: 150 * time.Millisecond})
+	const members = 4
+	const perBytes = 32 << 10
+
+	outs := make([]serve.TransferOutcome, members)
+	var wg sync.WaitGroup
+	wg.Add(members)
+	for i := 0; i < members; i++ {
+		go func(i int) {
+			defer wg.Done()
+			req := serve.TransferRequest{
+				ID: "s-batch-" + string(rune('a'+i)), Shape: testShape,
+				Src: 0, Dst: 97, Bytes: perBytes, Batch: true,
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			out, err := client.Transfer(ctx, req, serve.TransferOpts{})
+			if err != nil {
+				t.Errorf("member %d: %v", i, err)
+				return
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < members; i++ {
+		if !bytes.Equal(outs[i].Report, outs[0].Report) {
+			t.Errorf("member %d report differs from member 0", i)
+		}
+	}
+	if len(outs[0].Members) != members {
+		t.Errorf("combined members = %v, want %d ids", outs[0].Members, members)
+	}
+	var rep core.TransferReport
+	if err := json.Unmarshal(outs[0].Report, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes != members*perBytes || !rep.Complete {
+		t.Errorf("combined report moved %d bytes (complete=%v), want %d", rep.Bytes, rep.Complete, members*perBytes)
+	}
+	// The combined session matches a direct run at the combined size.
+	combined := serve.TransferRequest{ID: "oracle", Shape: testShape, Src: 0, Dst: 97, Bytes: members * perBytes}
+	if want := oracleReport(t, combined, outs[0]); !bytes.Equal(outs[0].Report, want) {
+		t.Errorf("combined report differs from direct run at combined size\nstreamed: %s\ndirect:   %s", outs[0].Report, want)
+	}
+	snap := srv.Registry().Snapshot()
+	if got := snap.Counters["serve/sessions_executed"]; got != 1 {
+		t.Errorf("sessions_executed = %d, want 1 combined run", got)
+	}
+	if got := snap.Counters["serve/sessions_combined"]; got != members {
+		t.Errorf("sessions_combined = %d, want %d", got, members)
+	}
+}
+
+// TestSessionPushedFaultReplay: a POST /v1/fault landing mid-session is
+// injected at a safe point, streamed with its exact virtual instant, and
+// the client replays the identical timeline through PushedInterject.
+func TestSessionPushedFaultReplay(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Find a link the unfaulted transfer actually rides, so the pushed
+	// fault forces a replan.
+	pre, err := client.PlanPair(ctx, serve.PairRequest{Shape: testShape, Src: 0, Dst: 97, Bytes: 64 << 20})
+	if err != nil || !pre.OK() {
+		t.Fatalf("warmup plan: %v status %d", err, pre.Status)
+	}
+	var prePlan serve.PairPlan
+	if err := json.Unmarshal(pre.Plan, &prePlan); err != nil {
+		t.Fatal(err)
+	}
+	fl, ok := linkToFail(t, testShape, prePlan.Flows[0].Links[0])
+	if !ok {
+		t.Fatal("cannot invert plan link")
+	}
+
+	req := sessionReq("s-pushed")
+	req.PaceUS = 3000 // stretch the run so the fault lands mid-flight
+
+	faulted := make(chan struct{})
+	var once sync.Once
+	out := mustTransfer(t, client, req, serve.TransferOpts{
+		OnFrame: func(f serve.SessionFrame) {
+			if f.Type == "wave" {
+				once.Do(func() {
+					go func() {
+						defer close(faulted)
+						if _, ferr := client.Fault(ctx, serve.FaultEvent{Links: []scenario.FailLink{fl}}); ferr != nil {
+							t.Errorf("fault: %v", ferr)
+						}
+					}()
+				})
+			}
+		},
+	})
+	<-faulted
+	if len(out.Pushed) == 0 {
+		t.Fatal("no pushed-fault frame: the fault event never reached the running session")
+	}
+	if want := oracleReport(t, req, out); !bytes.Equal(out.Report, want) {
+		t.Errorf("pushed-fault replay diverged\nstreamed: %s\nreplayed: %s", out.Report, want)
+	}
+	var rep core.TransferReport
+	if err := json.Unmarshal(out.Report, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replans == 0 {
+		t.Error("pushed fault on the active route forced no replan")
+	}
+	snap := srv.Registry().Snapshot()
+	if snap.Counters["serve/faults_pushed"] == 0 {
+		t.Error("faults_pushed = 0")
+	}
+	if snap.Counters["serve/replans_pushed"] == 0 {
+		t.Error("replans_pushed = 0")
+	}
+}
+
+// TestSessionLimitShedThenSucceed: past MaxSessions new starts shed with
+// 429 + Retry-After; a client with the retry policy waits out the limit
+// and completes.
+func TestSessionLimitShedThenSucceed(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{MaxSessions: 1})
+	first := sessionReq("s-limit-1")
+	first.PaceUS = 2000
+
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		once := sync.Once{}
+		if _, err := client.Transfer(ctx, first, serve.TransferOpts{
+			OnFrame: func(serve.SessionFrame) { once.Do(func() { close(started) }) },
+		}); err != nil {
+			t.Errorf("first: %v", err)
+		}
+	}()
+	<-started
+
+	// Immediate second start sheds (no retries), proving the 429 path.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	_, err := client.Transfer(ctx, sessionReq("s-limit-noretry"), serve.TransferOpts{Backoff: serve.NoRetryPolicy()})
+	cancel()
+	if err == nil || !strings.Contains(err.Error(), "gave up") {
+		t.Errorf("second session without retries: got %v, want shed", err)
+	}
+
+	// With backoff the shed start eventually gets its slot.
+	second := mustTransfer(t, client, sessionReq("s-limit-2"), serve.TransferOpts{
+		Backoff: serve.RetryPolicy{MaxAttempts: 0, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Jitter: 0.25},
+	})
+	if want := oracleReport(t, sessionReq("s-limit-2"), second); !bytes.Equal(second.Report, want) {
+		t.Error("shed-then-succeed report differs from direct run")
+	}
+	<-done
+	if got := srv.Registry().Snapshot().Counters["serve/sessions_shed"]; got == 0 {
+		t.Error("sessions_shed = 0: the limit never shed anything")
+	}
+}
+
+// The shed-then-succeed retry test lives in client_retry_test.go
+// (package serve): it pins the single worker with a blocking
+// computation, which needs internal access.

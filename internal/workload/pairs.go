@@ -146,13 +146,41 @@ func SparsePairs(n, nodes, hot int, seed int64) []Pair {
 	return out
 }
 
+// BurstPairs draws n pairs as runs of repeated identical couples: a
+// uniform (src, dst) pair arrives 1..burst times in a row before the
+// stream moves on to a fresh pair — the arrival shape of a rank
+// flushing many small messages to one peer back to back. This is the
+// pattern Träff-style message combining (the session batch window)
+// exploits: consecutive same-pair transfers can ride one combined
+// session. Deterministic in seed.
+func BurstPairs(n, nodes, burst int, seed int64) []Pair {
+	if n < 0 || nodes < 2 || burst < 1 {
+		panic(fmt.Sprintf("workload: BurstPairs(n=%d, nodes=%d, burst=%d)", n, nodes, burst))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Pair, 0, n)
+	for len(out) < n {
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		run := 1 + rng.Intn(burst)
+		for j := 0; j < run && len(out) < n; j++ {
+			out = append(out, Pair{src, dst})
+		}
+	}
+	return out
+}
+
 // PairPatterns lists the pattern names Pairs accepts, in canonical
 // order. bgqload's -patterns flag and the serve docs reference it.
-var PairPatterns = []string{"uniform", "neighbor", "shift", "sparse"}
+var PairPatterns = []string{"uniform", "neighbor", "shift", "sparse", "burst"}
 
 // Pairs dispatches by pattern name: "uniform", "neighbor", "shift"
-// (shift = nodes/2), or "sparse" (hot = 8). Unknown names return an
-// error rather than panicking so CLI layers can report them.
+// (shift = nodes/2), "sparse" (hot = 8), or "burst" (burst = 6).
+// Unknown names return an error rather than panicking so CLI layers can
+// report them.
 func Pairs(pattern string, n, nodes int, seed int64) ([]Pair, error) {
 	switch pattern {
 	case "uniform":
@@ -163,8 +191,10 @@ func Pairs(pattern string, n, nodes int, seed int64) ([]Pair, error) {
 		return ShiftPairs(n, nodes, nodes/2, seed), nil
 	case "sparse":
 		return SparsePairs(n, nodes, 8, seed), nil
+	case "burst":
+		return BurstPairs(n, nodes, 6, seed), nil
 	}
-	return nil, fmt.Errorf("workload: unknown pair pattern %q (known: uniform, neighbor, shift, sparse)", pattern)
+	return nil, fmt.Errorf("workload: unknown pair pattern %q (known: uniform, neighbor, shift, sparse, burst)", pattern)
 }
 
 // DistinctPairs counts the distinct (src, dst) pairs in a stream — the

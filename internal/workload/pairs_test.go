@@ -104,6 +104,48 @@ func TestSparsePairsHotCap(t *testing.T) {
 	}
 }
 
+func TestBurstPairsRuns(t *testing.T) {
+	pairs := BurstPairs(400, 128, 6, 9)
+	if len(pairs) != 400 {
+		t.Fatalf("got %d pairs, want 400", len(pairs))
+	}
+	if !reflect.DeepEqual(pairs, BurstPairs(400, 128, 6, 9)) {
+		t.Fatal("not deterministic")
+	}
+	runs := 0
+	maxRun := 0
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j++
+		}
+		if run := j - i; run > maxRun {
+			maxRun = run
+		}
+		runs++
+		i = j
+	}
+	// Bursty by construction: far fewer runs than draws, and at least one
+	// genuine multi-arrival run. (Adjacent runs can collide on the same
+	// pair, so maxRun may exceed the nominal cap; that only makes the
+	// stream burstier.)
+	if runs >= 400 {
+		t.Fatalf("%d runs over 400 draws: stream is not bursty", runs)
+	}
+	if maxRun < 2 {
+		t.Fatal("no run longer than 1: combining has nothing to combine")
+	}
+	for _, p := range pairs {
+		if p.Src == p.Dst || p.Src < 0 || p.Src >= 128 || p.Dst < 0 || p.Dst >= 128 {
+			t.Fatalf("invalid pair %+v", p)
+		}
+	}
+	// burst=1 degenerates to uniform singles and must not hang.
+	if got := BurstPairs(50, 16, 1, 3); len(got) != 50 {
+		t.Fatalf("burst=1: got %d pairs", len(got))
+	}
+}
+
 func TestPairsDispatch(t *testing.T) {
 	for _, name := range PairPatterns {
 		ps, err := Pairs(name, 10, 32, 1)

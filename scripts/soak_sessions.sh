@@ -1,0 +1,84 @@
+#!/bin/sh
+# Chaos-soak gate for resilient transfer sessions: build bgqd and
+# bgqload, spawn a real daemon on a Unix socket, and run many concurrent
+# paced sessions against it while the driver posts fault events, forces
+# client disconnects, and gives some sessions seeded fault campaigns.
+# Mid-run the daemon is SIGTERM'd — in-flight sessions drain or abort at
+# the -drain-timeout — and a replacement daemon comes up on the same
+# socket; aborted clients re-arm their sessions against it. Gates
+# (enforced by bgqload -sessions): zero lost, zero duplicated, zero
+# mismatched sessions — every report byte-identical to a direct
+# MoveResilient replay — plus at least one stream resume and one pushed
+# mid-session fault. The session report is archived as
+# SESSIONS_<date>.json.
+#
+# Environment knobs: SOAK_SESSIONS (default 1000), SOAK_SEED (default
+# 7), SOAK_PACE_US (default 20000), SOAK_RESTART_AFTER (seconds before
+# the SIGTERM, default 2). SOAK_SHORT=1 shrinks the run (64 sessions,
+# restart after 1s) for `make verify`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+sessions="${SOAK_SESSIONS:-1000}"
+seed="${SOAK_SEED:-7}"
+pace="${SOAK_PACE_US:-20000}"
+restart_after="${SOAK_RESTART_AFTER:-2}"
+if [ "${SOAK_SHORT:-0}" = "1" ]; then
+    sessions=64
+    restart_after=1
+fi
+out="SESSIONS_$(date +%Y%m%d).json"
+
+bindir=$(mktemp -d)
+sock="$bindir/bgqd.sock"
+daemon_pid=""
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$bindir"' EXIT INT TERM
+
+go build -o "$bindir/bgqd" ./cmd/bgqd
+go build -o "$bindir/bgqload" ./cmd/bgqload
+
+start_daemon() {
+    "$bindir/bgqd" -socket "$sock" -drain-timeout 2s -batch-window 25ms &
+    daemon_pid=$!
+    i=0
+    while [ ! -S "$sock" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "soak-sessions: bgqd never bound $sock" >&2
+            exit 1
+        fi
+        sleep 0.05
+    done
+}
+
+start_daemon
+
+"$bindir/bgqload" \
+    -addr "unix://$sock" -sessions "$sessions" -seed "$seed" \
+    -pace-us "$pace" -campaign-every 5 -batch-every 3 -drop-every 4 \
+    -fault-events 8 -min-resumes 1 -min-pushed-faults 1 \
+    -json "$out" &
+load_pid=$!
+
+# The replica restart: SIGTERM the daemon while sessions are in flight.
+# Sessions that finish inside the drain deadline complete normally;
+# the rest are aborted (the daemon exits 1 by design — tolerated here)
+# and their clients re-arm against the replacement daemon.
+sleep "$restart_after"
+kill -TERM "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+start_daemon
+
+status=0
+wait "$load_pid" || status=$?
+
+kill "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+
+if [ "$status" -eq 0 ]; then
+    echo "soak-sessions: passed; report archived as $out"
+else
+    echo "soak-sessions: FAILED (exit $status); report (if written): $out" >&2
+fi
+exit "$status"
