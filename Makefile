@@ -21,12 +21,20 @@ lint:
 # detector over the packages that run worker pools or schedule failure
 # events (see ROADMAP.md), plus the differential-oracle suite, plus a
 # 10-second bgqload smoke against an in-process daemon (zero 5xx,
-# coalescing observed), plus the short-mode session chaos soak (real
-# daemon, mid-run SIGTERM/restart, byte-verified session reports).
+# coalescing observed, zero SLO breaches), plus the short-mode session
+# chaos soak (real daemon, mid-run SIGTERM/restart, byte-verified
+# session reports, SLO-gated, merged Perfetto trace archived).
+#
+# The telemetry gate also proves the disabled trace plane is free: the
+# paired wall-span benchmark must report 0 B/op with tracing off, so
+# the hot path never pays for observability nobody asked for.
 verify: build lint check
 	$(GO) test ./...
 	$(GO) test -race ./internal/experiments ./internal/netsim ./internal/faultinject ./internal/serve
-	$(GO) run ./cmd/bgqload -selftest -duration 10s -rps 300 -agg-every 16 -seed 7 -require-coalesce
+	$(GO) test -run '^$$' -bench 'BenchmarkWallSpan' -benchmem ./internal/obs | \
+		awk '/^BenchmarkWallSpanDisabled/ { print; if ($$5 + 0 != 0 || $$7 + 0 != 0) { print "FAIL: disabled trace plane allocates"; exit 1 } found = 1 } END { if (!found) { print "FAIL: BenchmarkWallSpanDisabled did not run"; exit 1 } }'
+	$(GO) run ./cmd/bgqload -selftest -duration 10s -rps 300 -agg-every 16 -seed 7 -require-coalesce -require-slo
+	$(GO) run ./cmd/bgqload -selftest -sessions 8 -drop-every 3 -min-resumes 1 -require-slo
 	SOAK_SHORT=1 ./scripts/soak_sessions.sh
 
 # Correctness oracle (DESIGN.md §11): the invariant + differential test

@@ -8,6 +8,8 @@
 //	     [-workers N] [-queue N] [-shards N] [-retry-after dur]
 //	     [-max-sessions N] [-session-idle dur] [-replay-events N]
 //	     [-batch-window dur] [-drain-timeout dur]
+//	     [-trace-events N] [-stats-window dur]
+//	     [-slo-plan-p99 dur] [-slo-shed-ratio f] [-slo-resume-success f]
 //
 // The daemon runs a fixed worker pool behind a bounded admission queue:
 // when the queue is full new requests are shed with 429 + Retry-After
@@ -22,6 +24,17 @@
 // caps them, -session-idle reaps abandoned ones, -replay-events bounds
 // each session's reconnect replay ring, and -batch-window enables
 // Träff-style combining of small same-pair transfers.
+//
+// Telemetry plane: -trace-events keeps a bounded ring of wall-clock
+// request/session spans served as a Perfetto trace on GET /v1/trace
+// (0 disables tracing entirely); GET /metrics?format=prom serves the
+// registry — including the rolling-window latency/shed/resume metrics
+// over -stats-window — as Prometheus text. The -slo-* flags declare
+// objectives evaluated over that window and served on GET /v1/slo:
+// -slo-plan-p99 caps the windowed plan p99, -slo-shed-ratio caps
+// shed/requests, -slo-resume-success floors resume_hits/resumes
+// (negative ratio = objective off). Soak drivers gate on the
+// cumulative breach counters.
 //
 // Flags are validated up front; a bad flag exits 2 with a one-line
 // error. SIGINT/SIGTERM shut the daemon down gracefully: new sessions
@@ -44,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"bgqflow/internal/obs"
 	"bgqflow/internal/serve"
 )
 
@@ -59,11 +73,21 @@ func main() {
 	replayEvents := flag.Int("replay-events", 0, "per-session reconnect replay ring size; 0 = 256")
 	batchWindow := flag.Duration("batch-window", 0, "combine small same-pair Batch transfers arriving within this window; 0 disables")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight sessions before they are aborted")
+	traceEvents := flag.Int("trace-events", 65536, "wall-clock trace ring size served on /v1/trace; 0 disables tracing")
+	statsWindow := flag.Duration("stats-window", 30*time.Second, "rolling window for windowed metrics and SLO evaluation")
+	sloPlanP99 := flag.Duration("slo-plan-p99", 0, "SLO: windowed plan p99 must stay under this; 0 disables")
+	sloShedRatio := flag.Float64("slo-shed-ratio", -1, "SLO: windowed shed/requests must stay under this ratio; negative disables")
+	sloResume := flag.Float64("slo-resume-success", -1, "SLO: windowed resume_hits/resumes must stay at or above this ratio; negative disables")
 	flag.Parse()
 
 	if err := validate(*listen, *socket, *workers, *queue, *shards, *retryAfter,
 		*maxSessions, *sessionIdle, *replayEvents, *batchWindow, *drainTimeout, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "bgqd: %v\n", err)
+		os.Exit(2)
+	}
+	slos, serr := buildSLOs(*traceEvents, *statsWindow, *sloPlanP99, *sloShedRatio, *sloResume)
+	if serr != nil {
+		fmt.Fprintf(os.Stderr, "bgqd: %v\n", serr)
 		os.Exit(2)
 	}
 
@@ -76,6 +100,9 @@ func main() {
 		SessionIdle:  *sessionIdle,
 		ReplayEvents: *replayEvents,
 		BatchWindow:  *batchWindow,
+		TraceEvents:  *traceEvents,
+		StatsWindow:  *statsWindow,
+		SLOs:         slos,
 	})
 	defer srv.Close()
 
@@ -193,4 +220,49 @@ func validate(listen, socket string, workers, queue, shards int, retryAfter time
 		return fmt.Errorf("-drain-timeout must be > 0, got %v", drainTimeout)
 	}
 	return nil
+}
+
+// buildSLOs validates the telemetry flags and assembles the daemon's
+// objective list. The metric names here are the windowed metrics the
+// serve layer registers at startup, so a spec can never point at a
+// metric that does not exist.
+func buildSLOs(traceEvents int, statsWindow, planP99 time.Duration, shedRatio, resumeSuccess float64) ([]obs.SLOSpec, error) {
+	if traceEvents < 0 {
+		return nil, fmt.Errorf("-trace-events must be >= 0, got %d", traceEvents)
+	}
+	if statsWindow <= 0 {
+		return nil, fmt.Errorf("-stats-window must be > 0, got %v", statsWindow)
+	}
+	if planP99 < 0 {
+		return nil, fmt.Errorf("-slo-plan-p99 must be >= 0, got %v", planP99)
+	}
+	if shedRatio > 1 {
+		return nil, fmt.Errorf("-slo-shed-ratio must be <= 1, got %g", shedRatio)
+	}
+	if resumeSuccess > 1 {
+		return nil, fmt.Errorf("-slo-resume-success must be <= 1, got %g", resumeSuccess)
+	}
+	var slos []obs.SLOSpec
+	if planP99 > 0 {
+		slos = append(slos, obs.SLOSpec{
+			Name: "plan_p99", Kind: obs.SLOLatencyP99,
+			Metric:    "serve/window/plan_latency_ms",
+			Threshold: float64(planP99) / 1e6,
+		})
+	}
+	if shedRatio >= 0 {
+		slos = append(slos, obs.SLOSpec{
+			Name: "shed_ratio", Kind: obs.SLORatioMax,
+			Metric: "serve/window/shed", Denominator: "serve/window/requests",
+			Threshold: shedRatio,
+		})
+	}
+	if resumeSuccess >= 0 {
+		slos = append(slos, obs.SLOSpec{
+			Name: "resume_success", Kind: obs.SLORatioMin,
+			Metric: "serve/window/resume_hits", Denominator: "serve/window/resumes",
+			Threshold: resumeSuccess,
+		})
+	}
+	return slos, nil
 }

@@ -10,12 +10,14 @@
 //	        [-patterns uniform,neighbor,shift,sparse] [-agg-every N]
 //	        [-json out.json] [-baseline prev.json] [-p99-ratio 5]
 //	        [-max-shed-rate 0.5] [-require-coalesce] [-selftest]
+//	        [-trace-out trace.json] [-slo-out slo.json] [-require-slo]
 //
 //	bgqload -sessions N [-addr ... | -selftest] [-seed S] [-shape ...]
 //	        [-pattern burst] [-concurrency 0] [-pace-us 500]
 //	        [-campaign-every 5] [-batch-every 0] [-drop-every 4]
 //	        [-fault-events 2] [-no-verify] [-session-timeout 2m]
 //	        [-min-resumes N] [-min-pushed-faults N] [-json out.json]
+//	        [-trace-out trace.json] [-slo-out slo.json] [-require-slo]
 //
 // Open-loop mode issues requests on a fixed-rate clock (-rps); closed
 // loop keeps -concurrency workers saturated. The mix is deterministic in
@@ -36,10 +38,27 @@
 // all N completed, plus the -min-resumes / -min-pushed-faults floors.
 // -json archives the session report (the SESSIONS_<date>.json format).
 //
+// Telemetry: -trace-out enables a client-side wall recorder, stamps
+// every request with a trace ID, and after the run merges the client
+// trace with the daemon's /v1/trace snapshot into one Perfetto file —
+// client retry spans over server queue/compute/session spans over the
+// sim-clock engine timeline, correlated by trace ID (the daemon needs
+// -trace-events > 0 for its half; without it the file carries the
+// client half alone). -slo-out archives the daemon's /v1/slo verdict
+// snapshot (the SLO_<date>.json artifact), and -require-slo turns the
+// verdicts into a gate: any objective with a nonzero cumulative breach
+// count — or a daemon with no objectives configured — fails the run.
+// Two helpers cover daemon restarts: `bgqload -dump-trace -addr ...
+// -trace-out pre.json` fetches a daemon's /v1/trace snapshot and exits,
+// and -trace-extra pre.json merges that dump into the final artifact —
+// the chaos soak uses the pair to preserve the first daemon's server
+// spans across its SIGTERM.
+//
 // -selftest spins an in-process daemon on a loopback port and runs the
 // load against it — no external bgqd needed; used by `make verify`.
-// Flags are validated up front; a bad flag exits 2 with a one-line
-// error.
+// The selftest daemon enables tracing and a generous objective set
+// when -trace-out / -require-slo ask for them. Flags are validated up
+// front; a bad flag exits 2 with a one-line error.
 package main
 
 import (
@@ -53,6 +72,7 @@ import (
 	"time"
 
 	"bgqflow/internal/loadgen"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/serve"
 )
 
@@ -83,7 +103,36 @@ func main() {
 	sessionTimeout := flag.Duration("session-timeout", 2*time.Minute, "per-session budget")
 	minResumes := flag.Int("min-resumes", 0, "session gate: fail with fewer than N stream resumes")
 	minPushed := flag.Int("min-pushed-faults", 0, "session gate: fail with fewer than N pushed mid-session faults")
+	traceOut := flag.String("trace-out", "", "write the merged client+daemon Perfetto trace to this file")
+	traceExtra := flag.String("trace-extra", "", "extra Perfetto snapshot to merge into -trace-out (e.g. a pre-restart daemon dump)")
+	sloOut := flag.String("slo-out", "", "write the daemon's SLO verdict snapshot to this file")
+	requireSLO := flag.Bool("require-slo", false, "fail when any daemon SLO recorded a breach (or no objectives are configured)")
+	dumpTrace := flag.Bool("dump-trace", false, "fetch the daemon's /v1/trace snapshot, write it to -trace-out, and exit")
 	flag.Parse()
+
+	if *dumpTrace {
+		if len(flag.Args()) > 0 {
+			fmt.Fprintf(os.Stderr, "bgqload: unexpected arguments: %v\n", flag.Args())
+			os.Exit(2)
+		}
+		if *addr == "" || *traceOut == "" {
+			fmt.Fprintln(os.Stderr, "bgqload: -dump-trace needs -addr and -trace-out")
+			os.Exit(2)
+		}
+		client, err := serve.NewClient(*addr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		raw, err := client.TraceJSON(context.Background())
+		if err != nil {
+			fatal("dump-trace: %v", err)
+		}
+		if err := os.WriteFile(*traceOut, raw, 0o644); err != nil {
+			fatal("dump-trace: %v", err)
+		}
+		fmt.Printf("bgqload: daemon trace dumped to %s\n", *traceOut)
+		return
+	}
 
 	if *sessions != 0 {
 		// -concurrency defaults to 8 for the plan mix; in session mode an
@@ -113,7 +162,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bgqload: %v\n", err)
 			os.Exit(2)
 		}
-		runSessionMode(*addr, *selftest, sopts, *minResumes, *minPushed, *jsonOut)
+		runSessionMode(*addr, *selftest, sopts, *minResumes, *minPushed, *jsonOut,
+			telemetryOpts{traceOut: *traceOut, traceExtra: *traceExtra, sloOut: *sloOut, requireSLO: *requireSLO})
 		return
 	}
 
@@ -135,10 +185,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	tel := telemetryOpts{traceOut: *traceOut, traceExtra: *traceExtra, sloOut: *sloOut, requireSLO: *requireSLO}
 	target := *addr
 	var cleanup func()
 	if *selftest {
-		target, cleanup, err = startInProcess(serve.Config{})
+		target, cleanup, err = startInProcess(tel.selftestConfig(serve.Config{}))
 		if err != nil {
 			fatal("selftest: %v", err)
 		}
@@ -148,6 +199,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	tel.installTracer(client)
 	if err := client.Health(context.Background()); err != nil {
 		fatal("daemon not reachable at %s: %v", target, err)
 	}
@@ -163,6 +215,12 @@ func main() {
 	fmt.Printf("bgqload: latency p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms; server computed %d plans, %d cache hits, %d coalesced (%.0f%% saved)\n",
 		rep.Latency.P50MS, rep.Latency.P90MS, rep.Latency.P99MS, rep.Latency.MaxMS,
 		rep.PlansComputed, rep.CacheHits, rep.Coalesced, rep.CoalesceRate*100)
+	if len(rep.Phases) > 0 {
+		fmt.Printf("bgqload: phase p99 (ms): connect %.2f, queue %.2f, compute %.2f, stream %.2f\n",
+			rep.Phases["connect"].P99MS, rep.Phases["queue"].P99MS,
+			rep.Phases["compute"].P99MS, rep.Phases["stream"].P99MS)
+	}
+	tel.writeArtifacts(client, rep.SLO)
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
@@ -183,6 +241,7 @@ func main() {
 		MaxShedRate:     *maxShed,
 		RequireCoalesce: *requireCoalesce,
 		MinRequests:     1,
+		RequireSLO:      *requireSLO,
 	}
 	if baseP99 > 0 {
 		crit.MaxP99MS = baseP99 * *p99Ratio
@@ -250,12 +309,12 @@ func validateSessions(addr string, selftest bool, o loadgen.SessionOptions, minR
 
 // runSessionMode drives the resilient-session chaos soak and applies
 // its gates.
-func runSessionMode(addr string, selftest bool, o loadgen.SessionOptions, minResumes, minPushed int, jsonOut string) {
+func runSessionMode(addr string, selftest bool, o loadgen.SessionOptions, minResumes, minPushed int, jsonOut string, tel telemetryOpts) {
 	target := addr
 	if selftest {
 		// The in-process daemon gets a batch window so -batch-every has
 		// something to combine against; it is inert without Batch requests.
-		t, cleanup, err := startInProcess(serve.Config{BatchWindow: 50 * time.Millisecond})
+		t, cleanup, err := startInProcess(tel.selftestConfig(serve.Config{BatchWindow: 50 * time.Millisecond}))
 		if err != nil {
 			fatal("selftest: %v", err)
 		}
@@ -266,6 +325,7 @@ func runSessionMode(addr string, selftest bool, o loadgen.SessionOptions, minRes
 	if err != nil {
 		fatal("%v", err)
 	}
+	tel.installTracer(client)
 	if err := client.Health(context.Background()); err != nil {
 		fatal("daemon not reachable at %s: %v", target, err)
 	}
@@ -295,15 +355,117 @@ func runSessionMode(addr string, selftest bool, o loadgen.SessionOptions, minRes
 		fmt.Printf("bgqload: session report written to %s\n", jsonOut)
 	}
 
+	tel.writeArtifacts(client, rep.SLO)
+
 	if err := rep.Check(loadgen.SessionCriteria{
 		MinCompleted:    rep.Sessions,
 		MinResumes:      minResumes,
 		MinPushedFaults: minPushed,
 		RequireVerified: o.Verify,
+		RequireSLO:      tel.requireSLO,
 	}); err != nil {
 		fatal("%v", err)
 	}
 	fmt.Println("bgqload: all session gates passed")
+}
+
+// telemetryOpts bundles the cross-mode trace/SLO flags.
+type telemetryOpts struct {
+	traceOut   string
+	traceExtra string
+	sloOut     string
+	requireSLO bool
+}
+
+// selftestConfig upgrades the in-process daemon with tracing and a
+// generous objective set when the flags ask for telemetry — a selftest
+// must be able to exercise the whole plane without an external bgqd.
+func (t telemetryOpts) selftestConfig(cfg serve.Config) serve.Config {
+	if t.traceOut != "" {
+		cfg.TraceEvents = 1 << 16
+	}
+	if t.requireSLO || t.sloOut != "" {
+		cfg.StatsWindow = 10 * time.Second
+		cfg.SLOs = []obs.SLOSpec{
+			{Name: "plan_p99", Kind: obs.SLOLatencyP99,
+				Metric: "serve/window/plan_latency_ms", Threshold: 60_000},
+			{Name: "shed_ratio", Kind: obs.SLORatioMax,
+				Metric: "serve/window/shed", Denominator: "serve/window/requests", Threshold: 0.9},
+			{Name: "resume_success", Kind: obs.SLORatioMin,
+				Metric: "serve/window/resume_hits", Denominator: "serve/window/resumes", Threshold: 0.2},
+		}
+	}
+	return cfg
+}
+
+// installTracer attaches a client-side wall recorder when -trace-out
+// asks for the merged trace artifact.
+func (t telemetryOpts) installTracer(client *serve.Client) {
+	if t.traceOut != "" {
+		rec := obs.NewWallRecorder(1 << 16)
+		rec.SetProcessName("bgqload (wall clock)")
+		client.SetTracer(rec)
+	}
+}
+
+// writeArtifacts emits the -trace-out and -slo-out files after a run.
+// Artifacts are written before the gates are applied, so a failed soak
+// still leaves its trace behind for diagnosis.
+func (t telemetryOpts) writeArtifacts(client *serve.Client, slo *obs.SLOSnapshot) {
+	if t.traceOut != "" {
+		var clientTrace strings.Builder
+		if err := client.Tracer().WriteChromeTrace(&clientTrace); err != nil {
+			fatal("trace: %v", err)
+		}
+		parts := [][]byte{[]byte(clientTrace.String())}
+		// The daemon's half is best effort: a daemon without -trace-events
+		// still yields a usable client-side trace.
+		if serverTrace, err := client.TraceJSON(context.Background()); err == nil {
+			parts = append(parts, serverTrace)
+		} else {
+			fmt.Fprintf(os.Stderr, "bgqload: daemon trace unavailable (%v); writing client half only\n", err)
+		}
+		// An extra snapshot (typically a -dump-trace of a daemon that was
+		// since restarted) rides along best-effort: the chaos soak dumps
+		// the first daemon's ring just before the SIGTERM so the archive
+		// keeps the server spans that would otherwise die with it.
+		if t.traceExtra != "" {
+			if extra, err := os.ReadFile(t.traceExtra); err == nil {
+				parts = append(parts, extra)
+			} else {
+				fmt.Fprintf(os.Stderr, "bgqload: -trace-extra unreadable (%v); skipping\n", err)
+			}
+		}
+		f, err := os.Create(t.traceOut)
+		if err != nil {
+			fatal("trace: %v", err)
+		}
+		if err := obs.MergeChromeTraces(f, parts...); err != nil {
+			f.Close()
+			fatal("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("trace: %v", err)
+		}
+		fmt.Printf("bgqload: merged trace written to %s (open in ui.perfetto.dev)\n", t.traceOut)
+	}
+	if t.sloOut != "" {
+		if slo == nil {
+			fatal("slo: daemon served no SLO snapshot — configure bgqd -slo-* objectives")
+		}
+		f, err := os.Create(t.sloOut)
+		if err != nil {
+			fatal("slo: %v", err)
+		}
+		if err := slo.WriteJSON(f); err != nil {
+			f.Close()
+			fatal("slo: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("slo: %v", err)
+		}
+		fmt.Printf("bgqload: SLO snapshot written to %s\n", t.sloOut)
+	}
 }
 
 // startInProcess runs a daemon inside this process on a loopback port.

@@ -43,6 +43,15 @@ type RecoveryConfig struct {
 	// pace virtual time against the wall clock). Returning a non-nil
 	// error aborts the transfer with the bytes delivered so far.
 	Interject func(e *netsim.Engine) error
+
+	// Recorder, when set, receives THIS transfer's sim-clock spans and
+	// instants instead of the transport-attached recorder — a per-call
+	// override so a daemon running many concurrent sessions on one
+	// shared Transport configuration can give each session a private
+	// engine timeline (merged into the service trace when the session
+	// finishes). Track names the span track; empty means "transport".
+	Recorder *obs.Recorder
+	Track    string
 }
 
 // TransferEventKind enumerates MoveResilient progress events.
@@ -169,6 +178,13 @@ func (t *Transport) MoveResilient(e *netsim.Engine, src, dst torus.NodeID, bytes
 	remaining := bytes
 	firstWaveProxies := -1
 	rec, track := t.recorder()
+	if rc.Recorder != nil {
+		rec = rc.Recorder
+		track = rc.Track
+		if track == "" {
+			track = "transport"
+		}
+	}
 	if rec != nil {
 		defer func(begin sim.Time) {
 			name := fmt.Sprintf("resilient %d->%d (%dB)", src, dst, bytes)

@@ -214,6 +214,15 @@ type Report struct {
 
 	Latency LatencySummary `json:"latency"`
 
+	// Phases breaks successful-request latency into connect / queue /
+	// compute / stream. Connect is the client's TCP dial (0 on pooled
+	// connections); queue and compute come from the daemon's
+	// X-Bgq-Queue-Ms / X-Bgq-Compute-Ms headers (0 on cache hits and
+	// coalesced requests — the interesting split is how much of a
+	// *computed* plan's latency was queue wait); stream is response
+	// decode. The residual vs. total latency is network + HTTP overhead.
+	Phases map[string]LatencySummary `json:"phases,omitempty"`
+
 	// ByPattern counts requests per mix pattern.
 	ByPattern map[string]int `json:"by_pattern,omitempty"`
 
@@ -223,6 +232,11 @@ type Report struct {
 	PlansComputed int64                `json:"plans_computed"`
 	CoalesceRate  float64              `json:"coalesce_rate"`
 	Metrics       *obs.MetricsSnapshot `json:"metrics,omitempty"`
+
+	// SLO is the daemon's verdict snapshot after the run, when the
+	// daemon has objectives configured (nil otherwise). Criteria's
+	// RequireSLO gates on it.
+	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
 }
 
 // Run executes the load against the daemon behind client.
@@ -253,6 +267,7 @@ func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
 	var (
 		mu        sync.Mutex
 		latencies []float64
+		phases    = map[string][]float64{}
 		next      atomic.Int64
 	)
 	record := func(pattern string, res serve.PlanResult, err error, lat time.Duration) {
@@ -268,6 +283,10 @@ func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
 		case res.OK():
 			rep.OK++
 			latencies = append(latencies, float64(lat)/1e6)
+			phases["connect"] = append(phases["connect"], res.ConnectMS)
+			phases["queue"] = append(phases["queue"], res.QueueMS)
+			phases["compute"] = append(phases["compute"], res.ComputeMS)
+			phases["stream"] = append(phases["stream"], res.StreamMS)
 		case res.Shed():
 			rep.Shed++
 		case res.Status >= 500:
@@ -340,6 +359,15 @@ func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
 		rep.Latency.P50MS = stats.Percentile(latencies, 50)
 		rep.Latency.P90MS = stats.Percentile(latencies, 90)
 		rep.Latency.P99MS = stats.Percentile(latencies, 99)
+		rep.Phases = make(map[string]LatencySummary, len(phases))
+		for name, xs := range phases {
+			ps := stats.Summarize(xs)
+			sum := LatencySummary{N: ps.N, MeanMS: ps.Mean, MaxMS: ps.Max}
+			sum.P50MS = stats.Percentile(xs, 50)
+			sum.P90MS = stats.Percentile(xs, 90)
+			sum.P99MS = stats.Percentile(xs, 99)
+			rep.Phases[name] = sum
+		}
 	}
 
 	// Server-side counters after the run; a load run against a dead or
@@ -352,6 +380,12 @@ func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
 		if served := snap.Counters["serve/requests"]; served > 0 {
 			rep.CoalesceRate = float64(rep.CacheHits+rep.Coalesced) / float64(served)
 		}
+	}
+	// SLO verdicts, when the daemon has objectives configured. Best
+	// effort like /metrics — but RequireSLO fails a run that could not
+	// produce a snapshot, so a soak cannot silently skip its gate.
+	if slo, serr := client.SLO(ctx); serr == nil && slo.Enabled {
+		rep.SLO = &slo
 	}
 	return rep, nil
 }
@@ -371,6 +405,23 @@ type Criteria struct {
 	MaxP99MS float64
 	// MinRequests guards against a vacuous pass.
 	MinRequests int
+	// RequireSLO fails the run unless the daemon served an SLO snapshot
+	// with objectives enabled and zero cumulative breaches.
+	RequireSLO bool
+}
+
+// checkSLO is the shared SLO gate for plan and session soaks.
+func checkSLO(slo *obs.SLOSnapshot, fails []string) []string {
+	if slo == nil {
+		return append(fails, "no SLO snapshot (daemon has no objectives configured?)")
+	}
+	for _, v := range slo.Verdicts {
+		if v.Breaches > 0 {
+			fails = append(fails, fmt.Sprintf("SLO %s breached %d/%d evals (value %.4g, threshold %.4g)",
+				v.Name, v.Breaches, v.Evals, v.Value, v.Threshold))
+		}
+	}
+	return fails
 }
 
 // Check applies the criteria; the returned error names every violated
@@ -394,6 +445,9 @@ func (r Report) Check(c Criteria) error {
 	}
 	if c.MinRequests > 0 && r.Requests < c.MinRequests {
 		fails = append(fails, fmt.Sprintf("only %d requests issued (min %d)", r.Requests, c.MinRequests))
+	}
+	if c.RequireSLO {
+		fails = checkSLO(r.SLO, fails)
 	}
 	if len(fails) > 0 {
 		return fmt.Errorf("loadgen: soak gates failed: %s", joinAnd(fails))

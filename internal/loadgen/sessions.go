@@ -160,6 +160,10 @@ type SessionReport struct {
 	ServerCompleted int64                `json:"server_completed"`
 	ServerAborted   int64                `json:"server_aborted"`
 	Metrics         *obs.MetricsSnapshot `json:"metrics,omitempty"`
+
+	// SLO is the daemon's verdict snapshot after the soak, when the
+	// daemon has objectives configured (nil otherwise).
+	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
 }
 
 // RunSessions executes the session soak against the daemon behind
@@ -355,6 +359,9 @@ func RunSessions(ctx context.Context, client *serve.Client, o SessionOptions) (S
 		rep.ServerAborted = snap.Counters["serve/sessions_aborted"]
 		rep.Duplicated = rep.ServerExecuted - rep.ServerStarted - rep.ServerRearmed
 	}
+	if slo, serr := client.SLO(ctx); serr == nil && slo.Enabled {
+		rep.SLO = &slo
+	}
 	return rep, nil
 }
 
@@ -371,6 +378,9 @@ type SessionCriteria struct {
 	MinPeakConcurrent int
 	// RequireVerified fails the run when verification was off.
 	RequireVerified bool
+	// RequireSLO fails the run unless the daemon served an SLO snapshot
+	// with objectives enabled and zero cumulative breaches.
+	RequireSLO bool
 }
 
 // Check applies the gates: zero lost, zero duplicated, zero mismatched,
@@ -401,6 +411,9 @@ func (r SessionReport) Check(c SessionCriteria) error {
 	}
 	if c.RequireVerified && !r.Verified {
 		fails = append(fails, "reports were not verified against the oracle")
+	}
+	if c.RequireSLO {
+		fails = checkSLO(r.SLO, fails)
 	}
 	if len(fails) > 0 {
 		return fmt.Errorf("loadgen: session soak gates failed: %s", joinAnd(fails))

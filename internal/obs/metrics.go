@@ -2,11 +2,14 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bgqflow/internal/stats"
 )
@@ -100,15 +103,55 @@ func (h *Histogram) Summary() HistSummary {
 	return out
 }
 
+// MetricKindError reports a metric name registered under two different
+// kinds — e.g. obs.Counter("x") at one site and obs.Gauge("x") at
+// another. Before this guard the collision was silent: the two sites got
+// distinct metrics under one name and every flat export carried the
+// ambiguity. It is delivered as a typed panic value naming both
+// registration call sites, so the offending instrumentation lines are in
+// the panic message itself.
+type MetricKindError struct {
+	Name    string // metric name
+	Kind    string // kind of the existing registration
+	Site    string // file:line of the existing registration
+	NewKind string // kind of the conflicting registration
+	NewSite string // file:line of the conflicting registration
+}
+
+func (e *MetricKindError) Error() string {
+	return fmt.Sprintf("obs: metric %q registered as %s (at %s) and %s (at %s): one name, one kind",
+		e.Name, e.Kind, e.Site, e.NewKind, e.NewSite)
+}
+
+// metricReg remembers how (and where) a name was first registered.
+type metricReg struct {
+	kind string
+	site string
+}
+
+// callerSite formats the instrumentation call site for kind-collision
+// diagnostics. skip counts frames above the exported Registry method.
+func callerSite(skip int) string {
+	if _, file, line, ok := runtime.Caller(skip); ok {
+		return fmt.Sprintf("%s:%d", file, line)
+	}
+	return "unknown"
+}
+
 // Registry names and owns metrics. Components register (or re-find) a
 // metric by name on first use; the registry hands back the same instance
-// for the same name, so instrumentation sites need no shared setup. Safe
-// for concurrent use.
+// for the same name, so instrumentation sites need no shared setup. A
+// name is bound to one metric kind: reusing it with a different kind
+// panics with a *MetricKindError naming both call sites. Safe for
+// concurrent use.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	wcounts  map[string]*WindowCounter
+	whists   map[string]*WindowHistogram
+	kinds    map[string]metricReg
 }
 
 // NewRegistry returns an empty registry.
@@ -117,6 +160,23 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		wcounts:  make(map[string]*WindowCounter),
+		whists:   make(map[string]*WindowHistogram),
+		kinds:    make(map[string]metricReg),
+	}
+}
+
+// bindKindLocked registers (or re-checks) a name's kind; a cross-kind
+// reuse panics with a *MetricKindError. Caller holds r.mu.
+func (r *Registry) bindKindLocked(name, kind string) {
+	prev, ok := r.kinds[name]
+	if !ok {
+		r.kinds[name] = metricReg{kind: kind, site: callerSite(3)}
+		return
+	}
+	if prev.kind != kind {
+		panic(&MetricKindError{Name: name, Kind: prev.kind, Site: prev.site,
+			NewKind: kind, NewSite: callerSite(3)})
 	}
 }
 
@@ -126,6 +186,7 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
+		r.bindKindLocked(name, "counter")
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -138,6 +199,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
+		r.bindKindLocked(name, "gauge")
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -150,17 +212,67 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
+		r.bindKindLocked(name, "histogram")
 		h = &Histogram{}
 		r.hists[name] = h
 	}
 	return h
 }
 
+// WindowCounter returns the named rolling-window counter, creating it
+// with the given window on first use (the first registration's window
+// wins; later callers get the existing instance).
+func (r *Registry) WindowCounter(name string, window time.Duration) *WindowCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.wcounts[name]
+	if !ok {
+		r.bindKindLocked(name, "window_counter")
+		c = NewWindowCounter(window)
+		r.wcounts[name] = c
+	}
+	return c
+}
+
+// WindowHistogram returns the named rolling-window histogram, creating
+// it with the given window on first use (first registration's window
+// wins).
+func (r *Registry) WindowHistogram(name string, window time.Duration) *WindowHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.whists[name]
+	if !ok {
+		r.bindKindLocked(name, "window_histogram")
+		h = NewWindowHistogram(window)
+		r.whists[name] = h
+	}
+	return h
+}
+
+// findWindowCounter looks a window counter up without creating it (SLO
+// evaluation must not invent metrics for misspelled spec names).
+func (r *Registry) findWindowCounter(name string) (*WindowCounter, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.wcounts[name]
+	return c, ok
+}
+
+// findWindowHistogram looks a window histogram up without creating it.
+func (r *Registry) findWindowHistogram(name string) (*WindowHistogram, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.whists[name]
+	return h, ok
+}
+
 // MetricsSnapshot is a registry's flat point-in-time export.
 type MetricsSnapshot struct {
-	Counters   map[string]int64       `json:"counters,omitempty"`
-	Gauges     map[string]float64     `json:"gauges,omitempty"`
-	Histograms map[string]HistSummary `json:"histograms,omitempty"`
+	Counters         map[string]int64                `json:"counters,omitempty"`
+	Gauges           map[string]float64              `json:"gauges,omitempty"`
+	Histograms       map[string]HistSummary          `json:"histograms,omitempty"`
+	WindowCounters   map[string]WindowCounterSummary `json:"windowCounters,omitempty"`
+	WindowHistograms map[string]WindowHistSummary    `json:"windowHistograms,omitempty"`
 }
 
 // Snapshot captures every metric's current value.
@@ -177,6 +289,14 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
+	}
+	wcounts := make(map[string]*WindowCounter, len(r.wcounts))
+	for k, v := range r.wcounts {
+		wcounts[k] = v
+	}
+	whists := make(map[string]*WindowHistogram, len(r.whists))
+	for k, v := range r.whists {
+		whists[k] = v
 	}
 	r.mu.Unlock()
 
@@ -199,20 +319,26 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 			snap.Histograms[k] = v.Summary()
 		}
 	}
+	if len(wcounts) > 0 {
+		snap.WindowCounters = make(map[string]WindowCounterSummary, len(wcounts))
+		for k, v := range wcounts {
+			snap.WindowCounters[k] = v.Summary()
+		}
+	}
+	if len(whists) > 0 {
+		snap.WindowHistograms = make(map[string]WindowHistSummary, len(whists))
+		for k, v := range whists {
+			snap.WindowHistograms[k] = v.Summary()
+		}
+	}
 	return snap
 }
 
 // Names reports every registered metric name, sorted, for diagnostics.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
-	for k := range r.counters {
-		names = append(names, k)
-	}
-	for k := range r.gauges {
-		names = append(names, k)
-	}
-	for k := range r.hists {
+	names := make([]string, 0, len(r.kinds))
+	for k := range r.kinds {
 		names = append(names, k)
 	}
 	r.mu.Unlock()

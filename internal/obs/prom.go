@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for a MetricsSnapshot, plus
+// a minimal parser for the same subset — enough for the round-trip test
+// and for scrape-side tooling without importing a client library (the
+// repo is dependency-free by policy).
+//
+// Mapping:
+//   - counters    -> `# TYPE <name> counter`, one sample
+//   - gauges      -> `# TYPE <name> gauge`, one sample
+//   - histograms  -> `# TYPE <name> summary`: quantile-labeled samples
+//     (0.5/0.9/0.99) plus <name>_sum / <name>_count
+//   - window counters -> gauge pair <name>_window_total /
+//     <name>_window_rate, labeled {window="30s"}
+//   - window histograms -> summary labeled {window="30s"} (the windowed
+//     p50/p90/p99 a live dashboard wants), plus _sum / _count
+//
+// Metric names are sanitized to the Prometheus charset: every character
+// outside [a-zA-Z0-9_:] becomes '_' (so "serve/latency_ms/pair" exports
+// as "serve_latency_ms_pair").
+
+// PromName sanitizes a registry metric name into the Prometheus charset.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func windowLabel(sec float64) string {
+	return fmt.Sprintf("{window=%q}", strconv.FormatFloat(sec, 'g', -1, 64)+"s")
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format, deterministically ordered by metric name.
+func (s MetricsSnapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := PromName(k)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k])
+	}
+
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := PromName(k)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[k]))
+	}
+
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := PromName(k)
+		h := s.Histograms[k]
+		fmt.Fprintf(bw, "# TYPE %s summary\n", n)
+		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", n, promFloat(h.P50))
+		fmt.Fprintf(bw, "%s{quantile=\"0.9\"} %s\n", n, promFloat(h.P90))
+		fmt.Fprintf(bw, "%s{quantile=\"0.99\"} %s\n", n, promFloat(h.P99))
+		fmt.Fprintf(bw, "%s_sum %s\n", n, promFloat(h.Mean*float64(h.N)))
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.N)
+	}
+
+	names = names[:0]
+	for k := range s.WindowCounters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := PromName(k)
+		c := s.WindowCounters[k]
+		lbl := windowLabel(c.WindowSec)
+		fmt.Fprintf(bw, "# TYPE %s_window_total gauge\n%s_window_total%s %d\n", n, n, lbl, c.Total)
+		fmt.Fprintf(bw, "# TYPE %s_window_rate gauge\n%s_window_rate%s %s\n", n, n, lbl, promFloat(c.Rate))
+	}
+
+	names = names[:0]
+	for k := range s.WindowHistograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := PromName(k) + "_window"
+		h := s.WindowHistograms[k]
+		lbl := windowLabel(h.WindowSec)
+		fmt.Fprintf(bw, "# TYPE %s summary\n", n)
+		fmt.Fprintf(bw, "%s{quantile=\"0.5\",window=%q} %s\n", n, promFloat(h.WindowSec)+"s", promFloat(h.P50))
+		fmt.Fprintf(bw, "%s{quantile=\"0.9\",window=%q} %s\n", n, promFloat(h.WindowSec)+"s", promFloat(h.P90))
+		fmt.Fprintf(bw, "%s{quantile=\"0.99\",window=%q} %s\n", n, promFloat(h.WindowSec)+"s", promFloat(h.P99))
+		fmt.Fprintf(bw, "%s_sum%s %s\n", n, lbl, promFloat(h.Mean*float64(h.N)))
+		fmt.Fprintf(bw, "%s_count%s %d\n", n, lbl, h.N)
+	}
+
+	return bw.Flush()
+}
+
+// PromSample is one parsed exposition sample: the metric name, its label
+// set in the exact serialized form (including braces, "" when bare), and
+// the value.
+type PromSample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// PromScrape is a parsed exposition page.
+type PromScrape struct {
+	// Types maps metric name -> declared TYPE.
+	Types map[string]string
+	// Samples holds every sample line in page order.
+	Samples []PromSample
+}
+
+// Value finds a sample by name and serialized label set ("" for bare
+// samples); ok is false when absent.
+func (p PromScrape) Value(name, labels string) (float64, bool) {
+	for _, s := range p.Samples {
+		if s.Name == name && s.Labels == labels {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParsePrometheusText parses the subset of the text exposition format
+// WritePrometheus emits: `# TYPE` comments, bare samples, and samples
+// with a label set. Other comment lines are skipped; a malformed sample
+// line is an error.
+func ParsePrometheusText(r io.Reader) (PromScrape, error) {
+	out := PromScrape{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				out.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		// A sample: name[{labels}] value [timestamp].
+		name := line
+		labels := ""
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				return out, fmt.Errorf("obs: malformed prometheus sample %q", line)
+			}
+			name = line[:i]
+			labels = line[i : j+1]
+			rest = strings.TrimSpace(line[j+1:])
+		} else {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return out, fmt.Errorf("obs: malformed prometheus sample %q", line)
+			}
+			name = fields[0]
+			rest = fields[1]
+		}
+		valStr := strings.Fields(rest)
+		if len(valStr) == 0 {
+			return out, fmt.Errorf("obs: prometheus sample %q has no value", line)
+		}
+		v, err := strconv.ParseFloat(valStr[0], 64)
+		if err != nil {
+			return out, fmt.Errorf("obs: prometheus sample %q: %w", line, err)
+		}
+		out.Samples = append(out.Samples, PromSample{Name: name, Labels: labels, Value: v})
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace IDs %q %q, want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two trace IDs collided: %q", a)
+	}
+}
+
+func TestWallRecorderSpansAndInstants(t *testing.T) {
+	clk := newFakeClock()
+	r := NewWallRecorder(64)
+	r.SetClock(clk.now)
+
+	id := r.SpanBegin("t1", "bgqd/plan", "pair")
+	if id == 0 {
+		t.Fatal("SpanBegin returned 0 on a live recorder")
+	}
+	clk.advance(3 * time.Millisecond)
+	r.Instant("t1", "bgqd/plan", "cache-miss")
+	clk.advance(2 * time.Millisecond)
+	r.SpanEnd(id)
+	r.SpanEnd(id) // double-close is ignored
+
+	ab := r.SpanBegin("t2", "bgqd/sessions", "session x")
+	clk.advance(time.Millisecond)
+	r.SpanAbort(ab)
+	r.InstantV("t2", "bgqd/sessions", "replan", 0.25)
+
+	if got := r.OpenSpans(); got != 0 {
+		t.Fatalf("OpenSpans = %d, want 0", got)
+	}
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v, want 2", spans)
+	}
+	if spans[0].Trace != "t1" || spans[0].Name != "pair" ||
+		spans[0].End.Sub(spans[0].Begin) != 5*time.Millisecond {
+		t.Fatalf("span[0] = %+v", spans[0])
+	}
+	if !spans[1].Aborted {
+		t.Fatalf("span[1] = %+v, want aborted", spans[1])
+	}
+}
+
+func TestWallRingEvicts(t *testing.T) {
+	r := NewWallRecorder(64)
+	base := time.Now()
+	for i := 0; i < 100; i++ {
+		r.Span("t", "k", "s", base.Add(time.Duration(i)*time.Millisecond),
+			base.Add(time.Duration(i+1)*time.Millisecond))
+	}
+	if got := len(r.Spans()); got != 64 {
+		t.Fatalf("retained %d spans, want 64 (ring capacity)", got)
+	}
+	if got := r.Dropped(); got != 36 {
+		t.Fatalf("Dropped = %d, want 36", got)
+	}
+	// Oldest-first: the survivor set is the most recent 64.
+	first := r.Spans()[0]
+	if first.Begin.Sub(base) != 36*time.Millisecond {
+		t.Fatalf("oldest survivor begins at %v, want 36ms", first.Begin.Sub(base))
+	}
+}
+
+// decodeTrace parses an exported Chrome trace for assertions.
+func decodeTrace(t *testing.T, raw []byte) chromeTrace {
+	t.Helper()
+	var tr chromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	return tr
+}
+
+func TestWallChromeTraceExport(t *testing.T) {
+	clk := newFakeClock()
+	r := NewWallRecorder(64)
+	r.SetClock(clk.now)
+
+	id := r.SpanBegin("trace-a", "bgqd/plan", "pair")
+	clk.advance(5 * time.Millisecond)
+	r.SpanEnd(id)
+	r.InstantV("trace-a", "bgqd/sessions", "fault pushed", 0.5)
+	open := r.SpanBegin("trace-b", "bgqd/sessions", "session y")
+	_ = open // left open deliberately
+	clk.advance(time.Millisecond)
+
+	// Sim plane: a private engine recorder merged in under trace-a.
+	rec := NewRecorder()
+	rec.Span("engine/s1", "wave 0", 0, 0.0002)
+	rec.Instant("engine/s1", "replan", 0.0001)
+	r.MergeSim("trace-a", rec)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr := decodeTrace(t, buf.Bytes())
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+
+	var (
+		procs          = map[int]string{}
+		wallSpan       *chromeEvent
+		openSpan       *chromeEvent
+		simSpan        *chromeEvent
+		wallInstant    *chromeEvent
+		simInstantSeen bool
+	)
+	for i := range tr.TraceEvents {
+		ev := tr.TraceEvents[i]
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procs[ev.Pid], _ = ev.Args["name"].(string)
+		case ev.Ph == "X" && ev.Pid == 1 && ev.Name == "pair":
+			wallSpan = &tr.TraceEvents[i]
+		case ev.Ph == "X" && ev.Pid == 1 && ev.Name == "session y":
+			openSpan = &tr.TraceEvents[i]
+		case ev.Ph == "X" && ev.Pid == 2:
+			simSpan = &tr.TraceEvents[i]
+		case ev.Ph == "i" && ev.Pid == 1:
+			wallInstant = &tr.TraceEvents[i]
+		case ev.Ph == "i" && ev.Pid == 2:
+			simInstantSeen = true
+		}
+	}
+	if procs[1] != "bgqd (wall clock)" || procs[2] != "engine (sim clock)" {
+		t.Fatalf("process names = %v", procs)
+	}
+	if wallSpan == nil || wallSpan.Dur != 5000 || wallSpan.Args["trace"] != "trace-a" {
+		t.Fatalf("wall span = %+v, want 5000µs tagged trace-a", wallSpan)
+	}
+	if openSpan == nil || openSpan.Args["open"] != true {
+		t.Fatalf("open span = %+v, want args.open=true", openSpan)
+	}
+	if simSpan == nil || simSpan.Dur != 200 || simSpan.Args["trace"] != "trace-a" {
+		t.Fatalf("sim span = %+v, want 200µs virtual tagged trace-a", simSpan)
+	}
+	if wallInstant == nil || wallInstant.Args["vtime"] != 0.5 {
+		t.Fatalf("wall instant = %+v, want args.vtime=0.5", wallInstant)
+	}
+	if !simInstantSeen {
+		t.Fatal("merged sim instant missing from pid 2")
+	}
+}
+
+// Overlapping wall spans on one track must spread across lanes, same as
+// the sim exporter.
+func TestWallLaneAssignment(t *testing.T) {
+	clk := newFakeClock()
+	r := NewWallRecorder(64)
+	r.SetClock(clk.now)
+	base := clk.now()
+	r.Span("t", "bgqd/plan", "a", base, base.Add(10*time.Millisecond))
+	r.Span("t", "bgqd/plan", "b", base.Add(2*time.Millisecond), base.Add(4*time.Millisecond))
+	r.Span("t", "bgqd/plan", "c", base.Add(11*time.Millisecond), base.Add(12*time.Millisecond))
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr := decodeTrace(t, buf.Bytes())
+	tids := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			tids[ev.Name] = ev.Tid
+		}
+	}
+	if tids["a"] == tids["b"] {
+		t.Fatalf("overlapping spans share tid %d", tids["a"])
+	}
+	if tids["a"] != tids["c"] {
+		t.Fatalf("non-overlapping span c should reuse lane 0: %v", tids)
+	}
+}
+
+func TestWallNilRecorderExportErrors(t *testing.T) {
+	var r *WallRecorder
+	if err := r.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil recorder export must error")
+	}
+	if r.Spans() != nil || r.SimSpans() != nil || r.OpenSpans() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder accessors must return empties")
+	}
+}
+
+func TestMergeChromeTraces(t *testing.T) {
+	mk := func(proc string) []byte {
+		r := NewWallRecorder(64)
+		id := r.SpanBegin("t", proc, proc)
+		r.SpanEnd(id)
+		var buf bytes.Buffer
+		if err := r.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	client, server := mk("client"), mk("server")
+
+	var out bytes.Buffer
+	if err := MergeChromeTraces(&out, client, server); err != nil {
+		t.Fatal(err)
+	}
+	tr := decodeTrace(t, out.Bytes())
+	pids := map[int]bool{}
+	names := 0
+	for _, ev := range tr.TraceEvents {
+		pids[ev.Pid] = true
+		if ev.Ph == "X" {
+			names++
+		}
+	}
+	// First input keeps pid 1; second is offset past it — no collision.
+	if !pids[1] || !pids[2] || names != 2 {
+		t.Fatalf("merged pids = %v, spans = %d", pids, names)
+	}
+	if err := MergeChromeTraces(&out, []byte("{not json")); err == nil ||
+		!strings.Contains(err.Error(), "merge trace 0") {
+		t.Fatalf("bad input error = %v", err)
+	}
+}
+
+// The disabled trace plane — a nil *WallRecorder — must cost zero
+// allocations on the hot path. This is the tracing analogue of the PR 3
+// nil-sink discipline.
+func TestWallDisabledZeroAlloc(t *testing.T) {
+	var r *WallRecorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := r.SpanBegin("t", "bgqd/plan", "pair")
+		r.Instant("t", "bgqd/plan", "hit")
+		r.InstantV("t", "bgqd/plan", "replan", 0.1)
+		r.SpanEnd(id)
+		r.SpanAbort(id)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled wall recorder allocates %v per op, want 0", allocs)
+	}
+}
+
+// Paired benchmarks: the cost of the trace plane when on, and proof it
+// vanishes when off.
+//
+//	go test ./internal/obs -bench 'WallSpan' -benchmem
+func BenchmarkWallSpanDisabled(b *testing.B) {
+	var r *WallRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := r.SpanBegin("t", "bgqd/plan", "pair")
+		r.SpanEnd(id)
+	}
+}
+
+func BenchmarkWallSpanEnabled(b *testing.B) {
+	r := NewWallRecorder(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := r.SpanBegin("t", "bgqd/plan", "pair")
+		r.SpanEnd(id)
+	}
+}
+
+func BenchmarkWindowHistogramObserve(b *testing.B) {
+	h := NewWindowHistogram(30 * time.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 100))
+	}
+}

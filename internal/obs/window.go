@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"bgqflow/internal/stats"
+)
+
+// Rolling time-window metrics. The cumulative Counter/Histogram types
+// answer "what happened since the daemon started"; these answer "what is
+// happening right now", which is what SLO evaluation and live dashboards
+// need. Both are slotted rings: the window is divided into windowSlots
+// equal slots keyed by an absolute slot epoch, so advancing time lazily
+// retires stale slots without a background goroutine, and reading is an
+// O(slots) scan. All methods are safe for concurrent use.
+
+// windowSlots is the ring resolution: a 30s window forgets samples in
+// ~1.9s granularity steps.
+const windowSlots = 16
+
+// maxSlotSamples bounds per-slot histogram retention; observations past
+// it overwrite earlier samples in the slot round-robin (percentiles are
+// then computed on a uniform-ish tail sample, while N keeps the true
+// observation count).
+const maxSlotSamples = 4096
+
+// WindowCounter counts events over a rolling window.
+type WindowCounter struct {
+	mu     sync.Mutex
+	window time.Duration
+	slot   time.Duration
+	counts [windowSlots]int64
+	epochs [windowSlots]int64
+	now    func() time.Time
+}
+
+// NewWindowCounter builds a counter over the given rolling window (min
+// 1s).
+func NewWindowCounter(window time.Duration) *WindowCounter {
+	if window < time.Second {
+		window = time.Second
+	}
+	return &WindowCounter{window: window, slot: window / windowSlots, now: time.Now}
+}
+
+// SetClock replaces the clock (tests); not safe concurrently with use.
+func (c *WindowCounter) SetClock(now func() time.Time) { c.now = now }
+
+// Window reports the configured window length.
+func (c *WindowCounter) Window() time.Duration { return c.window }
+
+// slotFor returns the ring index for the current instant, zeroing the
+// slot if it belonged to an older epoch. Caller holds c.mu.
+func (c *WindowCounter) slotFor() int {
+	epoch := c.now().UnixNano() / int64(c.slot)
+	i := int(epoch % windowSlots)
+	if c.epochs[i] != epoch {
+		c.epochs[i] = epoch
+		c.counts[i] = 0
+	}
+	return i
+}
+
+// Add counts n events now.
+func (c *WindowCounter) Add(n int64) {
+	c.mu.Lock()
+	c.counts[c.slotFor()] += n
+	c.mu.Unlock()
+}
+
+// Inc counts one event now.
+func (c *WindowCounter) Inc() { c.Add(1) }
+
+// Total sums the events inside the window.
+func (c *WindowCounter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	epoch := c.now().UnixNano() / int64(c.slot)
+	var total int64
+	for i := 0; i < windowSlots; i++ {
+		if age := epoch - c.epochs[i]; age >= 0 && age < windowSlots {
+			total += c.counts[i]
+		}
+	}
+	return total
+}
+
+// Rate reports events per second over the window.
+func (c *WindowCounter) Rate() float64 {
+	return float64(c.Total()) / c.window.Seconds()
+}
+
+// WindowCounterSummary is a window counter's snapshot.
+type WindowCounterSummary struct {
+	Total     int64   `json:"total"`
+	Rate      float64 `json:"ratePerSec"`
+	WindowSec float64 `json:"windowSec"`
+}
+
+// Summary snapshots the counter.
+func (c *WindowCounter) Summary() WindowCounterSummary {
+	t := c.Total()
+	return WindowCounterSummary{Total: t, Rate: float64(t) / c.window.Seconds(), WindowSec: c.window.Seconds()}
+}
+
+// WindowHistogram summarizes a sample distribution over a rolling
+// window. NaN and ±Inf observations are dropped and counted, matching
+// the cumulative Histogram's guard.
+type WindowHistogram struct {
+	mu      sync.Mutex
+	window  time.Duration
+	slot    time.Duration
+	samples [windowSlots][]float64
+	seen    [windowSlots]int64 // observations per slot incl. overwritten
+	epochs  [windowSlots]int64
+	dropped [windowSlots]int64
+	now     func() time.Time
+}
+
+// NewWindowHistogram builds a histogram over the given rolling window
+// (min 1s).
+func NewWindowHistogram(window time.Duration) *WindowHistogram {
+	if window < time.Second {
+		window = time.Second
+	}
+	return &WindowHistogram{window: window, slot: window / windowSlots, now: time.Now}
+}
+
+// SetClock replaces the clock (tests); not safe concurrently with use.
+func (h *WindowHistogram) SetClock(now func() time.Time) { h.now = now }
+
+// Window reports the configured window length.
+func (h *WindowHistogram) Window() time.Duration { return h.window }
+
+func (h *WindowHistogram) slotFor() int {
+	epoch := h.now().UnixNano() / int64(h.slot)
+	i := int(epoch % windowSlots)
+	if h.epochs[i] != epoch {
+		h.epochs[i] = epoch
+		h.samples[i] = h.samples[i][:0]
+		h.seen[i] = 0
+		h.dropped[i] = 0
+	}
+	return i
+}
+
+// Observe records one sample now; non-finite values are dropped and
+// counted.
+func (h *WindowHistogram) Observe(x float64) {
+	h.mu.Lock()
+	i := h.slotFor()
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.dropped[i]++
+	} else if len(h.samples[i]) < maxSlotSamples {
+		h.samples[i] = append(h.samples[i], x)
+		h.seen[i]++
+	} else {
+		h.samples[i][h.seen[i]%maxSlotSamples] = x
+		h.seen[i]++
+	}
+	h.mu.Unlock()
+}
+
+// WindowHistSummary is a window histogram's snapshot: HistSummary
+// percentiles computed over the live window, plus the observation rate.
+type WindowHistSummary struct {
+	HistSummary
+	Rate      float64 `json:"ratePerSec"`
+	WindowSec float64 `json:"windowSec"`
+}
+
+// Summary snapshots the window. N counts every in-window observation
+// (including those rotated out of a full slot's retention buffer); the
+// percentiles are computed over the retained samples.
+func (h *WindowHistogram) Summary() WindowHistSummary {
+	h.mu.Lock()
+	epoch := h.now().UnixNano() / int64(h.slot)
+	var xs []float64
+	var seen, dropped int64
+	for i := 0; i < windowSlots; i++ {
+		if age := epoch - h.epochs[i]; age >= 0 && age < windowSlots {
+			xs = append(xs, h.samples[i]...)
+			seen += h.seen[i]
+			dropped += h.dropped[i]
+		}
+	}
+	h.mu.Unlock()
+
+	s := stats.Summarize(xs)
+	out := WindowHistSummary{
+		HistSummary: HistSummary{N: int(seen), Min: s.Min, Max: s.Max, Mean: s.Mean,
+			Stddev: s.Stddev, Dropped: int(dropped) + s.Dropped},
+		Rate:      float64(seen) / h.window.Seconds(),
+		WindowSec: h.window.Seconds(),
+	}
+	if s.N > 0 {
+		out.P50 = stats.Percentile(xs, 50)
+		out.P90 = stats.Percentile(xs, 90)
+		out.P99 = stats.Percentile(xs, 99)
+	}
+	return out
+}

@@ -9,8 +9,10 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/httptrace"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bgqflow/internal/obs"
@@ -22,9 +24,10 @@ import (
 // It is safe for concurrent use; bgqload drives one Client from many
 // goroutines.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry RetryPolicy
+	base   string
+	hc     *http.Client
+	retry  RetryPolicy
+	tracer *obs.WallRecorder
 }
 
 // RetryPolicy governs how the client reacts to shed (429) and
@@ -134,6 +137,21 @@ func NewClient(addr string) (*Client, error) {
 // concurrently with requests; configure before use.
 func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
 
+// SetTracer attaches a client-side wall recorder: every request is
+// stamped with X-Bgq-Trace-Id/X-Bgq-Span-Id and recorded as a client
+// span, so a merged trace shows the client attempt above the daemon's
+// queue/compute spans under one trace ID. nil disables (the default).
+// Configure before use.
+func (c *Client) SetTracer(t *obs.WallRecorder) { c.tracer = t }
+
+// Tracer returns the recorder installed by SetTracer (nil when tracing
+// is off). Export it with WriteChromeTrace and merge with the daemon's
+// TraceJSON via obs.MergeChromeTraces for the combined timeline.
+func (c *Client) Tracer() *obs.WallRecorder { return c.tracer }
+
+// BaseURL reports the daemon base URL the client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
 // PlanResult is one plan response as the client saw it.
 type PlanResult struct {
 	// Status is the HTTP status code (200 = plan served, 429 = shed).
@@ -152,6 +170,17 @@ type PlanResult struct {
 	Err string
 	// Retries counts client-side retry waits spent on this request.
 	Retries int
+	// Trace is the request's trace ID (client-stamped when a tracer is
+	// set, else the server's echo when tracing is enabled there).
+	Trace string
+	// Per-phase latency breakdown in milliseconds. ConnectMS is the TCP
+	// dial time (0 on a pooled connection); QueueMS and ComputeMS are
+	// the server-reported dispatcher and planner phases (0 unless this
+	// request computed the plan); StreamMS is the response decode time.
+	ConnectMS float64
+	QueueMS   float64
+	ComputeMS float64
+	StreamMS  float64
 }
 
 // Shed reports whether the request was load-shed (429).
@@ -168,8 +197,14 @@ func (r PlanResult) OK() bool { return r.Status == http.StatusOK }
 // errors.
 func (c *Client) post(ctx context.Context, path string, body any) (PlanResult, error) {
 	pol := c.retry
+	// One trace for the logical request; retries share it, so a traced
+	// shed-then-served pair reads as one story in the merged trace.
+	var trace string
+	if c.tracer != nil {
+		trace = obs.NewTraceID()
+	}
 	for attempt := 0; ; attempt++ {
-		res, err := c.postOnce(ctx, path, body)
+		res, err := c.postOnce(ctx, path, body, trace)
 		retryable := err == nil && (res.Status == http.StatusTooManyRequests || res.Status == http.StatusServiceUnavailable)
 		if err != nil && pol.RetryConn && ctx.Err() == nil {
 			retryable = true
@@ -189,22 +224,52 @@ func (c *Client) post(ctx context.Context, path string, body any) (PlanResult, e
 	}
 }
 
-// postOnce is a single request/response cycle.
-func (c *Client) postOnce(ctx context.Context, path string, body any) (PlanResult, error) {
+// msHeader parses a millisecond phase header; absent or malformed
+// values read as 0.
+func msHeader(h http.Header, key string) float64 {
+	v, _ := strconv.ParseFloat(h.Get(key), 64)
+	return v
+}
+
+// postOnce is a single request/response cycle. trace, when non-empty,
+// is stamped on the request (with a fresh per-attempt span ID) and the
+// attempt is recorded as a client span.
+func (c *Client) postOnce(ctx context.Context, path string, body any, trace string) (PlanResult, error) {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return PlanResult{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	// Connect timing via httptrace: 0 on a pooled connection, the dial
+	// cost on a fresh one — the "connect" phase of the breakdown. The
+	// transport may run these hooks on a background dial goroutine (a
+	// speculative pool dial can even outlive Do), so both fields are
+	// atomics: nanosecond timestamps, read once after Do returns.
+	var connStart, connDur atomic.Int64
+	ct := &httptrace.ClientTrace{
+		ConnectStart: func(string, string) { connStart.Store(time.Now().UnixNano()) },
+		ConnectDone: func(_, _ string, _ error) {
+			if s := connStart.Load(); s != 0 {
+				connDur.Store(time.Now().UnixNano() - s)
+			}
+		},
+	}
+	req, err := http.NewRequestWithContext(httptrace.WithClientTrace(ctx, ct),
+		http.MethodPost, c.base+path, bytes.NewReader(raw))
 	if err != nil {
 		return PlanResult{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(HeaderTraceID, trace)
+		req.Header.Set(HeaderSpanID, obs.NewTraceID())
+	}
+	t0 := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return PlanResult{}, err
 	}
 	defer resp.Body.Close()
+	tBody := time.Now()
 	var env planEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		return PlanResult{}, fmt.Errorf("serve: decode %s response (status %d): %w", path, resp.StatusCode, err)
@@ -216,12 +281,21 @@ func (c *Client) postOnce(ctx context.Context, path string, body any) (PlanResul
 		Cached:    env.Cached,
 		Coalesced: env.Coalesced,
 		Err:       env.Error,
+		Trace:     trace,
+		ConnectMS: float64(connDur.Load()) / 1e6,
+		QueueMS:   msHeader(resp.Header, HeaderQueueMS),
+		ComputeMS: msHeader(resp.Header, HeaderComputeMS),
+		StreamMS:  float64(time.Since(tBody)) / 1e6,
+	}
+	if out.Trace == "" {
+		out.Trace = resp.Header.Get(HeaderTraceID)
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, perr := strconv.Atoi(ra); perr == nil {
 			out.RetryAfter = time.Duration(secs) * time.Second
 		}
 	}
+	c.tracer.Span(trace, "client/plan", path, t0, time.Now())
 	return out, nil
 }
 
@@ -273,6 +347,43 @@ func (c *Client) Metrics(ctx context.Context) (obs.MetricsSnapshot, error) {
 		return obs.MetricsSnapshot{}, fmt.Errorf("serve: /metrics status %d: %s", resp.StatusCode, b)
 	}
 	return obs.ReadMetricsSnapshot(resp.Body)
+}
+
+// SLO fetches the daemon's current SLO verdicts (GET /v1/slo).
+func (c *Client) SLO(ctx context.Context) (obs.SLOSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/slo", nil)
+	if err != nil {
+		return obs.SLOSnapshot{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return obs.SLOSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return obs.SLOSnapshot{}, fmt.Errorf("serve: /v1/slo status %d: %s", resp.StatusCode, b)
+	}
+	return obs.ReadSLOSnapshot(resp.Body)
+}
+
+// TraceJSON fetches the daemon's Perfetto trace snapshot (GET
+// /v1/trace) as raw bytes, ready for obs.MergeChromeTraces or a file.
+func (c *Client) TraceJSON(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("serve: /v1/trace status %d: %s", resp.StatusCode, b)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // Health checks the daemon's /healthz endpoint.

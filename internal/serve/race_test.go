@@ -27,7 +27,9 @@ import (
 )
 
 func TestConcurrentHammerCoalescingAndInvalidation(t *testing.T) {
-	srv, client := newTestDaemon(t, serve.Config{Workers: 4, QueueDepth: 4096})
+	// Tracing on: the hammer doubles as the race check for the wall
+	// recorder's span rings under concurrent plan traffic.
+	srv, client := newTestDaemon(t, serve.Config{Workers: 4, QueueDepth: 4096, TraceEvents: 1 << 14})
 	ctx := context.Background()
 
 	// The hot request every goroutine repeats, and the link its unfaulted
@@ -186,7 +188,9 @@ func TestConcurrentHammerCoalescingAndInvalidation(t *testing.T) {
 // a direct MoveResilient replay of that session's recorded timeline
 // (fault-set snapshot + pushed-fault instants through PushedInterject).
 func TestConcurrentSessionsPushedFaultReplay(t *testing.T) {
-	srv, client := newTestDaemon(t, serve.Config{})
+	// Tracing on: session spans, pushed-fault instants, and the MergeSim
+	// at finish all run under the race detector here.
+	srv, client := newTestDaemon(t, serve.Config{TraceEvents: 1 << 14})
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 

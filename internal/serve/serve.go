@@ -70,6 +70,18 @@ type Config struct {
 	// BatchMaxBytes is the per-request size ceiling for combining; larger
 	// transfers always run alone. 0 means 256 KiB.
 	BatchMaxBytes int64
+
+	// TraceEvents, when positive, enables the wall-clock trace plane: a
+	// bounded ring of that many spans/instants served by GET /v1/trace.
+	// 0 disables tracing (the zero-cost default).
+	TraceEvents int
+	// StatsWindow sizes the rolling windows behind serve/window/* metrics
+	// and SLO evaluation. 0 means 30s.
+	StatsWindow time.Duration
+	// SLOs are the objectives the daemon tracks (see obs.SLOSpec). Specs
+	// must validate; New panics on a malformed spec (bgqd validates at
+	// flag parse, so this only fires on programmer error).
+	SLOs []obs.SLOSpec
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +112,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchMaxBytes <= 0 {
 		c.BatchMaxBytes = 256 << 10
 	}
+	if c.StatsWindow <= 0 {
+		c.StatsWindow = 30 * time.Second
+	}
 	return c
 }
 
@@ -121,6 +136,20 @@ type Server struct {
 	sessions *sessionMgr
 	start    time.Time
 
+	// Telemetry plane (telemetry.go). wall is nil when tracing is
+	// disabled; every WallRecorder method is nil-safe, so call sites pay
+	// one branch. The window metrics are pre-registered so the hot path
+	// never takes the registry lock.
+	wall         *obs.WallRecorder
+	slo          *obs.SLOTracker
+	sloStop      chan struct{}
+	sloDone      chan struct{}
+	wRequests    *obs.WindowCounter
+	wShed        *obs.WindowCounter
+	wResumeHit   *obs.WindowCounter
+	wResumeTotal *obs.WindowCounter
+	wLatency     *obs.WindowHistogram
+
 	mu     sync.Mutex
 	faults []scenario.FailLink
 }
@@ -134,6 +163,28 @@ func New(cfg Config) *Server {
 		cache: newPlanCache(cfg.CacheShards, cfg.CacheEntriesPerShard),
 		disp:  newDispatcher(cfg.Workers, cfg.QueueDepth),
 		start: time.Now(),
+	}
+	s.wRequests = s.reg.WindowCounter("serve/window/requests", cfg.StatsWindow)
+	s.wShed = s.reg.WindowCounter("serve/window/shed", cfg.StatsWindow)
+	s.wResumeHit = s.reg.WindowCounter("serve/window/resume_hits", cfg.StatsWindow)
+	s.wResumeTotal = s.reg.WindowCounter("serve/window/resumes", cfg.StatsWindow)
+	s.wLatency = s.reg.WindowHistogram("serve/window/plan_latency_ms", cfg.StatsWindow)
+	if cfg.TraceEvents > 0 {
+		s.wall = obs.NewWallRecorder(cfg.TraceEvents)
+	}
+	if len(cfg.SLOs) > 0 {
+		tracker, err := obs.NewSLOTracker(s.reg, cfg.SLOs)
+		if err != nil {
+			panic(err)
+		}
+		s.slo = tracker
+		s.sloStop = make(chan struct{})
+		s.sloDone = make(chan struct{})
+		interval := cfg.StatsWindow / 4
+		if interval < 500*time.Millisecond {
+			interval = 500 * time.Millisecond
+		}
+		go s.sloLoop(interval)
 	}
 	s.sessions = newSessionMgr(s)
 	return s
@@ -150,6 +201,10 @@ func (s *Server) Epoch() uint64 { return s.cache.Epoch() }
 // and drains the worker pool. In-flight HTTP requests must have
 // completed (http.Server.Shutdown before Close).
 func (s *Server) Close() {
+	if s.sloStop != nil {
+		close(s.sloStop)
+		<-s.sloDone
+	}
 	s.sessions.shutdown()
 	s.disp.close()
 }
@@ -177,6 +232,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/transfer/{id}/events", s.handleTransferEvents)
 	mux.HandleFunc("POST /v1/transfer/{id}/ack", s.handleTransferAck)
 	mux.HandleFunc("POST /v1/transfer/{id}/heartbeat", s.handleTransferHeartbeat)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -201,13 +258,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // servePlan is the shared request path: admission, coalescing, caching,
-// instrumentation.
-func (s *Server) servePlan(w http.ResponseWriter, endpoint, key string,
+// instrumentation. The request's trace (client-stamped or generated)
+// tags the wall spans; queue and compute phase times go back to the
+// client as X-Bgq-Queue-Ms / X-Bgq-Compute-Ms headers (0 unless this
+// request computed the plan).
+func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, endpoint, key string,
 	compute func(faults []scenario.FailLink) (any, error)) {
 	t0 := time.Now()
+	trace := s.traceID(r)
+	span := s.wall.SpanBegin(trace, "bgqd/plan", endpoint)
 	s.reg.Counter("serve/requests").Inc()
 	s.reg.Counter("serve/requests/" + endpoint).Inc()
+	s.wRequests.Inc()
 	epoch, faults := s.snapshot()
+	// Phase timestamps, written by the worker goroutine; the channel
+	// receive inside the singleflight closure orders them before our
+	// reads. They stay zero on hit/coalesced/shed outcomes.
+	var tQueueDone, tComputeDone time.Time
 	val, err, outcome := s.cache.Do(key, epoch, func() ([]byte, error) {
 		type result struct {
 			b []byte
@@ -215,7 +282,9 @@ func (s *Server) servePlan(w http.ResponseWriter, endpoint, key string,
 		}
 		ch := make(chan result, 1)
 		admitted := s.disp.trySubmit(func() {
+			tQueueDone = time.Now()
 			plan, cerr := compute(faults)
+			tComputeDone = time.Now()
 			if cerr != nil {
 				ch <- result{nil, cerr}
 				return
@@ -230,6 +299,18 @@ func (s *Server) servePlan(w http.ResponseWriter, endpoint, key string,
 		r := <-ch
 		return r.b, r.e
 	})
+	var queueMS, computeMS float64
+	if outcome == outcomeComputed && !tQueueDone.IsZero() {
+		queueMS = float64(tQueueDone.Sub(t0)) / 1e6
+		computeMS = float64(tComputeDone.Sub(tQueueDone)) / 1e6
+		s.wall.Span(trace, "bgqd/queue", endpoint+" queue", t0, tQueueDone)
+		s.wall.Span(trace, "bgqd/compute", endpoint+" compute", tQueueDone, tComputeDone)
+	}
+	setMSHeader(w.Header(), HeaderQueueMS, queueMS)
+	setMSHeader(w.Header(), HeaderComputeMS, computeMS)
+	if trace != "" {
+		w.Header().Set(HeaderTraceID, trace)
+	}
 	switch outcome {
 	case outcomeHit:
 		s.reg.Counter("serve/cache_hits").Inc()
@@ -242,6 +323,8 @@ func (s *Server) servePlan(w http.ResponseWriter, endpoint, key string,
 	}
 	if err == ErrOverloaded {
 		s.reg.Counter("serve/shed").Inc()
+		s.wShed.Inc()
+		s.wall.SpanAbort(span)
 		secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
 		if secs < 1 {
 			secs = 1
@@ -252,10 +335,14 @@ func (s *Server) servePlan(w http.ResponseWriter, endpoint, key string,
 	}
 	if err != nil {
 		s.reg.Counter("serve/errors").Inc()
+		s.wall.SpanAbort(span)
 		writeJSON(w, http.StatusBadRequest, planEnvelope{Epoch: epoch, Error: err.Error()})
 		return
 	}
-	s.reg.Histogram("serve/latency_ms/" + endpoint).Observe(float64(time.Since(t0)) / 1e6)
+	latencyMS := float64(time.Since(t0)) / 1e6
+	s.reg.Histogram("serve/latency_ms/" + endpoint).Observe(latencyMS)
+	s.wLatency.Observe(latencyMS)
+	s.wall.SpanEnd(span)
 	writeJSON(w, http.StatusOK, planEnvelope{
 		Plan:      val,
 		Epoch:     epoch,
@@ -285,7 +372,7 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
 		return
 	}
-	s.servePlan(w, "pair", req.cacheKey(), func(faults []scenario.FailLink) (any, error) {
+	s.servePlan(w, r, "pair", req.cacheKey(), func(faults []scenario.FailLink) (any, error) {
 		return ComputePair(req, faults)
 	})
 }
@@ -300,7 +387,7 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
 		return
 	}
-	s.servePlan(w, "group", req.cacheKey(), func(faults []scenario.FailLink) (any, error) {
+	s.servePlan(w, r, "group", req.cacheKey(), func(faults []scenario.FailLink) (any, error) {
 		return ComputeGroup(req, faults)
 	})
 }
@@ -315,7 +402,7 @@ func (s *Server) handleAgg(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
 		return
 	}
-	s.servePlan(w, "agg", req.cacheKey(), func(faults []scenario.FailLink) (any, error) {
+	s.servePlan(w, r, "agg", req.cacheKey(), func(faults []scenario.FailLink) (any, error) {
 		return ComputeAgg(req, faults)
 	})
 }
@@ -338,7 +425,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
 		return
 	}
-	s.servePlan(w, "sim", simCacheKey(cfg, canon), func(faults []scenario.FailLink) (any, error) {
+	s.servePlan(w, r, "sim", simCacheKey(cfg, canon), func(faults []scenario.FailLink) (any, error) {
 		return ComputeSim(cfg, faults)
 	})
 }
@@ -387,6 +474,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("serve/epoch").Set(float64(s.cache.Epoch()))
 	s.reg.Gauge("serve/uptime_seconds").Set(time.Since(s.start).Seconds())
 	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		snap.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	snap.WriteJSON(w)

@@ -9,6 +9,7 @@ import (
 
 	"bgqflow/internal/core"
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/scenario"
 	"bgqflow/internal/torus"
 )
@@ -74,6 +75,11 @@ type session struct {
 	pace  time.Duration
 	done  chan struct{}
 	epoch uint64 // fault epoch at session creation
+	// trace is the session's trace ID: the client's X-Bgq-Trace-Id when
+	// stamped, else generated at creation (tracing enabled only). A
+	// re-arm inherits it, so a resumed session continues its original
+	// trace. Immutable after creation.
+	trace string
 
 	mu        sync.Mutex
 	req       TransferRequest     // Bytes grows while batching
@@ -132,7 +138,7 @@ func batchKey(r TransferRequest) string {
 // startOrAttach resolves a POST /v1/transfer: create, join a batch
 // window, attach to a live session, or re-arm an aborted one. The
 // returned verdict feeds the per-outcome counters.
-func (m *sessionMgr) startOrAttach(req TransferRequest) (*session, string, error) {
+func (m *sessionMgr) startOrAttach(req TransferRequest, trace string) (*session, string, error) {
 	canon := req.canonical()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -149,14 +155,15 @@ func (m *sessionMgr) startOrAttach(req TransferRequest) (*session, string, error
 		}
 		// The previous run was aborted (drain or idle reap): re-arm the
 		// same ID with a fresh run so the retry completes the transfer.
-		// Re-arms run solo — no batch window on the retry path.
+		// Re-arms run solo — no batch window on the retry path. The new
+		// run continues the original trace.
 		if m.draining {
 			return nil, "", errDraining
 		}
 		if m.running >= m.srv.cfg.MaxSessions {
 			return nil, "", errSessionLimit
 		}
-		ns := m.newSessionLocked(req)
+		ns := m.newSessionLocked(req, s.trace)
 		m.sessions[req.ID] = ns
 		m.canon[req.ID] = canon
 		m.launchLocked(ns)
@@ -188,7 +195,7 @@ func (m *sessionMgr) startOrAttach(req TransferRequest) (*session, string, error
 		if m.running >= cfg.MaxSessions {
 			return nil, "", errSessionLimit
 		}
-		s := m.newSessionLocked(req)
+		s := m.newSessionLocked(req, trace)
 		s.state = sessBatching
 		s.members = []string{req.ID}
 		m.sessions[req.ID] = s
@@ -201,7 +208,7 @@ func (m *sessionMgr) startOrAttach(req TransferRequest) (*session, string, error
 	if m.running >= cfg.MaxSessions {
 		return nil, "", errSessionLimit
 	}
-	s := m.newSessionLocked(req)
+	s := m.newSessionLocked(req, trace)
 	m.sessions[req.ID] = s
 	m.canon[req.ID] = canon
 	m.launchLocked(s)
@@ -210,12 +217,16 @@ func (m *sessionMgr) startOrAttach(req TransferRequest) (*session, string, error
 
 // newSessionLocked builds a session with the current fault-set snapshot.
 // Caller holds m.mu.
-func (m *sessionMgr) newSessionLocked(req TransferRequest) *session {
+func (m *sessionMgr) newSessionLocked(req TransferRequest, trace string) *session {
 	epoch, faults := m.srv.snapshot()
 	shape, _ := torus.ParseShape(req.Shape)
 	tor, _ := torus.New(shape) // req was validated; cannot fail
+	if trace == "" && m.srv.wall != nil {
+		trace = obs.NewTraceID()
+	}
 	return &session{
 		id:        req.ID,
+		trace:     trace,
 		mgr:       m,
 		tor:       tor,
 		pace:      time.Duration(req.PaceUS) * time.Microsecond,
@@ -365,6 +376,7 @@ func (s *session) interject(e *netsim.Engine) error {
 			s.emit(SessionFrame{Type: "fault", Pushed: true, Epoch: p.epoch,
 				Links: fls, LinkIDs: applied, VTime: float64(e.Now())})
 			s.mgr.srv.reg.Counter("serve/faults_pushed").Inc()
+			s.mgr.srv.wall.InstantV(s.trace, "bgqd/sessions", "fault pushed", float64(e.Now()))
 		}
 	}
 	if s.pace > 0 {
@@ -374,9 +386,14 @@ func (s *session) interject(e *netsim.Engine) error {
 }
 
 // run executes the transfer and publishes the terminal report frame.
+// With tracing enabled the run records a wall-clock session span, wall
+// instants for replans/degrades/pushed faults, and a private sim-clock
+// recorder merged into the daemon trace plane at the end — all under the
+// session's one trace ID.
 func (s *session) run() {
 	defer s.mgr.sessionDone()
 	reg := s.mgr.srv.reg
+	wall := s.mgr.srv.wall
 	reg.Counter("serve/sessions_executed").Inc()
 	t0 := time.Now()
 
@@ -398,10 +415,31 @@ func (s *session) run() {
 				reg.Counter("serve/replans_pushed").Inc()
 			}
 		}
+		if ev.Kind == core.EventReplan || ev.Kind == core.EventDegrade {
+			wall.InstantV(s.trace, "bgqd/sessions", f.Type, float64(ev.At))
+		}
 		s.emit(f)
 	}
-	rep, err := RunTransfer(req, faults, TransferHooks{OnEvent: onEvent, Interject: s.interject})
+	hooks := TransferHooks{OnEvent: onEvent, Interject: s.interject}
+	var span obs.SpanID
+	if wall != nil {
+		hooks.Recorder = obs.NewRecorder()
+		hooks.Track = "engine/" + s.id
+		span = wall.SpanBegin(s.trace, "bgqd/sessions", "session "+s.id)
+	}
+	rep, err := RunTransfer(req, faults, hooks)
 	s.finish(rep, err)
+	if wall != nil {
+		s.mu.Lock()
+		aborted := s.aborted
+		s.mu.Unlock()
+		if aborted {
+			wall.SpanAbort(span)
+		} else {
+			wall.SpanEnd(span)
+		}
+		wall.MergeSim(s.trace, hooks.Recorder)
+	}
 	reg.Histogram("serve/session_wall_ms").Observe(float64(time.Since(t0)) / 1e6)
 }
 
@@ -495,6 +533,7 @@ func (s *session) subscribe(after uint64) (SessionFrame, [][]byte, chan []byte) 
 		Epoch:      s.epoch,
 		Links:      s.faults,
 		Members:    s.members,
+		Trace:      s.trace,
 	}
 	var ch chan []byte
 	if s.state != sessDone {

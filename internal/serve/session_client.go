@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"bgqflow/internal/obs"
 	"bgqflow/internal/scenario"
 )
 
@@ -41,6 +42,11 @@ type TransferOpts struct {
 // TransferOutcome is the result of one session as the client saw it.
 type TransferOutcome struct {
 	SessionID string
+	// Trace is the session's trace ID: the client-stamped one when the
+	// client has a tracer, else the server-generated one echoed in the
+	// hello frame ("" when tracing is off on both sides). Stable across
+	// resumes and re-arms — the whole transfer is one trace.
+	Trace string
 	// Frames counts buffered (seq > 0) frames received, replays excluded.
 	Frames int
 	// Resumes counts reconnects served from the replay buffer.
@@ -89,6 +95,14 @@ func (c *Client) Transfer(ctx context.Context, req TransferRequest, opts Transfe
 	if err != nil {
 		return out, err
 	}
+	// One trace for the whole session: stamped on the first POST and on
+	// every resume/re-POST, so the daemon threads it through the original
+	// run and every re-arm.
+	var trace string
+	if c.tracer != nil {
+		trace = obs.NewTraceID()
+		out.Trace = trace
+	}
 
 	var lastSeq uint64
 	resume := false
@@ -101,14 +115,32 @@ func (c *Client) Transfer(ctx context.Context, req TransferRequest, opts Transfe
 			resp    *http.Response
 			httpErr error
 		)
+		attempt := "post"
+		tAttempt := time.Now()
 		if resume {
+			attempt = "resume"
 			r, _ := http.NewRequestWithContext(ctx, http.MethodGet,
 				c.base+"/v1/transfer/"+req.ID+"/events?after="+strconv.FormatUint(lastSeq, 10), nil)
+			if trace != "" {
+				r.Header.Set(HeaderTraceID, trace)
+				r.Header.Set(HeaderSpanID, obs.NewTraceID())
+			}
 			resp, httpErr = c.hc.Do(r)
 		} else {
 			r, _ := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/transfer", bytes.NewReader(body))
 			r.Header.Set("Content-Type", "application/json")
+			if trace != "" {
+				r.Header.Set(HeaderTraceID, trace)
+				r.Header.Set(HeaderSpanID, obs.NewTraceID())
+			}
 			resp, httpErr = c.hc.Do(r)
+		}
+
+		// Each connection attempt (initial POST, resume, re-POST) is one
+		// client span; a disconnect-heavy session reads as a row of
+		// attempt spans over the daemon's single session span.
+		endAttempt := func() {
+			c.tracer.Span(trace, "client/sessions", attempt+" "+req.ID, tAttempt, time.Now())
 		}
 
 		retry := func(hint time.Duration) error {
@@ -120,6 +152,7 @@ func (c *Client) Transfer(ctx context.Context, req TransferRequest, opts Transfe
 		}
 
 		if httpErr != nil {
+			endAttempt()
 			// Transport failure — the daemon may be restarting. Keep the
 			// cursor: if the daemon survived, the resume replays; if it was
 			// replaced, the next attempt 404s and falls through to re-POST.
@@ -139,6 +172,7 @@ func (c *Client) Transfer(ctx context.Context, req TransferRequest, opts Transfe
 		case http.StatusOK:
 			// Stream below.
 		case http.StatusNotFound:
+			endAttempt()
 			// The daemon does not know the session: it restarted (or
 			// reaped it). Start over under the same idempotent ID.
 			resp.Body.Close()
@@ -151,6 +185,7 @@ func (c *Client) Transfer(ctx context.Context, req TransferRequest, opts Transfe
 			}
 			continue
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			endAttempt()
 			var hint time.Duration
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
 				if secs, perr := strconv.Atoi(ra); perr == nil {
@@ -163,6 +198,7 @@ func (c *Client) Transfer(ctx context.Context, req TransferRequest, opts Transfe
 			}
 			continue
 		default:
+			endAttempt()
 			var env planEnvelope
 			json.NewDecoder(resp.Body).Decode(&env)
 			resp.Body.Close()
@@ -170,6 +206,7 @@ func (c *Client) Transfer(ctx context.Context, req TransferRequest, opts Transfe
 		}
 
 		done, rearm, serr := c.consumeStream(resp, opts, &out, &lastSeq)
+		endAttempt()
 		if done {
 			return out, nil
 		}
@@ -226,6 +263,9 @@ func (c *Client) consumeStream(resp *http.Response, opts TransferOpts, out *Tran
 		switch f.Type {
 		case "hello":
 			out.Faults = f.Links
+			if f.Trace != "" {
+				out.Trace = f.Trace
+			}
 			if len(f.Members) > 0 {
 				out.Members = f.Members
 			}

@@ -37,7 +37,7 @@ func (s *Server) handleTransfer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, planEnvelope{Error: err.Error()})
 		return
 	}
-	sess, verdict, err := s.sessions.startOrAttach(req)
+	sess, verdict, err := s.sessions.startOrAttach(req, s.traceID(r))
 	switch {
 	case errors.Is(err, errSessionMismatch):
 		s.reg.Counter("serve/errors").Inc()
@@ -105,10 +105,14 @@ func (s *Server) handleTransferStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTransferEvents(w http.ResponseWriter, r *http.Request) {
+	// Resume hit ratio feeds the resume-success SLO: a 404 here (daemon
+	// restarted or session reaped) is the miss case.
+	s.wResumeTotal.Inc()
 	sess := s.sessionByID(w, r)
 	if sess == nil {
 		return
 	}
+	s.wResumeHit.Inc()
 	var after uint64
 	if q := r.URL.Query().Get("after"); q != "" {
 		v, err := strconv.ParseUint(q, 10, 64)
@@ -170,6 +174,9 @@ func (s *Server) streamSession(w http.ResponseWriter, r *http.Request, sess *ses
 	hello.Resumed = resumed
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Replay-From", strconv.FormatUint(hello.ReplayFrom, 10))
+	if sess.trace != "" {
+		w.Header().Set(HeaderTraceID, sess.trace)
+	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	flush := func() {

@@ -1,0 +1,447 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bgqflow/internal/obs"
+	"bgqflow/internal/scenario"
+	"bgqflow/internal/serve"
+)
+
+// Telemetry-plane end-to-end tests: Prometheus exposition, phase
+// headers, trace propagation (including across forced disconnects and
+// resumes), and SLO verdicts — all over real HTTP.
+
+func TestMetricsPromEndpoint(t *testing.T) {
+	_, client := newTestDaemon(t, serve.Config{})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		res, err := client.PlanPair(ctx, serve.PairRequest{Shape: testShape, Src: 0, Dst: 97, Bytes: 1 << 20})
+		if err != nil || !res.OK() {
+			t.Fatalf("plan %d: %v status %d", i, err, res.Status)
+		}
+	}
+
+	// The JSON form still works and carries the window metrics...
+	snap, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.WindowCounters["serve/window/requests"].Total != 5 {
+		t.Fatalf("window requests = %+v", snap.WindowCounters["serve/window/requests"])
+	}
+	if snap.WindowHistograms["serve/window/plan_latency_ms"].N != 5 {
+		t.Fatalf("window latency = %+v", snap.WindowHistograms["serve/window/plan_latency_ms"])
+	}
+
+	// ...and ?format=prom serves the same data as Prometheus text.
+	resp, err := http.Get(clientBase(t, client) + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prom content type = %q", ct)
+	}
+	scrape, err := obs.ParsePrometheusText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := scrape.Value("serve_requests", ""); !ok || v != 5 {
+		t.Fatalf("serve_requests = %g ok=%v", v, ok)
+	}
+	if v, ok := scrape.Value("serve_window_requests_window_total", `{window="30s"}`); !ok || v != 5 {
+		t.Fatalf("windowed request total = %g ok=%v", v, ok)
+	}
+	// The windowed p99 — what a live dashboard reads.
+	if v, ok := scrape.Value("serve_window_plan_latency_ms_window", `{quantile="0.99",window="30s"}`); !ok || v <= 0 {
+		t.Fatalf("windowed p99 = %g ok=%v", v, ok)
+	}
+}
+
+// clientBase recovers the daemon base URL from the test client via
+// /healthz — the httptest URL is what NewClient was given.
+func clientBase(t *testing.T, c *serve.Client) string {
+	t.Helper()
+	return c.BaseURL()
+}
+
+func TestPlanPhaseHeadersAndTrace(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{TraceEvents: 1024})
+	client.SetTracer(obs.NewWallRecorder(1024))
+	ctx := context.Background()
+
+	req := serve.PairRequest{Shape: testShape, Src: 0, Dst: 97, Bytes: 1 << 20}
+	first, err := client.PlanPair(ctx, req)
+	if err != nil || !first.OK() {
+		t.Fatalf("first: %v status %d", err, first.Status)
+	}
+	if first.Trace == "" {
+		t.Fatal("traced client got no trace ID back")
+	}
+	if first.Cached || first.Coalesced {
+		t.Fatalf("first request served from cache? %+v", first)
+	}
+	// A computed plan reports real queue and compute phases.
+	if first.ComputeMS <= 0 {
+		t.Fatalf("computed plan reports ComputeMS = %g, want > 0", first.ComputeMS)
+	}
+	if first.QueueMS < 0 {
+		t.Fatalf("QueueMS = %g", first.QueueMS)
+	}
+	if first.StreamMS < 0 {
+		t.Fatalf("StreamMS = %g", first.StreamMS)
+	}
+
+	second, err := client.PlanPair(ctx, req)
+	if err != nil || !second.OK() {
+		t.Fatalf("second: %v status %d", err, second.Status)
+	}
+	if !second.Cached {
+		t.Fatalf("second identical request not cached: %+v", second)
+	}
+	if second.QueueMS != 0 || second.ComputeMS != 0 {
+		t.Fatalf("cache hit reports phase times %g/%g, want 0/0", second.QueueMS, second.ComputeMS)
+	}
+	if second.Trace == first.Trace {
+		t.Fatal("two logical requests share a trace ID")
+	}
+
+	// The daemon's trace snapshot carries the first request's spans —
+	// request, queue, and compute — under the client's trace ID.
+	raw, err := client.TraceJSON(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args,omitempty"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" && ev.Args["trace"] == first.Trace {
+			found[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"pair", "pair queue", "pair compute"} {
+		if !found[want] {
+			t.Fatalf("server trace missing %q span for trace %s (saw %v)", want, first.Trace, found)
+		}
+	}
+	if srv.WallRecorder().OpenSpans() != 0 {
+		t.Fatalf("%d orphan open spans after requests completed", srv.WallRecorder().OpenSpans())
+	}
+}
+
+func TestTraceEndpointDisabledIs404(t *testing.T) {
+	_, client := newTestDaemon(t, serve.Config{}) // TraceEvents unset
+	if _, err := client.TraceJSON(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "status 404") {
+		t.Fatalf("disabled trace endpoint error = %v, want 404", err)
+	}
+}
+
+func TestSLOEndpointVerdicts(t *testing.T) {
+	_, client := newTestDaemon(t, serve.Config{
+		StatsWindow: 10 * time.Second,
+		SLOs: []obs.SLOSpec{
+			{Name: "plan_p99", Kind: obs.SLOLatencyP99, Metric: "serve/window/plan_latency_ms", Threshold: 60_000},
+			{Name: "shed_ratio", Kind: obs.SLORatioMax, Metric: "serve/window/shed",
+				Denominator: "serve/window/requests", Threshold: 0.5},
+			{Name: "tight_p99", Kind: obs.SLOLatencyP99, Metric: "serve/window/plan_latency_ms", Threshold: 1e-9},
+		},
+	})
+	ctx := context.Background()
+
+	// Before traffic: enabled, and every verdict vacuous.
+	snap, err := client.SLO(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Enabled || snap.WindowSec != 10 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	for _, v := range snap.Verdicts {
+		if !v.Vacuous || v.Breached {
+			t.Fatalf("pre-traffic verdict = %+v, want vacuous", v)
+		}
+	}
+
+	for i := 0; i < 5; i++ {
+		if res, err := client.PlanPair(ctx, serve.PairRequest{Shape: testShape, Src: 0, Dst: 97, Bytes: 1 << 20}); err != nil || !res.OK() {
+			t.Fatalf("plan: %v", err)
+		}
+	}
+	snap, err = client.SLO(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.SLOVerdict{}
+	for _, v := range snap.Verdicts {
+		byName[v.Name] = v
+	}
+	if v := byName["plan_p99"]; v.Breached || v.Vacuous || v.Value <= 0 {
+		t.Fatalf("generous p99 objective = %+v", v)
+	}
+	if v := byName["shed_ratio"]; v.Breached || v.Vacuous || v.Value != 0 {
+		t.Fatalf("shed objective = %+v", v)
+	}
+	// The impossible 1ns objective must breach — and its burn counter
+	// must make the whole snapshot report Breached for soak gating.
+	if v := byName["tight_p99"]; !v.Breached || v.Breaches == 0 {
+		t.Fatalf("impossible objective did not breach: %+v", v)
+	}
+	if !snap.Breached() {
+		t.Fatal("snapshot.Breached() = false with a breached objective")
+	}
+}
+
+// TestSessionResumeTraceContinuity is the tracing acceptance scenario:
+// a paced session whose client disconnects every few frames (forced
+// DropEvery) while a daemon fault event lands mid-flight. One trace ID
+// must cover the initial POST, every resume, the server session span,
+// the pushed-fault instant, and the merged engine timeline — with no
+// orphan open spans left behind.
+func TestSessionResumeTraceContinuity(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{TraceEvents: 1 << 14})
+	client.SetTracer(obs.NewWallRecorder(1 << 12))
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Find a link the unfaulted route rides so the mid-flight fault
+	// forces a replan.
+	pre, err := client.PlanPair(ctx, serve.PairRequest{Shape: testShape, Src: 0, Dst: 97, Bytes: 1 << 20})
+	if err != nil || !pre.OK() {
+		t.Fatalf("warmup: %v", err)
+	}
+	var prePlan serve.PairPlan
+	if err := json.Unmarshal(pre.Plan, &prePlan); err != nil {
+		t.Fatal(err)
+	}
+	fl, ok := linkToFail(t, testShape, prePlan.Flows[0].Links[0])
+	if !ok {
+		t.Fatal("cannot invert plan link")
+	}
+
+	var helloTraces []string
+	waveSeen := make(chan struct{})
+	var closed bool
+	go func() {
+		<-waveSeen
+		if _, ferr := client.Fault(ctx, serve.FaultEvent{Links: []scenario.FailLink{fl}}); ferr != nil {
+			t.Errorf("fault: %v", ferr)
+		}
+	}()
+	out, err := client.Transfer(ctx, serve.TransferRequest{
+		ID: "s-trace-1", Shape: testShape, Src: 0, Dst: 97, Bytes: 32 << 20,
+		PaceUS: 2000,
+	}, serve.TransferOpts{
+		DropEvery: 3, // force a disconnect+resume every 3 frames
+		OnFrame: func(f serve.SessionFrame) {
+			switch f.Type {
+			case "hello":
+				helloTraces = append(helloTraces, f.Trace)
+			case "wave":
+				if !closed {
+					closed = true
+					close(waveSeen)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err != "" {
+		t.Fatalf("transfer failed server-side: %s", out.Err)
+	}
+	if out.Resumes == 0 {
+		t.Fatal("DropEvery forced no resumes; the continuity path was not exercised")
+	}
+	if len(out.Pushed) == 0 {
+		t.Fatal("the fault event did not land mid-flight")
+	}
+	if out.Trace == "" {
+		t.Fatal("no trace ID on the outcome")
+	}
+	// Every connection — initial and resumes — reported the same trace.
+	if len(helloTraces) < 2 {
+		t.Fatalf("only %d hello frames; resumes should add more", len(helloTraces))
+	}
+	for i, tr := range helloTraces {
+		if tr != out.Trace {
+			t.Fatalf("hello %d carries trace %q, want %q (trace must survive resume)", i, tr, out.Trace)
+		}
+	}
+
+	// The session goroutine closes its span just after publishing the
+	// report the client returned on — give it a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.WallRecorder().OpenSpans() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := srv.WallRecorder().OpenSpans(); n != 0 {
+		t.Fatalf("%d orphan open spans after session completed", n)
+	}
+
+	// Merge the client and server traces the way bgqload -trace-out does,
+	// then assert the one-trace story: client attempt spans, the server
+	// session span, the pushed-fault instant, and the merged sim-clock
+	// engine timeline all tagged with out.Trace.
+	serverRaw, err := client.TraceJSON(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clientBuf, merged strings.Builder
+	if err := client.Tracer().WriteChromeTrace(&clientBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.MergeChromeTraces(&merged, []byte(clientBuf.String()), serverRaw); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args,omitempty"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(merged.String()), &tr); err != nil {
+		t.Fatal(err)
+	}
+	var clientAttempts, sessionSpans, engineSpans, faultInstants, openSpans int
+	pids := map[int]bool{}
+	for _, ev := range tr.TraceEvents {
+		pids[ev.Pid] = true
+		if ev.Args["open"] == true {
+			openSpans++
+		}
+		if ev.Args["trace"] != out.Trace {
+			continue
+		}
+		switch {
+		case ev.Ph == "X" && strings.HasPrefix(ev.Name, "post "), ev.Ph == "X" && strings.HasPrefix(ev.Name, "resume "):
+			clientAttempts++
+		case ev.Ph == "X" && ev.Name == "session s-trace-1":
+			sessionSpans++
+		case ev.Ph == "X" && (strings.HasPrefix(ev.Name, "resilient ") || strings.HasPrefix(ev.Name, "replan ")):
+			engineSpans++
+		case ev.Ph == "i" && ev.Name == "fault pushed":
+			faultInstants++
+		}
+	}
+	if clientAttempts < 2 {
+		t.Errorf("merged trace has %d client attempt spans under trace %s, want >= 2 (post + resumes)", clientAttempts, out.Trace)
+	}
+	if sessionSpans != 1 {
+		t.Errorf("merged trace has %d server session spans, want 1", sessionSpans)
+	}
+	if faultInstants == 0 {
+		t.Error("merged trace has no pushed-fault instant under the session trace")
+	}
+	if engineSpans == 0 {
+		t.Error("merged trace has no sim-clock engine spans under the session trace")
+	}
+	if openSpans != 0 {
+		t.Errorf("merged trace contains %d open (orphan) spans", openSpans)
+	}
+	if len(pids) < 3 {
+		t.Errorf("merged trace spans %d pids, want >= 3 (client wall + server wall + engine sim)", len(pids))
+	}
+	t.Logf("trace continuity: %d resumes, %d client attempts, %d pushed instants, one trace %s",
+		out.Resumes, clientAttempts, faultInstants, out.Trace)
+}
+
+// A daemon with tracing enabled assigns traces server-side for untraced
+// clients, and the hello frame hands the ID back.
+func TestServerAssignedSessionTrace(t *testing.T) {
+	_, client := newTestDaemon(t, serve.Config{TraceEvents: 1024})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, err := client.Transfer(ctx, serve.TransferRequest{
+		ID: "s-trace-2", Shape: testShape, Src: 0, Dst: 5, Bytes: 1 << 20,
+	}, serve.TransferOpts{})
+	if err != nil || out.Err != "" {
+		t.Fatalf("transfer: %v / %s", err, out.Err)
+	}
+	if out.Trace == "" {
+		t.Fatal("server-side tracing enabled but hello carried no trace")
+	}
+}
+
+// The disabled plane must stay free: no trace IDs minted, no headers
+// beyond the zero phase stamps, no allocations in the obs calls.
+func TestDisabledTracingNoTraceIDs(t *testing.T) {
+	_, client := newTestDaemon(t, serve.Config{}) // tracing off, no client tracer
+	res, err := client.PlanPair(context.Background(),
+		serve.PairRequest{Shape: testShape, Src: 0, Dst: 97, Bytes: 1 << 20})
+	if err != nil || !res.OK() {
+		t.Fatalf("plan: %v", err)
+	}
+	if res.Trace != "" {
+		t.Fatalf("untraced request came back with trace %q", res.Trace)
+	}
+	// Phase headers still work — queue/compute come from the server
+	// regardless of tracing.
+	if res.ComputeMS <= 0 {
+		t.Fatalf("ComputeMS = %g, want > 0 on a computed plan", res.ComputeMS)
+	}
+}
+
+func TestResumeWindowCounters(t *testing.T) {
+	srv, client := newTestDaemon(t, serve.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, err := client.Transfer(ctx, serve.TransferRequest{
+		ID: "s-resume-counters", Shape: testShape, Src: 0, Dst: 97, Bytes: 16 << 20, PaceUS: 500,
+	}, serve.TransferOpts{DropEvery: 2})
+	if err != nil || out.Err != "" {
+		t.Fatalf("transfer: %v / %s", err, out.Err)
+	}
+	if out.Resumes == 0 {
+		t.Fatal("no resumes forced")
+	}
+	snap := srv.Registry().Snapshot()
+	resumes := snap.WindowCounters["serve/window/resumes"].Total
+	hits := snap.WindowCounters["serve/window/resume_hits"].Total
+	if resumes < int64(out.Resumes) {
+		t.Fatalf("window resumes = %d, client saw %d", resumes, out.Resumes)
+	}
+	if hits != resumes {
+		t.Fatalf("resume hits %d != resumes %d (no daemon restart here — every resume must hit)", hits, resumes)
+	}
+
+	// An unknown session is the miss case.
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
+		clientBase(t, client)+"/v1/transfer/no-such-session/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session resume status = %d", resp.StatusCode)
+	}
+	snap = srv.Registry().Snapshot()
+	if got := snap.WindowCounters["serve/window/resumes"].Total; got != resumes+1 {
+		t.Fatalf("miss did not count: %d", got)
+	}
+	if got := snap.WindowCounters["serve/window/resume_hits"].Total; got != hits {
+		t.Fatalf("miss counted as hit: %d", got)
+	}
+}

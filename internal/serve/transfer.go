@@ -6,6 +6,7 @@ import (
 
 	"bgqflow/internal/core"
 	"bgqflow/internal/netsim"
+	"bgqflow/internal/obs"
 	"bgqflow/internal/scenario"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/torus"
@@ -148,10 +149,15 @@ type SessionFrame struct {
 	Type string `json:"type"`
 	ID   string `json:"id,omitempty"`
 
-	// hello fields.
+	// hello fields. Trace is the session's trace ID (stamped by the
+	// client's X-Bgq-Trace-Id or generated at session creation); every
+	// resume of the session carries the same value, so one trace follows
+	// the transfer across disconnects. Per-connection only — never part
+	// of the canonical request or the byte-verified report.
 	State      string `json:"state,omitempty"`
 	ReplayFrom uint64 `json:"replayFrom,omitempty"`
 	Resumed    bool   `json:"resumed,omitempty"`
+	Trace      string `json:"trace,omitempty"`
 
 	// Progress fields (see core.TransferEvent).
 	Wave    int    `json:"wave,omitempty"`
@@ -202,6 +208,12 @@ type TransferHooks struct {
 	// it may mutate the engine (inject faults, pace) or abort the
 	// transfer by returning an error.
 	Interject func(e *netsim.Engine) error
+	// Recorder, when set, captures this run's sim-clock spans and
+	// instants (sessions record into a private recorder and merge it
+	// into the daemon trace plane when the run finishes). Track names
+	// the span track; empty means core's default.
+	Recorder *obs.Recorder
+	Track    string
 }
 
 // PushedInterject builds an Interject hook that replays recorded pushed
@@ -265,6 +277,8 @@ func RunTransfer(req TransferRequest, faults []scenario.FailLink, hooks Transfer
 	rc := req.recoveryConfig()
 	rc.OnEvent = hooks.OnEvent
 	rc.Interject = hooks.Interject
+	rc.Recorder = hooks.Recorder
+	rc.Track = hooks.Track
 	return tr.MoveResilient(e, torus.NodeID(req.Src), torus.NodeID(req.Dst), req.Bytes, rc)
 }
 

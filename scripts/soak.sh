@@ -9,6 +9,15 @@
 # counts plus the daemon's /metrics snapshot — is archived as
 # LOAD_<date>.json.
 #
+# The daemon also runs with live SLOs derived from the same baseline:
+# the rolling-window plan p99 must stay under baseline x 5 and the
+# windowed shed ratio under 0.5, evaluated continuously over the
+# daemon's stats window — so a mid-run latency excursion that a
+# whole-run percentile would average away still burns a breach counter.
+# bgqload -require-slo turns any breach into a hard failure, and the
+# verdict snapshot is archived as SLO_<date>.json next to the load
+# report.
+#
 # Environment knobs: SOAK_DURATION (default 30s), SOAK_RPS (default
 # 500), SOAK_SEED (default 7).
 set -eu
@@ -19,6 +28,16 @@ duration="${SOAK_DURATION:-30s}"
 rps="${SOAK_RPS:-500}"
 seed="${SOAK_SEED:-7}"
 out="LOAD_$(date +%Y%m%d).json"
+slo_out="SLO_$(date +%Y%m%d).json"
+
+# The SLO threshold mirrors the report-level gate: baseline p99 x 5,
+# read from the checked-in baseline (latency.p99_ms).
+base_p99=$(awk -F: '/"p99_ms"/ { gsub(/[ ,]/, "", $2); print $2; exit }' scripts/soak_baseline.json)
+if [ -z "$base_p99" ]; then
+    echo "soak: cannot read p99_ms from scripts/soak_baseline.json" >&2
+    exit 1
+fi
+slo_p99=$(awk "BEGIN { printf \"%.3fms\", $base_p99 * 5 }")
 
 bindir=$(mktemp -d)
 sock="$bindir/bgqd.sock"
@@ -27,7 +46,8 @@ trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$bindir"' EXIT INT TERM
 go build -o "$bindir/bgqd" ./cmd/bgqd
 go build -o "$bindir/bgqload" ./cmd/bgqload
 
-"$bindir/bgqd" -socket "$sock" &
+"$bindir/bgqd" -socket "$sock" \
+    -stats-window 10s -slo-plan-p99 "$slo_p99" -slo-shed-ratio 0.5 &
 daemon_pid=$!
 
 # Wait for the daemon to bind its socket.
@@ -47,13 +67,14 @@ status=0
     -duration "$duration" -mode open -rps "$rps" -seed "$seed" \
     -agg-every 16 -require-coalesce -max-shed-rate 0.5 \
     -baseline scripts/soak_baseline.json -p99-ratio 5 \
+    -require-slo -slo-out "$slo_out" \
     -json "$out" || status=$?
 
 kill "$daemon_pid" 2>/dev/null || true
 wait "$daemon_pid" 2>/dev/null || true
 
 if [ "$status" -eq 0 ]; then
-    echo "soak: passed; report archived as $out"
+    echo "soak: passed; report archived as $out, SLO verdicts as $slo_out"
 else
     echo "soak: FAILED (exit $status); report (if written): $out" >&2
 fi

@@ -12,6 +12,24 @@
 # mid-session fault. The session report is archived as
 # SESSIONS_<date>.json.
 #
+# Telemetry runs throughout: the daemon keeps a wall-clock trace ring
+# and a live SLO on the windowed session shed ratio (under 0.9).
+# Deliberately NOT gated here: resume success — the restart makes the
+# replacement daemon 404 every orphaned resume, so its first window is
+# all misses by design and a zero-breach gate on it would fail every
+# chaos run (the resume-success objective is gated against a stable
+# daemon by the `make verify` selftest instead). bgqload -require-slo
+# fails the run on any breach; the verdict snapshot lands in
+# SLO_SESSIONS_<date>.json and the merged client+daemon+engine Perfetto
+# trace — one trace ID per session across every disconnect and resume —
+# in TRACE_SESSIONS_<date>.json (open in ui.perfetto.dev). The first
+# daemon's trace ring would die with the SIGTERM, so right before the
+# kill we snapshot it with `bgqload -dump-trace` and merge the dump into
+# the final artifact via -trace-extra: the archive then carries server
+# spans from BOTH daemon incarnations, and a sampled session shows its
+# client attempts, pre-restart server spans, pushed-fault instants, and
+# post-restart resume under one trace ID.
+#
 # Environment knobs: SOAK_SESSIONS (default 1000), SOAK_SEED (default
 # 7), SOAK_PACE_US (default 20000), SOAK_RESTART_AFTER (seconds before
 # the SIGTERM, default 2). SOAK_SHORT=1 shrinks the run (64 sessions,
@@ -29,9 +47,12 @@ if [ "${SOAK_SHORT:-0}" = "1" ]; then
     restart_after=1
 fi
 out="SESSIONS_$(date +%Y%m%d).json"
+slo_out="SLO_SESSIONS_$(date +%Y%m%d).json"
+trace_out="TRACE_SESSIONS_$(date +%Y%m%d).json"
 
 bindir=$(mktemp -d)
 sock="$bindir/bgqd.sock"
+trace_pre="$bindir/trace_pre_restart.json"
 daemon_pid=""
 trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$bindir"' EXIT INT TERM
 
@@ -39,7 +60,8 @@ go build -o "$bindir/bgqd" ./cmd/bgqd
 go build -o "$bindir/bgqload" ./cmd/bgqload
 
 start_daemon() {
-    "$bindir/bgqd" -socket "$sock" -drain-timeout 2s -batch-window 25ms &
+    "$bindir/bgqd" -socket "$sock" -drain-timeout 2s -batch-window 25ms \
+        -trace-events 65536 -stats-window 10s -slo-shed-ratio 0.9 &
     daemon_pid=$!
     i=0
     while [ ! -S "$sock" ]; do
@@ -58,14 +80,19 @@ start_daemon
     -addr "unix://$sock" -sessions "$sessions" -seed "$seed" \
     -pace-us "$pace" -campaign-every 5 -batch-every 3 -drop-every 4 \
     -fault-events 8 -min-resumes 1 -min-pushed-faults 1 \
+    -require-slo -slo-out "$slo_out" \
+    -trace-out "$trace_out" -trace-extra "$trace_pre" \
     -json "$out" &
 load_pid=$!
 
 # The replica restart: SIGTERM the daemon while sessions are in flight.
 # Sessions that finish inside the drain deadline complete normally;
 # the rest are aborted (the daemon exits 1 by design — tolerated here)
-# and their clients re-arm against the replacement daemon.
+# and their clients re-arm against the replacement daemon. Snapshot the
+# doomed daemon's trace ring first so its server spans survive into the
+# merged artifact (best effort — a failed dump only thins the trace).
 sleep "$restart_after"
+"$bindir/bgqload" -dump-trace -addr "unix://$sock" -trace-out "$trace_pre" || true
 kill -TERM "$daemon_pid" 2>/dev/null || true
 wait "$daemon_pid" 2>/dev/null || true
 start_daemon
@@ -77,7 +104,7 @@ kill "$daemon_pid" 2>/dev/null || true
 wait "$daemon_pid" 2>/dev/null || true
 
 if [ "$status" -eq 0 ]; then
-    echo "soak-sessions: passed; report archived as $out"
+    echo "soak-sessions: passed; report archived as $out, SLO verdicts as $slo_out, trace as $trace_out"
 else
     echo "soak-sessions: FAILED (exit $status); report (if written): $out" >&2
 fi
