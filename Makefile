@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench bench-scale quick check soak soak-sessions
+.PHONY: build test lint verify bench bench-scale quick check check-topo soak soak-sessions
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ lint:
 # The telemetry gate also proves the disabled trace plane is free: the
 # paired wall-span benchmark must report 0 B/op with tracing off, so
 # the hot path never pays for observability nobody asked for.
-verify: build lint check
+verify: build lint check check-topo
 	$(GO) test ./...
 	$(GO) test -race ./internal/experiments ./internal/netsim ./internal/faultinject ./internal/serve
 	$(GO) test -run '^$$' -bench 'BenchmarkWallSpan' -benchmem ./internal/obs | \
@@ -46,6 +46,15 @@ check:
 	$(GO) test ./internal/check
 	$(GO) run ./cmd/bgqbench -check -quick -run all
 	$(GO) test -fuzz=FuzzDifferential -fuzztime=30s -run '^$$' ./internal/check
+
+# Topology-plane oracle: the 200-seed dragonfly/fat-tree differential
+# suite plus invariant audits and the topology round-trip/identity
+# pins, an audited bgqbench cross-topology run, and a short fuzz smoke
+# over the topology differential.
+check-topo:
+	$(GO) test -run 'Topo' -count=1 ./internal/check ./internal/netsim ./internal/packetsim ./internal/scenario ./internal/serve
+	$(GO) run ./cmd/bgqbench -check -quick -run topo
+	$(GO) test -fuzz=FuzzDifferentialTopo -fuzztime=15s -run '^$$' ./internal/check
 
 # Fast smoke run of every figure.
 quick:

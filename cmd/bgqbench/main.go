@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bgqbench [-run fig5|fig6|fig7|fig8|fig9|fig10|fig11|r1|ablations|extensions|scale|all]
+//	bgqbench [-run fig5|fig6|fig7|fig8|fig9|fig10|fig11|r1|ablations|extensions|scale|topo|all]
 //	         [-quick] [-parallel N] [-engine incremental|global]
 //	         [-json out.json] [-compare prev.json]
 //	         [-obs-trace f] [-metrics f] [-check]
@@ -103,6 +103,7 @@ var runners = []struct {
 	{"ablations", printAblations},
 	{"extensions", printExtensions},
 	{"scale", printScale},
+	{"topo", printTopo},
 }
 
 // validateFlags rejects bad flags before any experiment runs, so a long
@@ -683,6 +684,24 @@ func printExtensions(w io.Writer, opt experiments.Options) error {
 			fmt.Sprintf("%.2fx", r.OursGBps/r.DefaultGBps))
 	}
 	return t5.Write(w)
+}
+
+func printTopo(w io.Writer, opt experiments.Options) error {
+	res, err := experiments.TopoCompare(opt)
+	if err != nil {
+		return err
+	}
+	curves := make([]experiments.Curve, len(res.Fabrics))
+	for i, f := range res.Fabrics {
+		curves[i] = f.Curve
+	}
+	if err := printCurveTable(w, "Topology comparison: corner-to-corner direct PUT throughput", "size", curves...); err != nil {
+		return err
+	}
+	for _, f := range res.Fabrics {
+		fmt.Fprintf(w, "%-18s %d nodes, %d-hop measured route\n", f.Spec, f.Nodes, f.Hops)
+	}
+	return nil
 }
 
 func printScale(w io.Writer, opt experiments.Options) error {

@@ -6,6 +6,7 @@ import (
 
 	"bgqflow/internal/netsim"
 	"bgqflow/internal/sim"
+	"bgqflow/internal/topo"
 	"bgqflow/internal/torus"
 )
 
@@ -54,11 +55,20 @@ func RunNetsim(sc Scenario, hook func(*netsim.Engine)) (RunOutput, error) {
 // explicit sweep mode — the handle the differential suite uses to pin
 // the incremental engine against the global one.
 func RunNetsimMode(sc Scenario, mode netsim.SweepMode, hook func(*netsim.Engine)) (RunOutput, error) {
-	tor, err := torus.New(torus.Shape(sc.Shape))
-	if err != nil {
-		return RunOutput{}, fmt.Errorf("check: scenario shape %v: %w", sc.Shape, err)
+	var net *netsim.Network
+	if sc.Topology != "" {
+		tp, err := topo.Parse(sc.Topology)
+		if err != nil {
+			return RunOutput{}, fmt.Errorf("check: scenario topology: %w", err)
+		}
+		net = netsim.NewNetworkTopo(tp, sc.Params.LinkBandwidth)
+	} else {
+		tor, err := torus.New(torus.Shape(sc.Shape))
+		if err != nil {
+			return RunOutput{}, fmt.Errorf("check: scenario shape %v: %w", sc.Shape, err)
+		}
+		net = netsim.NewNetwork(tor, sc.Params.LinkBandwidth)
 	}
-	net := netsim.NewNetwork(tor, sc.Params.LinkBandwidth)
 	for i, ex := range sc.Extra {
 		net.AddLinkFrom(fmt.Sprintf("extra%d", i), torus.NodeID(ex.From), ex.Capacity)
 	}
@@ -75,6 +85,13 @@ func RunNetsimMode(sc Scenario, mode netsim.SweepMode, hook func(*netsim.Engine)
 		return RunOutput{}, err
 	}
 	e.SetSweepMode(mode)
+	if sc.CostModel != "" {
+		cm, err := topo.ParseCostModel(sc.CostModel, netsim.CostModelFromParams(e.Params()))
+		if err != nil {
+			return RunOutput{}, fmt.Errorf("check: scenario cost model: %w", err)
+		}
+		e.SetCostModel(cm)
+	}
 	if hook != nil {
 		hook(e)
 	}
@@ -121,11 +138,33 @@ func RunNetsimMode(sc Scenario, mode netsim.SweepMode, hook func(*netsim.Engine)
 
 // RunRef executes a scenario on the reference engine.
 func RunRef(sc Scenario) (RunOutput, error) {
-	tor, err := torus.New(torus.Shape(sc.Shape))
-	if err != nil {
-		return RunOutput{}, fmt.Errorf("check: scenario shape %v: %w", sc.Shape, err)
+	var r *RefEngine
+	if sc.Topology != "" {
+		tp, err := topo.Parse(sc.Topology)
+		if err != nil {
+			return RunOutput{}, fmt.Errorf("check: scenario topology: %w", err)
+		}
+		r = NewRefEngineOn(tp, sc.Params)
+	} else {
+		tor, err := torus.New(torus.Shape(sc.Shape))
+		if err != nil {
+			return RunOutput{}, fmt.Errorf("check: scenario shape %v: %w", sc.Shape, err)
+		}
+		r = NewRefEngine(tor, sc.Params)
 	}
-	r := NewRefEngine(tor, sc.Params)
+	if sc.CostModel != "" {
+		cm, err := topo.ParseCostModel(sc.CostModel, topo.Uniform{
+			PerFlow:   sc.Params.PerFlowBandwidth,
+			LocalCopy: sc.Params.LocalCopyBandwidth,
+			Sender:    sc.Params.SenderOverhead,
+			Receiver:  sc.Params.ReceiverOverhead,
+			Hop:       sc.Params.HopLatency,
+		})
+		if err != nil {
+			return RunOutput{}, fmt.Errorf("check: scenario cost model: %w", err)
+		}
+		r.SetCostModel(cm)
+	}
 	for _, ex := range sc.Extra {
 		r.AddLinkFrom(torus.NodeID(ex.From), ex.Capacity)
 	}

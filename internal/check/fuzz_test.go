@@ -38,3 +38,33 @@ func FuzzDifferential(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDifferentialTopo is the topology axis of the differential fuzzer:
+// seeds drive GenerateTopo (dragonfly/fat-tree fabrics, some with the
+// heterogeneous cost model) through all three engines. Findings archive
+// like FuzzDifferential's.
+//
+// Run a smoke budget with:
+//
+//	go test -fuzz=FuzzDifferentialTopo -fuzztime=15s -run '^$' ./internal/check
+func FuzzDifferentialTopo(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		sc := GenerateTopo(seed)
+		divs := RunDifferential(sc)
+		if len(divs) == 0 {
+			return
+		}
+		path := filepath.Join("testdata", "divergences", fmt.Sprintf("fuzz-topo-seed%d.json", seed))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err == nil {
+			if werr := WriteScenario(path, sc); werr == nil {
+				t.Logf("scenario archived at %s", path)
+			}
+		}
+		for _, d := range divs {
+			t.Errorf("seed %d (%s/%s): %s", seed, sc.Topology, sc.CostModel, d)
+		}
+	})
+}

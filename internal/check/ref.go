@@ -10,15 +10,16 @@ import (
 	"fmt"
 	"math"
 
-	"bgqflow/internal/routing"
+	"bgqflow/internal/topo"
 	"bgqflow/internal/torus"
 )
 
 // RefParams mirrors the machine constants of the optimized engine as
 // plain float64 seconds and bytes/second. The reference engine shares
-// only the torus and routing types with netsim — even the parameter
-// struct is independent, so a unit mix-up in either engine surfaces as
-// a differential failure instead of being definitionally identical.
+// only the torus/topology and routing types with netsim — even the
+// parameter struct is independent, so a unit mix-up in either engine
+// surfaces as a differential failure instead of being definitionally
+// identical.
 type RefParams struct {
 	LinkBandwidth      float64 `json:"link_bandwidth"`
 	PerFlowBandwidth   float64 `json:"per_flow_bandwidth"`
@@ -92,7 +93,8 @@ type refFailure struct {
 // O(flows² · links); nothing is cached, pooled, batched, or scoped to a
 // component. It exists to be compared against, not to be fast.
 type RefEngine struct {
-	tor       *torus.Torus
+	tp        topo.Topology
+	cm        topo.CostModel // nil = uniform RefParams arithmetic
 	p         RefParams
 	caps      []float64
 	failed    []bool
@@ -106,18 +108,37 @@ type RefEngine struct {
 
 // NewRefEngine builds a reference engine over the torus links of tor.
 func NewRefEngine(tor *torus.Torus, p RefParams) *RefEngine {
-	caps := make([]float64, tor.NumTorusLinks())
+	return NewRefEngineOn(topo.NewTorus(tor), p)
+}
+
+// NewRefEngineOn builds a reference engine over an arbitrary topology's
+// base links: each link's capacity is LinkBandwidth times the topology's
+// rail multiplier (exactly 1.0 on a torus, so NewRefEngine is the same
+// engine it always was).
+func NewRefEngineOn(tp topo.Topology, p RefParams) *RefEngine {
+	caps := make([]float64, tp.NumLinks())
 	for i := range caps {
-		caps[i] = p.LinkBandwidth
+		caps[i] = p.LinkBandwidth * tp.LinkCapacity(i)
 	}
 	return &RefEngine{
-		tor:       tor,
+		tp:        tp,
 		p:         p,
 		caps:      caps,
 		failed:    make([]bool, len(caps)),
 		extraFrom: make(map[torus.NodeID][]int),
 		linkBytes: make([]float64, len(caps)),
 	}
+}
+
+// SetCostModel installs a per-node endpoint cost model mirroring
+// netsim.Engine.SetCostModel: flow caps, sender/receiver overheads, and
+// hop latency come from the model instead of the uniform RefParams. Must
+// be called before any Submit; nil keeps the uniform arithmetic.
+func (r *RefEngine) SetCostModel(cm topo.CostModel) {
+	if len(r.flows) > 0 {
+		panic("check: SetCostModel after Submit")
+	}
+	r.cm = cm
 }
 
 // AddLinkFrom registers an extra link owned by a torus node (the 11th
@@ -141,18 +162,21 @@ func (r *RefEngine) Submit(spec RefFlowSpec) int {
 		panic(fmt.Sprintf("check: negative flow size %d", spec.Bytes))
 	}
 	f := &refFlow{spec: spec, cap: r.p.PerFlowBandwidth}
+	if r.cm != nil {
+		f.cap = r.cm.PerFlowRate(spec.Src, spec.Dst)
+	}
 	switch {
 	case spec.HasLinks:
 		// A flow occupies a set of links: a route listing a link twice
 		// still claims it once and moves each byte across it once.
 		f.links = dedupRefLinks(spec.Links)
 		if len(f.links) == 0 {
-			f.cap = r.p.LocalCopyBandwidth
+			f.cap = r.localCopyRate(spec.Src)
 		}
 	case spec.Src == spec.Dst:
-		f.cap = r.p.LocalCopyBandwidth
+		f.cap = r.localCopyRate(spec.Src)
 	default:
-		f.links = routing.DeterministicRoute(r.tor, spec.Src, spec.Dst).Links
+		f.links = r.tp.Route(spec.Src, spec.Dst)
 	}
 	for _, l := range f.links {
 		if l < 0 || l >= len(r.caps) {
@@ -182,8 +206,8 @@ func (r *RefEngine) FailLinkAt(link int, at float64) {
 	r.failures = append(r.failures, refFailure{at: at, links: []int{link}})
 }
 
-// FailNodeAt schedules a whole-node failure: every directed torus link
-// into or out of the node plus its registered extra links.
+// FailNodeAt schedules a whole-node failure: every base-fabric link
+// that dies with the node plus its registered extra links.
 func (r *RefEngine) FailNodeAt(n torus.NodeID, at float64) {
 	var links []int
 	add := func(l int) {
@@ -194,11 +218,8 @@ func (r *RefEngine) FailNodeAt(n torus.NodeID, at float64) {
 		}
 		links = append(links, l)
 	}
-	for dim := 0; dim < r.tor.Dims(); dim++ {
-		for _, dir := range []torus.Direction{torus.Plus, torus.Minus} {
-			add(r.tor.LinkID(n, dim, dir))
-			add(r.tor.LinkID(r.tor.Neighbor(n, dim, dir), dim, -dir))
-		}
+	for _, l := range r.tp.NodeLinks(n) {
+		add(l)
 	}
 	for _, l := range r.extraFrom[n] {
 		add(l)
@@ -298,10 +319,22 @@ func (r *RefEngine) LinkBytes() []float64 {
 	return append([]float64(nil), r.linkBytes...)
 }
 
+// localCopyRate is the node-local memcpy rate at n.
+func (r *RefEngine) localCopyRate(n torus.NodeID) float64 {
+	if r.cm != nil {
+		return r.cm.LocalCopyRate(n)
+	}
+	return r.p.LocalCopyBandwidth
+}
+
 func (r *RefEngine) release(f *refFlow, t float64) {
 	f.state = refDelayed
 	f.res.Released = t
-	f.timer = t + r.p.SenderOverhead + f.spec.ExtraDelay
+	if r.cm != nil {
+		f.timer = t + r.cm.SenderOverhead(f.spec.Src) + f.spec.ExtraDelay
+	} else {
+		f.timer = t + r.p.SenderOverhead + f.spec.ExtraDelay
+	}
 }
 
 func (r *RefEngine) activate(f *refFlow) {
@@ -318,7 +351,11 @@ func (r *RefEngine) transferEnd(f *refFlow) {
 	f.state = refDraining
 	f.res.TransferEnd = r.now
 	f.rate = 0
-	f.timer = r.now + r.p.ReceiverOverhead + r.p.HopLatency*float64(len(f.links))
+	if r.cm != nil {
+		f.timer = r.now + r.cm.ReceiverOverhead(f.spec.Dst) + r.cm.HopLatency()*float64(len(f.links))
+	} else {
+		f.timer = r.now + r.p.ReceiverOverhead + r.p.HopLatency*float64(len(f.links))
+	}
 }
 
 func (r *RefEngine) finishFlow(f *refFlow) {

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"bgqflow/internal/routing"
+	"bgqflow/internal/topo"
 	"bgqflow/internal/torus"
 )
 
@@ -41,14 +42,25 @@ type NodeFailure struct {
 	At   float64 `json:"at"`
 }
 
-// Scenario is one differential test case: a torus, machine constants, a
+// Scenario is one differential test case: a fabric, machine constants, a
 // flow DAG, and a fault campaign. Scenarios serialize to JSON so a
 // divergence found by the fuzzer replays byte-identically from
 // testdata/divergences (see EXPERIMENTS.md).
+//
+// The BG/Q-default compatibility rule (DESIGN.md §16): an empty Topology
+// means "the torus described by Shape" and an empty CostModel means "the
+// uniform Params arithmetic", so every pre-topology scenario and every
+// archived divergence replays byte-identically.
 type Scenario struct {
-	Seed         int64          `json:"seed"`
-	Shape        []int          `json:"shape"`
-	Params       RefParams      `json:"params"`
+	Seed  int64 `json:"seed"`
+	Shape []int `json:"shape,omitempty"`
+	// Topology is a topo.Parse spec ("dragonfly:6x4x2"); empty selects
+	// the torus built from Shape.
+	Topology string    `json:"topology,omitempty"`
+	Params   RefParams `json:"params"`
+	// CostModel is a topo.ParseCostModel spec ("hetero:4") over the
+	// uniform Params base; empty keeps the uniform arithmetic.
+	CostModel    string         `json:"cost_model,omitempty"`
 	Extra        []ExtraLink    `json:"extra,omitempty"`
 	Flows        []ScenarioFlow `json:"flows"`
 	LinkFailures []LinkFailure  `json:"link_failures,omitempty"`
@@ -255,6 +267,128 @@ func GenerateSparse(seed int64) Scenario {
 
 	horizon := 3e-3
 	for i, n := 0, rng.Intn(6); i < n; i++ {
+		sc.LinkFailures = append(sc.LinkFailures, LinkFailure{
+			Link: rng.Intn(totalLinks),
+			At:   rng.Float64() * horizon,
+		})
+	}
+	if rng.Intn(3) == 0 {
+		sc.NodeFailures = append(sc.NodeFailures, NodeFailure{
+			Node: rng.Intn(size),
+			At:   rng.Float64() * horizon,
+		})
+	}
+	return sc
+}
+
+// genTopoSpecs are the non-torus fabrics GenerateTopo draws from: small
+// enough for the reference engine, varied across family, rail count, and
+// gateway pressure.
+var genTopoSpecs = []string{
+	"dragonfly:4x4x1",
+	"dragonfly:6x4x2",
+	"dragonfly:4x8x1",
+	"fattree:8x4x1",
+	"fattree:16x4x2",
+	"fattree:8x2x3",
+}
+
+// GenerateTopo builds the scenario for one seed on a non-torus topology
+// (the topology axis of the differential suite). Flow kinds mirror
+// Generate: default oracle routes, local copies, explicit routes (the
+// topology's own oracle path, sometimes extended over an extra link), and
+// arbitrary link multisets. A third of the scenarios also draw a
+// heterogeneous cost model, so the CPU/GPU-tiered endpoint arithmetic is
+// differentially tested on every fabric. Determinism contract as
+// Generate.
+func GenerateTopo(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed ^ 0x70705eed))
+	sc := Scenario{Seed: seed}
+	sc.Topology = genTopoSpecs[rng.Intn(len(genTopoSpecs))]
+	tp, err := topo.Parse(sc.Topology)
+	if err != nil {
+		panic(fmt.Sprintf("check: generator topology %q: %v", sc.Topology, err))
+	}
+	size := tp.NumNodes()
+
+	lb := 1e9 + rng.Float64()*1e9
+	sc.Params = RefParams{
+		LinkBandwidth:      lb,
+		PerFlowBandwidth:   (0.5 + rng.Float64()) * lb,
+		LocalCopyBandwidth: (4 + 8*rng.Float64()) * 1e9,
+		SenderOverhead:     1e-6 + rng.Float64()*29e-6,
+		ReceiverOverhead:   1e-6 + rng.Float64()*29e-6,
+		HopLatency:         1e-9 + rng.Float64()*99e-9,
+	}
+	if rng.Intn(3) == 0 {
+		sc.CostModel = fmt.Sprintf("hetero:%d", 2+rng.Intn(4))
+	}
+
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		sc.Extra = append(sc.Extra, ExtraLink{
+			From:     rng.Intn(size),
+			Capacity: (0.5 + rng.Float64()) * lb,
+		})
+	}
+	totalLinks := tp.NumLinks() + len(sc.Extra)
+
+	nFlows := 1 + rng.Intn(32)
+	for i := 0; i < nFlows; i++ {
+		f := ScenarioFlow{Src: rng.Intn(size), Dst: rng.Intn(size)}
+		switch k := rng.Intn(10); {
+		case k < 5:
+			// Default oracle route between distinct endpoints.
+			if f.Src == f.Dst {
+				f.Dst = (f.Dst + 1) % size
+			}
+		case k < 6:
+			// Node-local copy.
+			f.Dst = f.Src
+		case k < 8:
+			// Explicit route: the oracle path submitted as literal links
+			// (src == dst yields an explicit empty route), sometimes
+			// extended over an extra link.
+			f.Links = append([]int{}, tp.Route(torus.NodeID(f.Src), torus.NodeID(f.Dst))...)
+			f.HasLinks = true
+			if len(sc.Extra) > 0 && rng.Intn(2) == 0 {
+				f.Links = append(f.Links, tp.NumLinks()+rng.Intn(len(sc.Extra)))
+			}
+		default:
+			// Arbitrary link multiset, sampled with replacement.
+			m := 1 + rng.Intn(6)
+			f.Links = make([]int, 0, m)
+			for j := 0; j < m; j++ {
+				f.Links = append(f.Links, rng.Intn(totalLinks))
+			}
+			f.HasLinks = true
+		}
+		if rng.Intn(10) == 0 {
+			f.Bytes = 0
+		} else {
+			f.Bytes = 1 + int64(math.Exp(rng.Float64()*math.Log(8<<20)))
+		}
+		if i > 0 && rng.Intn(10) < 3 {
+			for d, nd := 0, 1+rng.Intn(2); d < nd; d++ {
+				dep := rng.Intn(i)
+				dup := false
+				for _, have := range f.Deps {
+					if have == dep {
+						dup = true
+					}
+				}
+				if !dup {
+					f.Deps = append(f.Deps, dep)
+				}
+			}
+		}
+		if rng.Intn(10) < 3 {
+			f.ExtraDelay = rng.Float64() * 50e-6
+		}
+		sc.Flows = append(sc.Flows, f)
+	}
+
+	horizon := math.Exp(math.Log(2e-4) + rng.Float64()*math.Log(50e-3/2e-4))
+	for i, n := 0, rng.Intn(4); i < n; i++ {
 		sc.LinkFailures = append(sc.LinkFailures, LinkFailure{
 			Link: rng.Intn(totalLinks),
 			At:   rng.Float64() * horizon,

@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+// TestTopoCompareShape: the cross-topology sweep covers every fabric at
+// every size, the curves plateau near the per-flow cap (a single direct
+// flow is endpoint-bound on all three fabrics), and fewer hops means a
+// no-slower small-message point.
+func TestTopoCompareShape(t *testing.T) {
+	res, err := TopoCompare(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fabrics) != len(topoCompareSpecs) {
+		t.Fatalf("%d fabrics, want %d", len(res.Fabrics), len(topoCompareSpecs))
+	}
+	for _, f := range res.Fabrics {
+		if f.Nodes != 128 {
+			t.Errorf("%s: %d nodes, want 128 (comparable machines)", f.Spec, f.Nodes)
+		}
+		if f.Hops < 1 {
+			t.Errorf("%s: degenerate %d-hop measured route", f.Spec, f.Hops)
+		}
+		if len(f.Curve.Points) == 0 {
+			t.Fatalf("%s: empty curve", f.Spec)
+		}
+		last := f.Curve.Points[len(f.Curve.Points)-1]
+		if last.GBps < 1.5 || last.GBps > 1.8 {
+			t.Errorf("%s: large-message plateau %.3f GB/s, want ~1.65 (per-flow cap)", f.Spec, last.GBps)
+		}
+		for _, pt := range f.Curve.Points {
+			if pt.GBps <= 0 {
+				t.Errorf("%s at %d bytes: non-positive throughput", f.Spec, pt.Bytes)
+			}
+		}
+	}
+	// The torus pair crosses 5 hops, the fat-tree 2: at the smallest
+	// size, where hop latency matters most, the shallower fabric must
+	// not be slower.
+	small := func(i int) float64 { return res.Fabrics[i].Curve.Points[0].GBps }
+	if small(2) < small(0) {
+		t.Errorf("fat-tree small-message %.4f GB/s slower than torus %.4f", small(2), small(0))
+	}
+}
+
+// TestTopoCompareDeterministic: same options, same curves, at any
+// parallelism (each point is self-contained).
+func TestTopoCompareDeterministic(t *testing.T) {
+	seq := quickOpts()
+	seq.Parallel = 1
+	par := quickOpts()
+	par.Parallel = 4
+	a, err := TopoCompare(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TopoCompare(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Fabrics {
+		for j := range a.Fabrics[i].Curve.Points {
+			if a.Fabrics[i].Curve.Points[j] != b.Fabrics[i].Curve.Points[j] {
+				t.Fatalf("%s point %d differs across parallelism", a.Fabrics[i].Spec, j)
+			}
+		}
+	}
+}

@@ -70,7 +70,7 @@ func (c *Campaign) Validate(numLinks, numNodes int) error {
 // every event on its clock.
 func (c *Campaign) Apply(e *netsim.Engine) error {
 	net := e.Network()
-	if err := c.Validate(net.NumLinks(), net.Torus().Size()); err != nil {
+	if err := c.Validate(net.NumLinks(), net.NumNodes()); err != nil {
 		return err
 	}
 	for _, ev := range c.Events {

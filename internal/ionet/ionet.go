@@ -65,6 +65,9 @@ type System struct {
 // rectangular blocks (true for all BG/Q partition geometries).
 func Build(net *netsim.Network, cfg Config) (*System, error) {
 	tor := net.Torus()
+	if tor == nil {
+		return nil, fmt.Errorf("ionet: I/O forwarding requires a torus fabric, got %s", net.Topology().Kind())
+	}
 	if cfg.PsetSize < 1 || tor.Size()%cfg.PsetSize != 0 {
 		return nil, fmt.Errorf("ionet: pset size %d does not divide partition size %d", cfg.PsetSize, tor.Size())
 	}

@@ -6,6 +6,7 @@ import (
 
 	"bgqflow/internal/obs"
 	"bgqflow/internal/sim"
+	"bgqflow/internal/topo"
 	"bgqflow/internal/torus"
 )
 
@@ -128,6 +129,7 @@ const (
 type Engine struct {
 	net   *Network
 	p     Params
+	cm    topo.CostModel // nil = uniform Params arithmetic
 	clock *sim.Engine
 
 	flows     []*flow
@@ -296,6 +298,37 @@ func (e *Engine) SetSweepMode(m SweepMode) {
 // SweepMode reports the selected rate-update strategy.
 func (e *Engine) SweepMode() SweepMode { return e.mode }
 
+// SetCostModel installs a per-node endpoint cost model (DESIGN.md §16)
+// replacing the uniform Params arithmetic for flow rate caps, sender and
+// receiver overheads, and hop latency. Like SetSweepMode it shapes every
+// flow from release on, so it must be chosen before any flow is
+// submitted. A nil model keeps the exact Params expressions — the default
+// path is byte-identical to an engine that never heard of cost models.
+func (e *Engine) SetCostModel(cm topo.CostModel) {
+	if len(e.flows) > 0 {
+		panic("netsim: SetCostModel after Submit")
+	}
+	e.cm = cm
+}
+
+// CostModel reports the installed cost model (nil = uniform Params).
+func (e *Engine) CostModel() topo.CostModel { return e.cm }
+
+// CostModelFromParams lifts the uniform Params constants into a
+// topo.Uniform cost model. Installing it is semantically identical to
+// installing no model; it exists as the base for tiered models
+// (topo.NewHetero, topo.ParseCostModel).
+func CostModelFromParams(p Params) topo.Uniform {
+	return topo.Uniform{
+		PerFlow:   p.PerFlowBandwidth,
+		LocalCopy: p.LocalCopyBandwidth,
+		Sender:    float64(p.SenderOverhead),
+		Receiver:  float64(p.ReceiverOverhead),
+		Forward:   float64(p.ProxyForwardOverhead),
+		Hop:       float64(p.HopLatency),
+	}
+}
+
 // SweepStats reports how many full (whole-component) and incremental
 // (dirty-region) sweeps the engine has performed. In SweepGlobal mode
 // every sweep is full; in SweepIncremental mode the full count is the
@@ -325,6 +358,9 @@ func (e *Engine) Submit(spec FlowSpec) FlowID {
 	id := FlowID(len(e.flows))
 	f := e.newFlow()
 	f.id, f.spec, f.cap = id, spec, e.p.PerFlowBandwidth
+	if e.cm != nil {
+		f.cap = e.cm.PerFlowRate(spec.Src, spec.Dst)
+	}
 	switch {
 	case spec.Links != nil:
 		// Explicit routes are honored even for Src == Dst (e.g. a
@@ -335,10 +371,10 @@ func (e *Engine) Submit(spec FlowSpec) FlowID {
 		// leave a stale linkFlows entry behind at removal.
 		f.links = dedupLinks(spec.Links)
 		if len(f.links) == 0 {
-			f.cap = e.p.LocalCopyBandwidth
+			f.cap = e.localCopyRate(spec.Src)
 		}
 	case spec.Src == spec.Dst:
-		f.cap = e.p.LocalCopyBandwidth
+		f.cap = e.localCopyRate(spec.Src)
 	default:
 		// Served from the network's route cache: the default route is a
 		// pure function of the endpoints, and exchanges resubmit the
@@ -435,11 +471,23 @@ func (e *Engine) NumFlows() int { return len(e.flows) }
 // run, indexed by link ID. The slice is live; do not modify it.
 func (e *Engine) LinkBytes() []float64 { return e.linkBytes }
 
+// localCopyRate is the node-local memcpy rate for flows that never touch
+// the fabric.
+func (e *Engine) localCopyRate(n torus.NodeID) float64 {
+	if e.cm != nil {
+		return e.cm.LocalCopyRate(n)
+	}
+	return e.p.LocalCopyBandwidth
+}
+
 // release starts a flow's sender-overhead countdown.
 func (e *Engine) release(f *flow) {
 	f.state = stateDelayed
 	f.res.Released = e.clock.Now()
 	delay := e.p.SenderOverhead + f.spec.ExtraDelay
+	if e.cm != nil {
+		delay = sim.Duration(e.cm.SenderOverhead(f.spec.Src)) + f.spec.ExtraDelay
+	}
 	f.next = evActivate
 	f.endEvent = e.clock.AfterCall(delay, e, f)
 	f.hasEnd = true
@@ -494,6 +542,9 @@ func (e *Engine) transferEnd(f *flow) {
 		e.requestRealloc(nil, f.links)
 	}
 	tail := e.p.ReceiverOverhead + sim.Duration(float64(e.p.HopLatency)*float64(len(f.links)))
+	if e.cm != nil {
+		tail = sim.Duration(e.cm.ReceiverOverhead(f.spec.Dst) + e.cm.HopLatency()*float64(len(f.links)))
+	}
 	f.next = evFinish
 	f.endEvent = e.clock.AfterCall(tail, e, f)
 	f.hasEnd = true
@@ -535,7 +586,7 @@ func (e *Engine) FailLinkAt(link int, at sim.Time) {
 // all torus links into and out of the node plus its registered extra
 // links (a bridge's 11th link) fail as one event.
 func (e *Engine) FailNodeAt(n torus.NodeID, at sim.Time) {
-	if int(n) < 0 || int(n) >= e.net.Torus().Size() {
+	if int(n) < 0 || int(n) >= e.net.NumNodes() {
 		panic(fmt.Sprintf("netsim: FailNodeAt(%d) outside partition", n))
 	}
 	e.clock.AtCall(at, e, &failureEvent{links: e.net.NodeLinks(n), node: n, isNode: true})

@@ -2,26 +2,40 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"bgqflow/internal/routing"
+	"bgqflow/internal/topo"
 	"bgqflow/internal/torus"
 )
 
 // Network is the set of capacity-limited directed links flows run over:
-// the torus links of a partition plus any registered extra links (such as
-// the 11th links from bridge nodes to I/O nodes).
+// the base-fabric links of a partition plus any registered extra links
+// (such as the 11th links from bridge nodes to I/O nodes).
 //
-// Link IDs are dense integers: IDs below Torus().NumTorusLinks() are torus
-// links (see torus.LinkID); IDs at or above it are extra links in order of
+// Link IDs are dense integers: IDs below NumTorusLinks() are base-fabric
+// links (torus.LinkID order on a torus, the topology's own dense order
+// otherwise); IDs at or above it are extra links in order of
 // registration.
+//
+// A network built with NewNetwork is torus-backed: Torus() is non-nil and
+// the epoch-invalidated routing.Cache serves routes. A network built with
+// NewNetworkTopo over a non-torus topology has a nil Torus(); routes come
+// from the topology's pure route oracle through a lazily filled map
+// (generic routes ignore failures exactly like DeterministicRoute, so no
+// invalidation is needed — see DESIGN.md §16).
 type Network struct {
-	t          *torus.Torus
+	t          *torus.Torus // nil when the fabric is not a torus
+	tp         topo.Topology
 	capacity   []float64
 	failed     []bool
 	nodeFailed []bool
 	names      map[int]string         // extra-link names for diagnostics
 	extraFrom  map[torus.NodeID][]int // node -> extra links it owns (AddLinkFrom)
-	routes     *routing.Cache
+	routes     *routing.Cache         // torus-backed networks only
+
+	topoMu     sync.RWMutex    // guards topoRoutes (non-torus networks)
+	topoRoutes map[int64][]int // (src<<32|dst) -> cached route links
 }
 
 // NewNetwork builds the link table for torus t with per-direction torus
@@ -29,6 +43,7 @@ type Network struct {
 func NewNetwork(t *torus.Torus, linkBandwidth float64) *Network {
 	n := &Network{
 		t:        t,
+		tp:       topo.NewTorus(t),
 		capacity: make([]float64, t.NumTorusLinks()),
 		names:    make(map[int]string),
 		routes:   routing.NewCache(t),
@@ -39,15 +54,44 @@ func NewNetwork(t *torus.Torus, linkBandwidth float64) *Network {
 	return n
 }
 
-// Torus returns the underlying torus.
+// NewNetworkTopo builds the link table for an arbitrary topology. Each
+// base link's capacity is linkBandwidth times the topology's rail
+// multiplier. A torus topology delegates to NewNetwork, so torus-backed
+// behavior (route cache, fault epochs) is identical either way.
+func NewNetworkTopo(tp topo.Topology, linkBandwidth float64) *Network {
+	if tt, ok := tp.(*topo.TorusTopo); ok {
+		return NewNetwork(tt.Torus(), linkBandwidth)
+	}
+	n := &Network{
+		tp:         tp,
+		capacity:   make([]float64, tp.NumLinks()),
+		names:      make(map[int]string),
+		topoRoutes: make(map[int64][]int),
+	}
+	for i := range n.capacity {
+		n.capacity[i] = linkBandwidth * tp.LinkCapacity(i)
+	}
+	return n
+}
+
+// Torus returns the underlying torus, or nil when the network was built
+// over a non-torus topology (NewNetworkTopo). Torus-specific layers
+// (ionet, zone routing, torus-shaped fault campaigns) must check.
 func (n *Network) Torus() *torus.Torus { return n.t }
+
+// Topology returns the fabric behind the network; never nil.
+func (n *Network) Topology() topo.Topology { return n.tp }
+
+// NumNodes reports the number of addressable endpoints.
+func (n *Network) NumNodes() int { return n.tp.NumNodes() }
 
 // NumLinks returns the total number of links, torus plus extra.
 func (n *Network) NumLinks() int { return len(n.capacity) }
 
-// NumTorusLinks returns the number of torus links (extra links have IDs at
-// or beyond this value).
-func (n *Network) NumTorusLinks() int { return n.t.NumTorusLinks() }
+// NumTorusLinks returns the number of base-fabric links (extra links have
+// IDs at or beyond this value). The name is historical: on a torus these
+// are exactly the torus links.
+func (n *Network) NumTorusLinks() int { return n.tp.NumLinks() }
 
 // AddLink registers an extra link with the given capacity and returns its
 // ID. The name labels the link in diagnostics.
@@ -80,7 +124,20 @@ func (n *Network) Capacity(id int) float64 { return n.capacity[id] }
 // served from the network's route cache while the network is failure-free.
 // The returned Route shares a cached Links slice; treat it as read-only.
 func (n *Network) Route(src, dst torus.NodeID) routing.Route {
-	return n.routes.Route(src, dst)
+	if n.routes != nil {
+		return n.routes.Route(src, dst)
+	}
+	key := int64(src)<<32 | int64(uint32(dst))
+	n.topoMu.RLock()
+	links, ok := n.topoRoutes[key]
+	n.topoMu.RUnlock()
+	if !ok {
+		links = n.tp.Route(src, dst)
+		n.topoMu.Lock()
+		n.topoRoutes[key] = links
+		n.topoMu.Unlock()
+	}
+	return routing.Route{Src: src, Dst: dst, Links: links}
 }
 
 // RouteCache exposes the network's route cache for instrumentation.
@@ -99,7 +156,9 @@ func (n *Network) FailLink(id int) {
 		n.failed = make([]bool, len(n.capacity))
 	}
 	n.failed[id] = true
-	n.routes.Invalidate()
+	if n.routes != nil {
+		n.routes.Invalidate()
+	}
 }
 
 // LinkFailed reports whether a link is marked failed.
@@ -111,23 +170,20 @@ func (n *Network) LinkFailed(id int) bool {
 // directed torus links (the BG/Q's 10 links, both directions) plus any
 // extra links registered from it with AddLinkFrom (a bridge's 11th link).
 func (n *Network) NodeLinks(id torus.NodeID) []int {
-	links := make([]int, 0, 4*n.t.Dims()+1)
-	seen := make(map[int]struct{}, 4*n.t.Dims()+1)
+	base := n.tp.NodeLinks(id)
+	extra := n.extraFrom[id]
+	links := make([]int, 0, len(base)+len(extra))
+	seen := make(map[int]struct{}, len(base)+len(extra))
 	add := func(l int) {
 		if _, dup := seen[l]; !dup {
 			seen[l] = struct{}{}
 			links = append(links, l)
 		}
 	}
-	for dim := 0; dim < n.t.Dims(); dim++ {
-		for _, dir := range []torus.Direction{torus.Plus, torus.Minus} {
-			add(n.t.LinkID(id, dim, dir))
-			// The incoming link along (dim, dir) leaves the neighbor on
-			// the far side, headed back at us.
-			add(n.t.LinkID(n.t.Neighbor(id, dim, dir), dim, -dir))
-		}
+	for _, l := range base {
+		add(l)
 	}
-	for _, l := range n.extraFrom[id] {
+	for _, l := range extra {
 		add(l)
 	}
 	return links
@@ -138,7 +194,7 @@ func (n *Network) NodeLinks(id torus.NodeID) []int {
 // route cache absorbs a single invalidation for the whole event.
 func (n *Network) FailNode(id torus.NodeID) {
 	if n.nodeFailed == nil {
-		n.nodeFailed = make([]bool, n.t.Size())
+		n.nodeFailed = make([]bool, n.tp.NumNodes())
 	}
 	n.nodeFailed[id] = true
 	if n.failed == nil {
@@ -147,7 +203,9 @@ func (n *Network) FailNode(id torus.NodeID) {
 	for _, l := range n.NodeLinks(id) {
 		n.failed[l] = true
 	}
-	n.routes.Invalidate()
+	if n.routes != nil {
+		n.routes.Invalidate()
+	}
 }
 
 // NodeFailed reports whether a node is marked failed.
@@ -172,8 +230,8 @@ func (n *Network) FailedFunc() func(int) bool {
 
 // LinkName renders a link for diagnostics.
 func (n *Network) LinkName(id int) string {
-	if id < n.t.NumTorusLinks() {
-		return n.t.LinkString(id)
+	if id < n.tp.NumLinks() {
+		return n.tp.LinkString(id)
 	}
 	if name, ok := n.names[id]; ok {
 		return name

@@ -37,12 +37,26 @@ type WindowCounter struct {
 }
 
 // NewWindowCounter builds a counter over the given rolling window (min
-// 1s).
+// 1s). A window that does not divide evenly into windowSlots is rounded
+// up to the next multiple, never down: truncating the slot would retain
+// strictly less than the requested window (16 truncated slots fall
+// short by up to windowSlots-1 ns), so Rate and Summary would divide by
+// a window the ring never actually covers. Window() reports the
+// effective (rounded) value.
 func NewWindowCounter(window time.Duration) *WindowCounter {
+	slot, window := slotSize(window)
+	return &WindowCounter{window: window, slot: slot, now: time.Now}
+}
+
+// slotSize derives the slot length for a requested window (min 1s),
+// rounding the slot up and the effective window with it so slot *
+// windowSlots == window always holds.
+func slotSize(window time.Duration) (slot, effective time.Duration) {
 	if window < time.Second {
 		window = time.Second
 	}
-	return &WindowCounter{window: window, slot: window / windowSlots, now: time.Now}
+	slot = (window + windowSlots - 1) / windowSlots
+	return slot, slot * windowSlots
 }
 
 // SetClock replaces the clock (tests); not safe concurrently with use.
@@ -120,12 +134,11 @@ type WindowHistogram struct {
 }
 
 // NewWindowHistogram builds a histogram over the given rolling window
-// (min 1s).
+// (min 1s), rounded up to a windowSlots multiple exactly like
+// NewWindowCounter.
 func NewWindowHistogram(window time.Duration) *WindowHistogram {
-	if window < time.Second {
-		window = time.Second
-	}
-	return &WindowHistogram{window: window, slot: window / windowSlots, now: time.Now}
+	slot, window := slotSize(window)
+	return &WindowHistogram{window: window, slot: slot, now: time.Now}
 }
 
 // SetClock replaces the clock (tests); not safe concurrently with use.

@@ -359,3 +359,79 @@ func TestSLOUnknownMetricVacuous(t *testing.T) {
 		t.Fatal("evaluation must not create the metric")
 	}
 }
+
+// TestWindowSlotRoundsUp pins the slot derivation (regression: the slot
+// was truncated, so any window not divisible by windowSlots retained
+// strictly less than requested while Rate divided by the full value).
+// The effective window is rounded up to the next windowSlots multiple
+// and slot*windowSlots == Window() always holds.
+func TestWindowSlotRoundsUp(t *testing.T) {
+	for _, tc := range []struct {
+		window time.Duration
+		slot   time.Duration
+	}{
+		{16 * time.Second, time.Second},                         // divides evenly: unchanged
+		{time.Second + 100*time.Nanosecond, 62500007},           // 1s+100ns / 16 rounds up
+		{15 * time.Second, 937500000},                           // divides evenly
+		{17*time.Second + 5*time.Nanosecond, 1062500001},        // awkward remainder
+		{500 * time.Millisecond, 62500000},                      // below 1s floor → 1s
+		{windowSlots*time.Second + time.Nanosecond, 1000000001}, // remainder of exactly 1ns
+	} {
+		c := NewWindowCounter(tc.window)
+		if c.slot != tc.slot {
+			t.Errorf("counter window %v: slot = %v, want %v", tc.window, c.slot, tc.slot)
+		}
+		if c.window != c.slot*windowSlots {
+			t.Errorf("counter window %v: effective window %v != slot*%d = %v",
+				tc.window, c.window, windowSlots, c.slot*windowSlots)
+		}
+		if c.window < tc.window && tc.window >= time.Second {
+			t.Errorf("counter window %v: effective window %v shrank below request", tc.window, c.window)
+		}
+		h := NewWindowHistogram(tc.window)
+		if h.slot != tc.slot || h.window != h.slot*windowSlots {
+			t.Errorf("histogram window %v: slot %v window %v, want slot %v and slot*%d",
+				tc.window, h.slot, h.window, tc.slot, windowSlots)
+		}
+	}
+}
+
+// TestWindowCounterRetainsFullWindow is the behavioral regression for
+// the truncated slot: with a 1s+100ns window the old code kept 16 slots
+// of 62500006ns = 999999...ns total, so a sample was forgotten just
+// before the configured window elapsed. Post-fix the sample must still
+// be visible at Window() - 1ns after a slot-aligned write.
+func TestWindowCounterRetainsFullWindow(t *testing.T) {
+	clk := newFakeClock()
+	c := NewWindowCounter(time.Second + 100*time.Nanosecond)
+	c.SetClock(clk.now)
+	// Align the write to a slot boundary so retention is exactly the
+	// ring's span, not shortened by mid-slot placement.
+	align := time.Duration(int64(c.slot) - clk.t.UnixNano()%int64(c.slot))
+	clk.advance(align)
+	c.Inc()
+	clk.advance(c.Window() - time.Nanosecond)
+	if got := c.Total(); got != 1 {
+		t.Fatalf("sample forgotten %v before the window elapsed: Total = %d, want 1", time.Nanosecond, got)
+	}
+	clk.advance(2 * time.Nanosecond)
+	if got := c.Total(); got != 0 {
+		t.Fatalf("sample retained past the window: Total = %d, want 0", got)
+	}
+}
+
+// TestWindowRateUsesEffectiveWindow: Rate and Summary must divide by
+// the window the ring actually covers, not the requested one.
+func TestWindowRateUsesEffectiveWindow(t *testing.T) {
+	clk := newFakeClock()
+	c := NewWindowCounter(17 * time.Second) // rounds up to 17.000000008s
+	c.SetClock(clk.now)
+	c.Add(34)
+	want := 34 / c.Window().Seconds()
+	if got := c.Rate(); got != want {
+		t.Errorf("Rate = %v, want %v (effective window %v)", got, want, c.Window())
+	}
+	if s := c.Summary(); s.WindowSec != c.Window().Seconds() || s.Rate != want {
+		t.Errorf("Summary = %+v, want rate %v over %v", s, want, c.Window())
+	}
+}

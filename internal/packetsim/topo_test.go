@@ -1,0 +1,103 @@
+package packetsim
+
+import (
+	"testing"
+
+	"bgqflow/internal/topo"
+	"bgqflow/internal/torus"
+)
+
+// TestNewSimTopoTorusDelegates: a torus topology takes the exact New
+// path, zone router included (byte-identical-default rule).
+func TestNewSimTopoTorusDelegates(t *testing.T) {
+	tor := torus.MustNew(torus.Shape{2, 2, 4})
+	tp := topo.NewTorus(tor)
+	s, err := NewSimTopo(tp, DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.tor == nil {
+		t.Fatal("torus delegation lost the zone-router path")
+	}
+	a, err := New(tor, DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA := a.Submit(MessageSpec{Src: 0, Dst: 9, Bytes: 1 << 20})
+	idB := s.Submit(MessageSpec{Src: 0, Dst: 9, Bytes: 1 << 20})
+	mkA, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkB, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mkA != mkB || a.Result(idA) != s.Result(idB) {
+		t.Fatalf("torus delegation diverged: %v vs %v", mkA, mkB)
+	}
+}
+
+// TestPacketSimOnDragonfly: packets follow the topology's deterministic
+// route oracle and land only on that route's links.
+func TestPacketSimOnDragonfly(t *testing.T) {
+	tp, err := topo.Parse("dragonfly:4x4x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSimTopo(tp, DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := torus.NodeID(1), torus.NodeID(9)
+	id := s.Submit(MessageSpec{Src: src, Dst: dst, Bytes: 256 << 10})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Result(id).Done {
+		t.Fatal("message never delivered")
+	}
+	route := map[int]bool{}
+	for _, l := range tp.Route(src, dst) {
+		route[l] = true
+	}
+	if len(route) == 0 {
+		t.Fatal("oracle returned an empty route for distinct endpoints")
+	}
+	for l := 0; l < tp.NumLinks(); l++ {
+		if b := s.LinkPayloadBytes(l); (b > 0) != route[l] {
+			t.Errorf("link %d (%s): %g payload bytes, on-route=%v", l, tp.LinkString(l), b, route[l])
+		} else if route[l] && b != float64(256<<10) {
+			t.Errorf("link %d carried %g bytes, want full message", l, b)
+		}
+	}
+}
+
+// TestPacketSimMultiRailFaster: doubling the rails on every link must
+// shorten the packet-level makespan of a link-bound transfer.
+func TestPacketSimMultiRailFaster(t *testing.T) {
+	run := func(spec string) float64 {
+		tp, err := topo.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSimTopo(tp, DefaultParams(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Submit(MessageSpec{Src: 0, Dst: 5, Bytes: 4 << 20})
+		mk, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(mk)
+	}
+	one := run("fattree:8x4x1")
+	two := run("fattree:8x4x2")
+	if two >= one {
+		t.Fatalf("2-rail makespan %g not faster than 1-rail %g", two, one)
+	}
+	if ratio := one / two; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("rail speedup %g, want ~2 on a link-bound transfer", ratio)
+	}
+}

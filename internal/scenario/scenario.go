@@ -20,6 +20,7 @@ import (
 	"bgqflow/internal/obs"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/stats"
+	"bgqflow/internal/topo"
 	"bgqflow/internal/torus"
 	"bgqflow/internal/trace"
 	"bgqflow/internal/workload"
@@ -27,8 +28,16 @@ import (
 
 // Config is the root scenario description.
 type Config struct {
-	// Shape is the partition geometry, e.g. "4x4x4x16x2".
-	Shape string `json:"shape"`
+	// Shape is the partition geometry, e.g. "4x4x4x16x2". Ignored when
+	// Topology is set.
+	Shape string `json:"shape,omitempty"`
+	// Topology selects a non-torus fabric by topo.Parse spec (e.g.
+	// "dragonfly:8x8x2"). Empty defaults to the 5D torus described by
+	// Shape, so every existing scenario file replays byte-identically.
+	// Non-torus fabrics support direct pair transfers only: rank
+	// mappings, I/O forwarding, proxy ladders, and the torus-coordinate
+	// fault knobs are 5D-torus constructs and are rejected explicitly.
+	Topology string `json:"topology,omitempty"`
 	// RanksPerNode defaults to 16 (the paper's application cores).
 	RanksPerNode int `json:"ranksPerNode"`
 	// Mapping is a BG/Q map order such as "ABCDET" (default) or
@@ -217,11 +226,17 @@ func Load(r io.Reader) (Config, error) {
 
 // Validate checks the configuration for consistency.
 func (c *Config) Validate() error {
-	if c.Shape == "" {
-		return fmt.Errorf("scenario: shape is required")
-	}
-	if _, err := torus.ParseShape(c.Shape); err != nil {
-		return err
+	if c.Topology != "" {
+		if err := c.validateTopology(); err != nil {
+			return err
+		}
+	} else {
+		if c.Shape == "" {
+			return fmt.Errorf("scenario: shape is required")
+		}
+		if _, err := torus.ParseShape(c.Shape); err != nil {
+			return err
+		}
 	}
 	if c.RanksPerNode == 0 {
 		c.RanksPerNode = 16
@@ -272,10 +287,87 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// validateTopology checks the non-torus subset of the schema: a direct
+// pair transfer on a parseable fabric, with every torus-only knob
+// rejected by name rather than silently ignored.
+func (c *Config) validateTopology() error {
+	tp, err := topo.Parse(c.Topology)
+	if err != nil {
+		return err
+	}
+	if c.IO != nil {
+		return fmt.Errorf("scenario: io scenarios need the BG/Q I/O forwarding fabric; topology %q supports transfer only", c.Topology)
+	}
+	if c.Transfer == nil {
+		return fmt.Errorf("scenario: topology %q requires a transfer section", c.Topology)
+	}
+	if c.Transfer.Kind != "pair" {
+		return fmt.Errorf("scenario: group transfers use torus box planning; topology %q supports kind \"pair\" only", c.Topology)
+	}
+	if c.Transfer.Proxies > 0 {
+		return fmt.Errorf("scenario: proxy planning is torus-only; topology %q runs direct transfers", c.Topology)
+	}
+	if len(c.FailLinks) > 0 {
+		return fmt.Errorf("scenario: failLinks are torus link coordinates; topology %q does not accept them", c.Topology)
+	}
+	if c.FaultCampaign != nil {
+		return fmt.Errorf("scenario: fault campaigns draw torus links; topology %q does not accept them", c.Topology)
+	}
+	if c.Transfer.Src < 0 || c.Transfer.Src >= tp.NumNodes() || c.Transfer.Dst < 0 || c.Transfer.Dst >= tp.NumNodes() {
+		return fmt.Errorf("scenario: pair endpoints outside fabric of %d nodes", tp.NumNodes())
+	}
+	return nil
+}
+
+// runTransferTopo executes the direct pair transfer a non-torus
+// scenario describes.
+func runTransferTopo(c Config) (Result, error) {
+	var res Result
+	tp, err := topo.Parse(c.Topology)
+	if err != nil {
+		return res, err
+	}
+	params := netsim.DefaultParams()
+	net := netsim.NewNetworkTopo(tp, params.LinkBandwidth)
+	e, err := netsim.NewEngine(net, params)
+	if err != nil {
+		return res, err
+	}
+	tl := attachTimeline(e, c)
+	t := c.Transfer
+	e.Submit(netsim.FlowSpec{
+		Src:   torus.NodeID(t.Src),
+		Dst:   torus.NodeID(t.Dst),
+		Bytes: t.Bytes,
+		Label: "direct",
+	})
+	mk, err := e.Run()
+	if err != nil {
+		return res, err
+	}
+	res.GBps = netsim.Throughput(t.Bytes, mk) / 1e9
+	res.MakespanMS = float64(mk) * 1e3
+	res.Mode = fmt.Sprintf("direct on %s", tp.Spec())
+	if c.CollectTrace {
+		ex, err := trace.BuildExport(e, mk, nil)
+		if err != nil {
+			return res, err
+		}
+		if tl != nil {
+			ex.AttachTimeline(e, tl)
+		}
+		res.Trace = &ex
+	}
+	return res, nil
+}
+
 // Run executes the scenario.
 func Run(c Config) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
+	}
+	if c.Topology != "" {
+		return runTransferTopo(c)
 	}
 	shape, err := torus.ParseShape(c.Shape)
 	if err != nil {

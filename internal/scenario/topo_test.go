@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTopologyScenarioRuns: a non-torus scenario loads, validates, and
+// runs a direct pair transfer end to end.
+func TestTopologyScenarioRuns(t *testing.T) {
+	cfg, err := Load(strings.NewReader(`{
+		"topology": "dragonfly:4x4x2",
+		"transfer": {"kind": "pair", "src": 1, "dst": 9, "bytes": 4194304}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GBps <= 0 || res.MakespanMS <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if !strings.Contains(res.Mode, "dragonfly:4x4x2") {
+		t.Errorf("mode %q does not name the fabric", res.Mode)
+	}
+}
+
+// TestTopologyScenarioCollectsTrace: the flow-timeline export works on
+// generic fabrics (link names come from the topology, not the torus).
+func TestTopologyScenarioCollectsTrace(t *testing.T) {
+	cfg, err := Load(strings.NewReader(`{
+		"topology": "fattree:8x4x1",
+		"collectTrace": true,
+		"transfer": {"kind": "pair", "src": 0, "dst": 5, "bytes": 1048576}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("collectTrace produced no trace")
+	}
+}
+
+// TestTopologyScenarioRejectsTorusOnlyKnobs pins the explicit rejection
+// of every 5D-torus construct: the error must name the offending knob,
+// never silently ignore it.
+func TestTopologyScenarioRejectsTorusOnlyKnobs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		json string
+		want string
+	}{
+		{"io", `{"topology": "fattree:8x4", "io": {"workload": "dense", "approach": "topology-aware"}}`, "transfer only"},
+		{"group", `{"topology": "fattree:8x4", "transfer": {"kind": "group", "bytes": 1, "srcOrigin": [0], "srcExtent": [1], "dstOrigin": [1], "dstExtent": [1]}}`, `kind "pair" only`},
+		{"proxies", `{"topology": "fattree:8x4", "transfer": {"kind": "pair", "src": 0, "dst": 1, "bytes": 1, "proxies": 2}}`, "torus-only"},
+		{"failLinks", `{"topology": "fattree:8x4", "failLinks": [{"node": 0, "dim": 0, "dir": 1}], "transfer": {"kind": "pair", "src": 0, "dst": 1, "bytes": 1}}`, "failLinks"},
+		{"campaign", `{"topology": "fattree:8x4", "faultCampaign": {"kind": "uniform", "count": 1, "windowMS": 1}, "transfer": {"kind": "pair", "src": 0, "dst": 1, "bytes": 1}}`, "fault campaigns"},
+		{"badSpec", `{"topology": "fattree:1x0", "transfer": {"kind": "pair", "src": 0, "dst": 1, "bytes": 1}}`, "fattree"},
+		{"endpoints", `{"topology": "fattree:8x4", "transfer": {"kind": "pair", "src": 0, "dst": 8, "bytes": 1}}`, "outside fabric"},
+		{"noTransfer", `{"topology": "fattree:8x4"}`, "requires a transfer"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatal("accepted, want rejection")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -24,10 +25,11 @@ import (
 // It is safe for concurrent use; bgqload drives one Client from many
 // goroutines.
 type Client struct {
-	base   string
-	hc     *http.Client
-	retry  RetryPolicy
-	tracer *obs.WallRecorder
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	tracer  *obs.WallRecorder
+	metrics *obs.Registry
 }
 
 // RetryPolicy governs how the client reacts to shed (429) and
@@ -149,6 +151,11 @@ func (c *Client) SetTracer(t *obs.WallRecorder) { c.tracer = t }
 // TraceJSON via obs.MergeChromeTraces for the combined timeline.
 func (c *Client) Tracer() *obs.WallRecorder { return c.tracer }
 
+// SetMetrics attaches a metrics registry: protocol anomalies the client
+// papers over (like malformed timing headers) are counted there instead
+// of vanishing. nil disables (the default). Configure before use.
+func (c *Client) SetMetrics(r *obs.Registry) { c.metrics = r }
+
 // BaseURL reports the daemon base URL the client talks to.
 func (c *Client) BaseURL() string { return c.base }
 
@@ -224,11 +231,48 @@ func (c *Client) post(ctx context.Context, path string, body any) (PlanResult, e
 	}
 }
 
-// msHeader parses a millisecond phase header; absent or malformed
-// values read as 0.
-func msHeader(h http.Header, key string) float64 {
-	v, _ := strconv.ParseFloat(h.Get(key), 64)
+// msHeader parses a millisecond phase header. Absent reads as 0.
+// Malformed, non-finite, or negative values also read as 0 — a phase
+// duration cannot be negative, and NaN/Inf would poison every sum the
+// breakdown feeds — but each one is counted on the
+// serve/client/bad_ms_header metric so a misbehaving daemon or proxy is
+// visible rather than silently folded into the timing.
+func (c *Client) msHeader(h http.Header, key string) float64 {
+	raw := h.Get(key)
+	if raw == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		if c.metrics != nil {
+			c.metrics.Counter("serve/client/bad_ms_header").Inc()
+		}
+		return 0
+	}
 	return v
+}
+
+// retryAfterHint parses a Retry-After header value into a wait hint.
+// Integer delay-seconds yield that duration, with negatives clamped to
+// zero (retry immediately — a negative wait is meaningless). A valid
+// HTTP-date form returns ok=false: converting it to a wait needs a
+// clock, so callers fall back to their backoff schedule explicitly
+// rather than misreading the date as delay-seconds. Anything else is
+// malformed and also returns ok=false.
+func retryAfterHint(ra string) (time.Duration, bool) {
+	if ra == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0, true
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if _, err := http.ParseTime(ra); err == nil {
+		return 0, false
+	}
+	return 0, false
 }
 
 // postOnce is a single request/response cycle. trace, when non-empty,
@@ -283,17 +327,15 @@ func (c *Client) postOnce(ctx context.Context, path string, body any, trace stri
 		Err:       env.Error,
 		Trace:     trace,
 		ConnectMS: float64(connDur.Load()) / 1e6,
-		QueueMS:   msHeader(resp.Header, HeaderQueueMS),
-		ComputeMS: msHeader(resp.Header, HeaderComputeMS),
+		QueueMS:   c.msHeader(resp.Header, HeaderQueueMS),
+		ComputeMS: c.msHeader(resp.Header, HeaderComputeMS),
 		StreamMS:  float64(time.Since(tBody)) / 1e6,
 	}
 	if out.Trace == "" {
 		out.Trace = resp.Header.Get(HeaderTraceID)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, perr := strconv.Atoi(ra); perr == nil {
-			out.RetryAfter = time.Duration(secs) * time.Second
-		}
+	if hint, ok := retryAfterHint(resp.Header.Get("Retry-After")); ok {
+		out.RetryAfter = hint
 	}
 	c.tracer.Span(trace, "client/plan", path, t0, time.Now())
 	return out, nil

@@ -11,6 +11,7 @@ import (
 	"bgqflow/internal/scenario"
 	"bgqflow/internal/sim"
 	"bgqflow/internal/stats"
+	"bgqflow/internal/topo"
 	"bgqflow/internal/torus"
 	"bgqflow/internal/trace"
 	"bgqflow/internal/workload"
@@ -27,8 +28,16 @@ import (
 
 // PairRequest asks for an Algorithm 1 point-to-point plan.
 type PairRequest struct {
-	// Shape is the partition geometry, e.g. "2x2x4x4x2".
-	Shape string `json:"shape"`
+	// Shape is the partition geometry, e.g. "2x2x4x4x2". Ignored when
+	// Topology is set.
+	Shape string `json:"shape,omitempty"`
+	// Topology selects a non-torus fabric by topo.Parse spec (e.g.
+	// "dragonfly:8x8x2"). Empty means the torus described by Shape — the
+	// BG/Q-default compatibility rule, so every pre-topology client keeps
+	// getting byte-identical plans. Non-torus plans are direct-only: the
+	// paper's proxy placement and the daemon's torus-shaped fault events
+	// are 5D-torus constructs.
+	Topology string `json:"topology,omitempty"`
 	// Src and Dst are node IDs.
 	Src int `json:"src"`
 	Dst int `json:"dst"`
@@ -43,16 +52,25 @@ type PairRequest struct {
 
 // Validate rejects malformed requests before they reach a worker.
 func (r PairRequest) Validate() error {
-	shape, err := torus.ParseShape(r.Shape)
-	if err != nil {
-		return err
-	}
-	size := 1
-	for _, ext := range shape {
-		size *= ext
+	var size int
+	if r.Topology != "" {
+		tp, err := topo.Parse(r.Topology)
+		if err != nil {
+			return err
+		}
+		size = tp.NumNodes()
+	} else {
+		shape, err := torus.ParseShape(r.Shape)
+		if err != nil {
+			return err
+		}
+		size = 1
+		for _, ext := range shape {
+			size *= ext
+		}
 	}
 	if r.Src < 0 || r.Src >= size || r.Dst < 0 || r.Dst >= size {
-		return fmt.Errorf("serve: pair endpoints (%d,%d) outside torus of %d nodes", r.Src, r.Dst, size)
+		return fmt.Errorf("serve: pair endpoints (%d,%d) outside fabric of %d nodes", r.Src, r.Dst, size)
 	}
 	if r.Bytes < 1 {
 		return fmt.Errorf("serve: pair bytes %d must be >= 1", r.Bytes)
@@ -156,7 +174,10 @@ type ProxyWire struct {
 
 // PairPlan is the wire form of a served point-to-point plan.
 type PairPlan struct {
-	Mode       string      `json:"mode"`
+	Mode string `json:"mode"`
+	// Topology echoes the request's non-torus fabric spec; omitted for
+	// torus plans (wire compatibility with pre-topology clients).
+	Topology   string      `json:"topology,omitempty"`
 	Proxies    []ProxyWire `json:"proxies,omitempty"`
 	Bytes      int64       `json:"bytes"`
 	Flows      []FlowWire  `json:"flows"`
@@ -270,6 +291,9 @@ func ComputePair(req PairRequest, faults []scenario.FailLink) (PairPlan, error) 
 	if err := req.Validate(); err != nil {
 		return PairPlan{}, err
 	}
+	if req.Topology != "" {
+		return computePairTopo(req)
+	}
 	shape, err := torus.ParseShape(req.Shape)
 	if err != nil {
 		return PairPlan{}, err
@@ -302,6 +326,44 @@ func ComputePair(req PairRequest, faults []scenario.FailLink) (PairPlan, error) 
 		return PairPlan{}, err
 	}
 	return PairWireFromPlan(e, plan, float64(mk)), nil
+}
+
+// computePairTopo plans a direct transfer on a non-torus fabric. The
+// daemon's fault events are torus link coordinates and do not apply; the
+// proxy ladder is torus-specific, so the plan is always direct (a
+// request forcing proxies is rejected rather than silently downgraded).
+func computePairTopo(req PairRequest) (PairPlan, error) {
+	if req.Proxies > 0 {
+		return PairPlan{}, fmt.Errorf("serve: proxy planning is torus-only; topology %q serves direct plans", req.Topology)
+	}
+	tp, err := topo.Parse(req.Topology)
+	if err != nil {
+		return PairPlan{}, err
+	}
+	params := netsim.DefaultParams()
+	net := netsim.NewNetworkTopo(tp, params.LinkBandwidth)
+	e, err := netsim.NewEngine(net, params)
+	if err != nil {
+		return PairPlan{}, err
+	}
+	e.Submit(netsim.FlowSpec{
+		Src:   torus.NodeID(req.Src),
+		Dst:   torus.NodeID(req.Dst),
+		Bytes: req.Bytes,
+		Label: "direct",
+	})
+	mk, err := e.Run()
+	if err != nil {
+		return PairPlan{}, err
+	}
+	return PairPlan{
+		Mode:       "direct",
+		Topology:   tp.Spec(),
+		Bytes:      req.Bytes,
+		Flows:      flowWires(e),
+		MakespanMS: float64(mk) * 1e3,
+		GBps:       netsim.Throughput(req.Bytes, sim.Duration(mk)) / 1e9,
+	}, nil
 }
 
 // PairWireFromPlan builds the wire form from a core plan plus the engine
@@ -542,7 +604,13 @@ func cacheKey(kind, shape string, src, dst int, bytes int64, canonical string) s
 }
 
 func (r PairRequest) cacheKey() string {
-	return cacheKey("pair", r.Shape, r.Src, r.Dst, r.Bytes,
+	// A topology spec takes the geometry slot; it always contains ':', so
+	// it can never collide with a torus shape string.
+	geom := r.Shape
+	if r.Topology != "" {
+		geom = r.Topology
+	}
+	return cacheKey("pair", geom, r.Src, r.Dst, r.Bytes,
 		fmt.Sprintf("%d|%d", r.Bytes, r.Proxies))
 }
 

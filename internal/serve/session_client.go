@@ -186,12 +186,7 @@ func (c *Client) Transfer(ctx context.Context, req TransferRequest, opts Transfe
 			continue
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			endAttempt()
-			var hint time.Duration
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if secs, perr := strconv.Atoi(ra); perr == nil {
-					hint = time.Duration(secs) * time.Second
-				}
-			}
+			hint, _ := retryAfterHint(resp.Header.Get("Retry-After"))
 			resp.Body.Close()
 			if err := retry(hint); err != nil {
 				return out, err

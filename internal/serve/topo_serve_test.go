@@ -1,0 +1,95 @@
+package serve_test
+
+// Topology-plane serve tests: a bgqd plan request can select a
+// non-torus fabric end to end, and the served wire plan is
+// byte-identical to a direct ComputePair call (the same differential
+// discipline the torus plans get).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bgqflow/internal/serve"
+)
+
+func TestE2EPairTopologyByteIdentical(t *testing.T) {
+	_, client := newTestDaemon(t, serve.Config{})
+	ctx := context.Background()
+	for _, req := range []serve.PairRequest{
+		{Topology: "dragonfly:4x4x2", Src: 1, Dst: 9, Bytes: 4 << 20},
+		{Topology: "fattree:8x4x1", Src: 0, Dst: 7, Bytes: 16 << 20},
+		{Topology: "dragonfly:6x4x1", Src: 23, Dst: 0, Bytes: 1 << 20},
+	} {
+		res, err := client.PlanPair(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK() {
+			t.Fatalf("%s: status %d: %s", req.Topology, res.Status, res.Err)
+		}
+		direct, err := serve.ComputePair(req, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Plan, want) {
+			t.Errorf("%s: served plan differs from direct computation\nserved: %s\ndirect: %s",
+				req.Topology, res.Plan, want)
+		}
+		var plan serve.PairPlan
+		if err := json.Unmarshal(res.Plan, &plan); err != nil {
+			t.Fatal(err)
+		}
+		if plan.Mode != "direct" || plan.Topology == "" || plan.GBps <= 0 || plan.MakespanMS <= 0 {
+			t.Errorf("%s: degenerate topology plan: %+v", req.Topology, plan)
+		}
+		// The cached copy must be the same bytes, and must not collide
+		// with any torus entry.
+		res2, err := client.PlanPair(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res2.Cached {
+			t.Errorf("%s: second identical request not served from cache", req.Topology)
+		}
+		if !bytes.Equal(res2.Plan, res.Plan) {
+			t.Errorf("%s: cached plan differs from computed plan", req.Topology)
+		}
+	}
+}
+
+// TestPairTopologyValidation pins the request-validation edges of the
+// topology plane: bad specs and out-of-range endpoints are 400s, and
+// proxy planning stays torus-only rather than silently downgrading.
+func TestPairTopologyValidation(t *testing.T) {
+	_, client := newTestDaemon(t, serve.Config{})
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		req  serve.PairRequest
+		want string
+	}{
+		{"bad spec", serve.PairRequest{Topology: "dragonfly:1x1", Src: 0, Dst: 1, Bytes: 1 << 20}, "dragonfly"},
+		{"unknown kind", serve.PairRequest{Topology: "hypercube:8", Src: 0, Dst: 1, Bytes: 1 << 20}, "unknown topology"},
+		{"endpoint range", serve.PairRequest{Topology: "fattree:8x4", Src: 0, Dst: 8, Bytes: 1 << 20}, "outside fabric"},
+		{"proxies", serve.PairRequest{Topology: "fattree:8x4", Src: 0, Dst: 7, Bytes: 1 << 20, Proxies: 2}, "torus-only"},
+	} {
+		res, err := client.PlanPair(ctx, tc.req)
+		if err != nil {
+			t.Fatalf("%s: transport error: %v", tc.name, err)
+		}
+		if res.OK() {
+			t.Errorf("%s: accepted, want rejection", tc.name)
+			continue
+		}
+		if !strings.Contains(res.Err, tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, res.Err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bgqflow/internal/torus"
+)
+
+// CostModel describes the endpoint side of the paper's Eq. 1–5 cost
+// decomposition, generalized to per-node values so heterogeneous
+// machines (CPU/GPU-tiered nodes per Bienz et al., PAPERS.md) fit the
+// same interface. Rates are bytes/second, overheads and latency are
+// seconds. The uniform BG/Q calibration is the identity instance: every
+// node reports the same constants, so a uniform-model engine behaves
+// byte-identically to one using the raw netsim.Params arithmetic.
+type CostModel interface {
+	// Name identifies the model family ("uniform", "hetero").
+	Name() string
+	// Spec renders the canonical parse spec ("uniform", "hetero:4").
+	Spec() string
+	// PerFlowRate caps the rate of a single flow between src and dst
+	// (the min of what either endpoint can sustain).
+	PerFlowRate(src, dst torus.NodeID) float64
+	// LocalCopyRate is the node-local memcpy rate at n.
+	LocalCopyRate(n torus.NodeID) float64
+	// SenderOverhead is the fixed per-message injection cost at n (t_s).
+	SenderOverhead(n torus.NodeID) float64
+	// ReceiverOverhead is the fixed per-message drain cost at n (t_r).
+	ReceiverOverhead(n torus.NodeID) float64
+	// ForwardOverhead is the extra user-space forwarding cost at n (the
+	// per-piece proxy handoff of Eq. 4).
+	ForwardOverhead(n torus.NodeID) float64
+	// HopLatency is the per-hop wire+router latency of the fabric.
+	HopLatency() float64
+}
+
+// Uniform is the homogeneous cost model: every node shares one set of
+// constants (the BG/Q calibration when built from netsim.DefaultParams).
+type Uniform struct {
+	PerFlow   float64 // bytes/s, single-flow cap
+	LocalCopy float64 // bytes/s, node-local memcpy
+	Sender    float64 // s, fixed t_s
+	Receiver  float64 // s, fixed t_r
+	Forward   float64 // s, per-piece proxy handoff
+	Hop       float64 // s, per-hop latency
+}
+
+// Name returns "uniform".
+func (u Uniform) Name() string { return "uniform" }
+
+// Spec returns "uniform".
+func (u Uniform) Spec() string { return "uniform" }
+
+// PerFlowRate is the shared single-flow cap.
+func (u Uniform) PerFlowRate(src, dst torus.NodeID) float64 { return u.PerFlow }
+
+// LocalCopyRate is the shared memcpy rate.
+func (u Uniform) LocalCopyRate(n torus.NodeID) float64 { return u.LocalCopy }
+
+// SenderOverhead is the shared t_s.
+func (u Uniform) SenderOverhead(n torus.NodeID) float64 { return u.Sender }
+
+// ReceiverOverhead is the shared t_r.
+func (u Uniform) ReceiverOverhead(n torus.NodeID) float64 { return u.Receiver }
+
+// ForwardOverhead is the shared forwarding cost.
+func (u Uniform) ForwardOverhead(n torus.NodeID) float64 { return u.Forward }
+
+// HopLatency is the shared per-hop latency.
+func (u Uniform) HopLatency() float64 { return u.Hop }
+
+// Hetero tiers the nodes of a fabric: every gpuEvery-th node is a
+// GPU-tier endpoint that injects and drains faster (RateScale > 1) but
+// pays more per-message overhead (OverheadScale > 1) — the max-rate
+// asymmetry of Bienz et al.'s heterogeneous model. A flow's rate cap is
+// bounded by its slower endpoint, so CPU->GPU and GPU->CPU flows run at
+// the CPU rate while GPU->GPU flows get the full scaled rate.
+type Hetero struct {
+	Base          Uniform
+	GPUEvery      int     // every GPUEvery-th node is GPU-tier (>= 1)
+	RateScale     float64 // GPU rate multiplier (> 0)
+	OverheadScale float64 // GPU per-message overhead multiplier (> 0)
+}
+
+// heteroRateScale and heteroOverheadScale are the fixed tier constants
+// the "hetero:<every>" spec implies: GPU endpoints move bytes 2x faster
+// but pay 1.5x the per-message overhead.
+const (
+	heteroRateScale     = 2.0
+	heteroOverheadScale = 1.5
+)
+
+// NewHetero tiers base with the canonical scales; every gpuEvery-th node
+// is GPU-tier.
+func NewHetero(base Uniform, gpuEvery int) (Hetero, error) {
+	if gpuEvery < 1 {
+		return Hetero{}, fmt.Errorf("topo: hetero tier period must be >= 1, got %d", gpuEvery)
+	}
+	return Hetero{Base: base, GPUEvery: gpuEvery, RateScale: heteroRateScale, OverheadScale: heteroOverheadScale}, nil
+}
+
+// GPU reports whether n is a GPU-tier node.
+func (h Hetero) GPU(n torus.NodeID) bool { return h.GPUEvery > 0 && int(n)%h.GPUEvery == 0 }
+
+func (h Hetero) rateScale(n torus.NodeID) float64 {
+	if h.GPU(n) {
+		return h.RateScale
+	}
+	return 1.0
+}
+
+func (h Hetero) overheadScale(n torus.NodeID) float64 {
+	if h.GPU(n) {
+		return h.OverheadScale
+	}
+	return 1.0
+}
+
+// Name returns "hetero".
+func (h Hetero) Name() string { return "hetero" }
+
+// Spec renders "hetero:<every>".
+func (h Hetero) Spec() string { return "hetero:" + strconv.Itoa(h.GPUEvery) }
+
+// PerFlowRate is the base cap scaled by the slower endpoint's tier.
+func (h Hetero) PerFlowRate(src, dst torus.NodeID) float64 {
+	s := h.rateScale(src)
+	if d := h.rateScale(dst); d < s {
+		s = d
+	}
+	return h.Base.PerFlow * s
+}
+
+// LocalCopyRate is the base memcpy rate scaled by the node's tier.
+func (h Hetero) LocalCopyRate(n torus.NodeID) float64 {
+	return h.Base.LocalCopy * h.rateScale(n)
+}
+
+// SenderOverhead is the base t_s scaled by the node's tier.
+func (h Hetero) SenderOverhead(n torus.NodeID) float64 {
+	return h.Base.Sender * h.overheadScale(n)
+}
+
+// ReceiverOverhead is the base t_r scaled by the node's tier.
+func (h Hetero) ReceiverOverhead(n torus.NodeID) float64 {
+	return h.Base.Receiver * h.overheadScale(n)
+}
+
+// ForwardOverhead is the base forwarding cost scaled by the node's tier.
+func (h Hetero) ForwardOverhead(n torus.NodeID) float64 {
+	return h.Base.Forward * h.overheadScale(n)
+}
+
+// HopLatency is the fabric latency, tier-independent.
+func (h Hetero) HopLatency() float64 { return h.Base.Hop }
+
+// ParseCostModel builds a cost model from a spec string over the given
+// uniform base constants: "" and "uniform" return the base unchanged,
+// "hetero:<every>" tiers it.
+func ParseCostModel(spec string, base Uniform) (CostModel, error) {
+	switch {
+	case spec == "" || spec == "uniform":
+		return base, nil
+	case strings.HasPrefix(spec, "hetero:"):
+		every, err := strconv.Atoi(strings.TrimPrefix(spec, "hetero:"))
+		if err != nil {
+			return nil, fmt.Errorf("topo: cost model %q: bad tier period", spec)
+		}
+		h, err := NewHetero(base, every)
+		if err != nil {
+			return nil, err
+		}
+		return h, nil
+	default:
+		return nil, fmt.Errorf("topo: unknown cost model %q (want uniform or hetero:<every>)", spec)
+	}
+}

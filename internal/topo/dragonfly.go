@@ -1,0 +1,171 @@
+package topo
+
+import (
+	"fmt"
+
+	"bgqflow/internal/torus"
+)
+
+// Dragonfly models a single-rank dragonfly: G groups of A routers each
+// (one endpoint per router, so NumNodes = G*A). Within a group the
+// routers form a complete graph of directed local links; each ordered
+// group pair (gi, gj) is joined by one directed global link with `rails`
+// parallel rails (LinkCapacity = rails), attached deterministically:
+// the global (gi -> gj) leaves gi's router gj%A and lands on gj's router
+// gi%A, spreading gateway duty across the group.
+//
+// Link ID layout (dense, locals first):
+//
+//	local (g, i -> j):   g*A*(A-1) + i*(A-1) + (j, skipping i)
+//	global (gi -> gj):   G*A*(A-1) + gi*(G-1) + (gj, skipping gi)
+//
+// Routes are minimal deterministic paths: 1 local hop within a group,
+// and local-to-gateway + global + gateway-to-dst (at most 3 hops) across
+// groups, with the gateway hops omitted when the endpoint already is the
+// gateway.
+type Dragonfly struct {
+	groups  int
+	size    int // routers (= endpoints) per group
+	rails   int
+	localN  int // G*A*(A-1), total local links
+	globalN int // G*(G-1)
+}
+
+// NewDragonfly builds a dragonfly with G groups of A routers and `rails`
+// rails per global link.
+func NewDragonfly(groups, size, rails int) (*Dragonfly, error) {
+	if groups < 2 || size < 2 {
+		return nil, fmt.Errorf("topo: dragonfly wants >= 2 groups of >= 2 routers, got %dx%d", groups, size)
+	}
+	if rails < 1 {
+		return nil, fmt.Errorf("topo: dragonfly rails must be >= 1, got %d", rails)
+	}
+	return &Dragonfly{
+		groups:  groups,
+		size:    size,
+		rails:   rails,
+		localN:  groups * size * (size - 1),
+		globalN: groups * (groups - 1),
+	}, nil
+}
+
+// Kind returns "dragonfly".
+func (d *Dragonfly) Kind() string { return "dragonfly" }
+
+// Spec renders "dragonfly:GxAxR".
+func (d *Dragonfly) Spec() string {
+	return fmt.Sprintf("dragonfly:%dx%dx%d", d.groups, d.size, d.rails)
+}
+
+// NumNodes reports G*A endpoints.
+func (d *Dragonfly) NumNodes() int { return d.groups * d.size }
+
+// NumLinks reports all local plus global directed links.
+func (d *Dragonfly) NumLinks() int { return d.localN + d.globalN }
+
+// LinkCapacity is 1.0 for local links and the rail count for globals.
+func (d *Dragonfly) LinkCapacity(id int) float64 {
+	if id >= d.localN {
+		return float64(d.rails)
+	}
+	return 1.0
+}
+
+// localID returns the directed local link router i -> j within group g.
+func (d *Dragonfly) localID(g, i, j int) int {
+	k := j
+	if j > i {
+		k--
+	}
+	return g*d.size*(d.size-1) + i*(d.size-1) + k
+}
+
+// globalID returns the directed global link group gi -> gj.
+func (d *Dragonfly) globalID(gi, gj int) int {
+	k := gj
+	if gj > gi {
+		k--
+	}
+	return d.localN + gi*(d.groups-1) + k
+}
+
+// gatewayOut is the router in gi that owns the global link toward gj.
+func (d *Dragonfly) gatewayOut(gi, gj int) int { return gj % d.size }
+
+// gatewayIn is the router in gj where the global link from gi lands.
+func (d *Dragonfly) gatewayIn(gi, gj int) int { return gi % d.size }
+
+// node returns the NodeID of router a in group g.
+func (d *Dragonfly) node(g, a int) torus.NodeID { return torus.NodeID(g*d.size + a) }
+
+// split decomposes a node into (group, router).
+func (d *Dragonfly) split(n torus.NodeID) (g, a int) { return int(n) / d.size, int(n) % d.size }
+
+// Route returns the minimal deterministic path src -> dst.
+func (d *Dragonfly) Route(src, dst torus.NodeID) []int {
+	if src == dst {
+		return nil
+	}
+	gs, as := d.split(src)
+	gd, ad := d.split(dst)
+	if gs == gd {
+		return []int{d.localID(gs, as, ad)}
+	}
+	links := make([]int, 0, 3)
+	gw := d.gatewayOut(gs, gd)
+	if as != gw {
+		links = append(links, d.localID(gs, as, gw))
+	}
+	links = append(links, d.globalID(gs, gd))
+	if land := d.gatewayIn(gs, gd); land != ad {
+		links = append(links, d.localID(gd, land, ad))
+	}
+	return links
+}
+
+// NodeLinks enumerates the links that die with router (g, a): its
+// outgoing and incoming local links, then every global link it gateways
+// (out toward groups gj with gj%A == a, in from groups gi with gi%A == a).
+func (d *Dragonfly) NodeLinks(n torus.NodeID) []int {
+	g, a := d.split(n)
+	links := make([]int, 0, 2*(d.size-1)+2*(d.groups/d.size+1))
+	for j := 0; j < d.size; j++ {
+		if j == a {
+			continue
+		}
+		links = append(links, d.localID(g, a, j), d.localID(g, j, a))
+	}
+	for go2 := 0; go2 < d.groups; go2++ {
+		if go2 == g {
+			continue
+		}
+		if d.gatewayOut(g, go2) == a {
+			links = append(links, d.globalID(g, go2))
+		}
+		if d.gatewayIn(go2, g) == a {
+			links = append(links, d.globalID(go2, g))
+		}
+	}
+	return links
+}
+
+// LinkString renders the link for diagnostics.
+func (d *Dragonfly) LinkString(id int) string {
+	if id < d.localN {
+		g := id / (d.size * (d.size - 1))
+		rem := id % (d.size * (d.size - 1))
+		i := rem / (d.size - 1)
+		j := rem % (d.size - 1)
+		if j >= i {
+			j++
+		}
+		return fmt.Sprintf("df g%d.r%d->r%d", g, i, j)
+	}
+	rem := id - d.localN
+	gi := rem / (d.groups - 1)
+	gj := rem % (d.groups - 1)
+	if gj >= gi {
+		gj++
+	}
+	return fmt.Sprintf("df g%d=>g%d (x%d)", gi, gj, d.rails)
+}

@@ -1,0 +1,96 @@
+package topo
+
+import (
+	"fmt"
+
+	"bgqflow/internal/torus"
+)
+
+// FatTree models a two-level folded Clos: L leaf endpoints fully
+// connected to S internal spine switches, every leaf-spine cable carrying
+// `rails` rails in each direction (LinkCapacity = rails on every link).
+// Only the leaves are addressable nodes — spines exist solely as link
+// endpoints, which is why the Topology interface identifies links by ID
+// rather than by (from, to) node pairs.
+//
+// Link ID layout (dense, uplinks first):
+//
+//	up   (leaf l -> spine s): l*S + s
+//	down (spine s -> leaf l): L*S + s*L + l
+//
+// Routes are the deterministic 2-hop up/down path through spine
+// (src+dst) mod S, which spreads pairs across spines while keeping the
+// path a pure function of the endpoints (no adaptive rerouting), matching
+// the fault model's fail-stop semantics.
+type FatTree struct {
+	leaves int
+	spines int
+	rails  int
+}
+
+// NewFatTree builds a fat-tree with L leaves, S spines, and `rails` rails
+// per cable.
+func NewFatTree(leaves, spines, rails int) (*FatTree, error) {
+	if leaves < 2 || spines < 1 {
+		return nil, fmt.Errorf("topo: fattree wants >= 2 leaves and >= 1 spine, got %dx%d", leaves, spines)
+	}
+	if rails < 1 {
+		return nil, fmt.Errorf("topo: fattree rails must be >= 1, got %d", rails)
+	}
+	return &FatTree{leaves: leaves, spines: spines, rails: rails}, nil
+}
+
+// Kind returns "fattree".
+func (ft *FatTree) Kind() string { return "fattree" }
+
+// Spec renders "fattree:LxSxR".
+func (ft *FatTree) Spec() string {
+	return fmt.Sprintf("fattree:%dx%dx%d", ft.leaves, ft.spines, ft.rails)
+}
+
+// NumNodes reports the leaf count (spines are internal).
+func (ft *FatTree) NumNodes() int { return ft.leaves }
+
+// NumLinks reports 2*L*S directed links.
+func (ft *FatTree) NumLinks() int { return 2 * ft.leaves * ft.spines }
+
+// LinkCapacity is the rail count on every leaf-spine cable.
+func (ft *FatTree) LinkCapacity(id int) float64 { return float64(ft.rails) }
+
+// up returns the uplink leaf l -> spine s.
+func (ft *FatTree) up(l, s int) int { return l*ft.spines + s }
+
+// down returns the downlink spine s -> leaf l.
+func (ft *FatTree) down(s, l int) int { return ft.leaves*ft.spines + s*ft.leaves + l }
+
+// Route returns the 2-hop up/down path through spine (src+dst) mod S.
+func (ft *FatTree) Route(src, dst torus.NodeID) []int {
+	if src == dst {
+		return nil
+	}
+	s := (int(src) + int(dst)) % ft.spines
+	return []int{ft.up(int(src), s), ft.down(s, int(dst))}
+}
+
+// NodeLinks enumerates a leaf's uplinks then downlinks across all spines
+// — a leaf failure severs its entire access.
+func (ft *FatTree) NodeLinks(n torus.NodeID) []int {
+	l := int(n)
+	links := make([]int, 0, 2*ft.spines)
+	for s := 0; s < ft.spines; s++ {
+		links = append(links, ft.up(l, s))
+	}
+	for s := 0; s < ft.spines; s++ {
+		links = append(links, ft.down(s, l))
+	}
+	return links
+}
+
+// LinkString renders the link for diagnostics.
+func (ft *FatTree) LinkString(id int) string {
+	if id < ft.leaves*ft.spines {
+		return fmt.Sprintf("ft leaf%d^spine%d (x%d)", id/ft.spines, id%ft.spines, ft.rails)
+	}
+	rem := id - ft.leaves*ft.spines
+	return fmt.Sprintf("ft spine%d_vleaf%d (x%d)", rem/ft.leaves, rem%ft.leaves, ft.rails)
+}

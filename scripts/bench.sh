@@ -7,6 +7,11 @@
 # comparison against the most recent previous BENCH_*.json so the
 # performance trajectory is visible run over run.
 #
+# `scripts/bench.sh topo` (`make check-topo` archives it): runs the
+# cross-topology comparison sweep (torus vs dragonfly vs fat-tree,
+# bgqbench -run topo) and archives it as BENCH_TOPO_<date>.json — the
+# trajectory file for the pluggable-topology plane.
+#
 # `scripts/bench.sh scale` (`make bench-scale`): runs the full-machine
 # tentpole scenario (DESIGN.md §13 — 48K nodes, 131,072 ranks, the
 # incremental waterfill's headline number), archives it as
@@ -37,6 +42,18 @@ quick)
         echo "bench: wrote $out (no previous BENCH_*.json to compare against)"
     fi
     ;;
+topo)
+    out="BENCH_TOPO_$(date +%Y%m%d).json"
+    prev=$(ls BENCH_TOPO_*.json 2>/dev/null | grep -v "^$out\$" | sort | tail -1 || true)
+
+    go run ./cmd/bgqbench -run topo -json "$out" | grep -v '^\[' || true
+    now=$(total_wall_ms "$out")
+    if [ -n "$prev" ]; then
+        echo "bench-topo: wrote $out (${now} ms; previous $prev)"
+    else
+        echo "bench-topo: wrote $out (${now} ms; first cross-topology bench point)"
+    fi
+    ;;
 scale)
     out="BENCH_SCALE_$(date +%Y%m%d).json"
     prev=$(ls BENCH_SCALE_*.json 2>/dev/null | grep -v "^$out\$" | sort | tail -1 || true)
@@ -62,7 +79,7 @@ scale)
     fi
     ;;
 *)
-    echo "usage: scripts/bench.sh [quick|scale]" >&2
+    echo "usage: scripts/bench.sh [quick|topo|scale]" >&2
     exit 2
     ;;
 esac
