@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench bench-scale quick check check-topo soak soak-sessions
+.PHONY: build test lint verify bench bench-scale quick check check-topo soak soak-sessions soak-cluster
 
 build:
 	$(GO) build ./...
@@ -23,19 +23,22 @@ lint:
 # 10-second bgqload smoke against an in-process daemon (zero 5xx,
 # coalescing observed, zero SLO breaches), plus the short-mode session
 # chaos soak (real daemon, mid-run SIGTERM/restart, byte-verified
-# session reports, SLO-gated, merged Perfetto trace archived).
+# session reports, SLO-gated, merged Perfetto trace archived), plus the
+# short-mode cluster chaos soak (three gossiping replicas, mid-run
+# kill -9 and rejoin, zero stale plans).
 #
 # The telemetry gate also proves the disabled trace plane is free: the
 # paired wall-span benchmark must report 0 B/op with tracing off, so
 # the hot path never pays for observability nobody asked for.
 verify: build lint check check-topo
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments ./internal/netsim ./internal/faultinject ./internal/serve
+	$(GO) test -race ./internal/experiments ./internal/netsim ./internal/faultinject ./internal/serve ./internal/cluster
 	$(GO) test -run '^$$' -bench 'BenchmarkWallSpan' -benchmem ./internal/obs | \
 		awk '/^BenchmarkWallSpanDisabled/ { print; if ($$5 + 0 != 0 || $$7 + 0 != 0) { print "FAIL: disabled trace plane allocates"; exit 1 } found = 1 } END { if (!found) { print "FAIL: BenchmarkWallSpanDisabled did not run"; exit 1 } }'
 	$(GO) run ./cmd/bgqload -selftest -duration 10s -rps 300 -agg-every 16 -seed 7 -require-coalesce -require-slo
 	$(GO) run ./cmd/bgqload -selftest -sessions 8 -drop-every 3 -min-resumes 1 -require-slo
 	SOAK_SHORT=1 ./scripts/soak_sessions.sh
+	SOAK_SHORT=1 ./scripts/soak_cluster.sh
 
 # Correctness oracle (DESIGN.md §11): the invariant + differential test
 # suite (200 generated scenarios through both engines, the archived
@@ -45,7 +48,7 @@ verify: build lint check check-topo
 check:
 	$(GO) test ./internal/check
 	$(GO) run ./cmd/bgqbench -check -quick -run all
-	$(GO) test -fuzz=FuzzDifferential -fuzztime=30s -run '^$$' ./internal/check
+	$(GO) test -fuzz='FuzzDifferential$$' -fuzztime=30s -run '^$$' ./internal/check
 
 # Topology-plane oracle: the 200-seed dragonfly/fat-tree differential
 # suite plus invariant audits and the topology round-trip/identity
@@ -91,3 +94,13 @@ soak:
 # actually exercised. Archives SESSIONS_<date>.json.
 soak-sessions:
 	./scripts/soak_sessions.sh
+
+# Cluster chaos soak (DESIGN.md §17): three clustered bgqd replicas on
+# Unix sockets driven through bgqload's consistent-hash ring mode with
+# fault events interleaved into the load; one replica is kill -9'd at a
+# third of the run and restarted at two thirds. Gates: zero stale plans
+# (every response's fault-epoch vector dominates the client's demand),
+# zero 5xx/transport errors, p99 within 5x the single-daemon baseline,
+# no hot shard. Archives CLUSTER_<date>.json.
+soak-cluster:
+	./scripts/soak_cluster.sh

@@ -10,6 +10,7 @@
 //	     [-batch-window dur] [-drain-timeout dur]
 //	     [-trace-events N] [-stats-window dur]
 //	     [-slo-plan-p99 dur] [-slo-shed-ratio f] [-slo-resume-success f]
+//	     [-replica-id ID -peers addr,addr [-gossip-interval dur] [-gossip-seed N]]
 //
 // The daemon runs a fixed worker pool behind a bounded admission queue:
 // when the queue is full new requests are shed with 429 + Retry-After
@@ -36,6 +37,16 @@
 // (negative ratio = objective off). Soak drivers gate on the
 // cumulative breach counters.
 //
+// Cluster mode: -replica-id names this daemon as one replica of a bgqd
+// cluster and -peers lists the other replicas' addresses (TCP or unix
+// socket forms, comma-separated). Fault events then enter a gossiped,
+// versioned epoch log instead of a private fault set: every replica
+// that has applied the same events plans against the same faults, POST
+// /v1/gossip is the peer wire, GET /v1/cluster the observability view,
+// and plans stamped with an X-Bgq-Min-Vector the replica has not caught
+// up to are rejected 503 rather than served stale. -gossip-interval
+// paces the anti-entropy rounds that repair lost broadcasts.
+//
 // Flags are validated up front; a bad flag exits 2 with a one-line
 // error. SIGINT/SIGTERM shut the daemon down gracefully: new sessions
 // are refused while in-flight ones run to completion under
@@ -54,6 +65,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -78,11 +90,20 @@ func main() {
 	sloPlanP99 := flag.Duration("slo-plan-p99", 0, "SLO: windowed plan p99 must stay under this; 0 disables")
 	sloShedRatio := flag.Float64("slo-shed-ratio", -1, "SLO: windowed shed/requests must stay under this ratio; negative disables")
 	sloResume := flag.Float64("slo-resume-success", -1, "SLO: windowed resume_hits/resumes must stay at or above this ratio; negative disables")
+	replicaID := flag.String("replica-id", "", "cluster replica ID; enables the gossiped fault-epoch plane (needs -peers)")
+	peers := flag.String("peers", "", "comma-separated peer replica addresses (host:port or unix:///path)")
+	gossipInterval := flag.Duration("gossip-interval", 0, "anti-entropy gossip round interval; 0 = 200ms")
+	gossipSeed := flag.Int64("gossip-seed", 0, "gossip peer-selection seed (for reproducible soaks)")
 	flag.Parse()
 
 	if err := validate(*listen, *socket, *workers, *queue, *shards, *retryAfter,
 		*maxSessions, *sessionIdle, *replayEvents, *batchWindow, *drainTimeout, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "bgqd: %v\n", err)
+		os.Exit(2)
+	}
+	peerList, perr := validateCluster(*replicaID, *peers, *gossipInterval)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "bgqd: %v\n", perr)
 		os.Exit(2)
 	}
 	slos, serr := buildSLOs(*traceEvents, *statsWindow, *sloPlanP99, *sloShedRatio, *sloResume)
@@ -92,17 +113,21 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheShards:  *shards,
-		RetryAfter:   *retryAfter,
-		MaxSessions:  *maxSessions,
-		SessionIdle:  *sessionIdle,
-		ReplayEvents: *replayEvents,
-		BatchWindow:  *batchWindow,
-		TraceEvents:  *traceEvents,
-		StatsWindow:  *statsWindow,
-		SLOs:         slos,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheShards:    *shards,
+		RetryAfter:     *retryAfter,
+		MaxSessions:    *maxSessions,
+		SessionIdle:    *sessionIdle,
+		ReplayEvents:   *replayEvents,
+		BatchWindow:    *batchWindow,
+		TraceEvents:    *traceEvents,
+		StatsWindow:    *statsWindow,
+		SLOs:           slos,
+		ReplicaID:      *replicaID,
+		Peers:          peerList,
+		GossipInterval: *gossipInterval,
+		GossipSeed:     *gossipSeed,
 	})
 	defer srv.Close()
 
@@ -138,6 +163,14 @@ func main() {
 
 	hs := &http.Server{Handler: srv.Handler()}
 	fmt.Printf("bgqd: serving on %s\n", addr)
+	if *replicaID != "" {
+		gi := *gossipInterval
+		if gi == 0 {
+			gi = 200 * time.Millisecond // serve.Config's default
+		}
+		fmt.Printf("bgqd: cluster replica %s, %d peers, gossip every %v\n",
+			*replicaID, len(peerList), gi)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -220,6 +253,31 @@ func validate(listen, socket string, workers, queue, shards int, retryAfter time
 		return fmt.Errorf("-drain-timeout must be > 0, got %v", drainTimeout)
 	}
 	return nil
+}
+
+// validateCluster checks the cluster flags and splits the peer list.
+// A replica without peers is a cluster of one (legal — the soak
+// scripts start replicas before their peers are up); peers without a
+// replica ID is a misconfiguration.
+func validateCluster(replicaID, peers string, gossipInterval time.Duration) ([]string, error) {
+	if gossipInterval < 0 {
+		return nil, fmt.Errorf("-gossip-interval must be >= 0, got %v", gossipInterval)
+	}
+	if peers != "" && replicaID == "" {
+		return nil, fmt.Errorf("-peers needs -replica-id")
+	}
+	if peers == "" {
+		return nil, nil
+	}
+	var list []string
+	for _, p := range strings.Split(peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("-peers has an empty entry")
+		}
+		list = append(list, p)
+	}
+	return list, nil
 }
 
 // buildSLOs validates the telemetry flags and assembles the daemon's

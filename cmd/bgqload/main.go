@@ -12,6 +12,9 @@
 //	        [-max-shed-rate 0.5] [-require-coalesce] [-selftest]
 //	        [-trace-out trace.json] [-slo-out slo.json] [-require-slo]
 //
+//	bgqload -addrs r0=addr,r1=addr,r2=addr [-fault-every N]
+//	        [-max-replica-share 0.8] [plan-mode flags as above]
+//
 //	bgqload -sessions N [-addr ... | -selftest] [-seed S] [-shape ...]
 //	        [-pattern burst] [-concurrency 0] [-pace-us 500]
 //	        [-campaign-every 5] [-batch-every 0] [-drop-every 4]
@@ -29,6 +32,19 @@
 // -p99-ratio, and — with -require-coalesce — a server that reports no
 // cache hits or coalesced requests at all. -json archives the full
 // report (client stats plus the daemon's /metrics snapshot).
+//
+// Ring mode: -addrs lists a bgqd cluster's replicas ("id=addr" pairs,
+// or bare addresses that get IDs r0, r1, ...; the IDs must match the
+// daemons' -replica-id flags) and routes every request over the same
+// consistent-hash ring the cluster uses, failing over to successors
+// when a replica dies. -fault-every posts a seeded fault event
+// alongside every Nth request so the gossiped fault-epoch plane is
+// exercised under load, and the report gains a per-replica breakdown
+// (requests, shed, p99, share of traffic). Ring gates: any response
+// served with a stale fault-epoch vector fails the run, and
+// -max-replica-share fails it when one replica answers more than that
+// fraction of requests (a hot shard). Telemetry artifacts (-trace-out,
+// -slo-out, -require-slo) and -sessions are not supported in ring mode.
 //
 // -sessions N switches bgqload into the chaos-soak driver for resilient
 // transfer sessions: N concurrent sessions with seeded fault campaigns,
@@ -68,9 +84,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"bgqflow/internal/cluster"
 	"bgqflow/internal/loadgen"
 	"bgqflow/internal/obs"
 	"bgqflow/internal/serve"
@@ -78,6 +96,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", "", "daemon address: host:port, http://..., or unix:///path")
+	addrs := flag.String("addrs", "", "comma-separated cluster replicas (id=addr pairs or bare addresses); enables ring mode")
+	faultEvery := flag.Int("fault-every", 0, "post a seeded fault event alongside every Nth request (0 disables)")
+	maxReplicaShare := flag.Float64("max-replica-share", 0, "ring gate: fail when one replica answers more than this fraction of requests (0 disables)")
 	duration := flag.Duration("duration", 30*time.Second, "load duration")
 	mode := flag.String("mode", "open", "load mode: open (fixed-rate arrivals) or closed (fixed workers)")
 	rps := flag.Float64("rps", 500, "open-loop arrival rate (requests/sec)")
@@ -135,6 +156,10 @@ func main() {
 	}
 
 	if *sessions != 0 {
+		if *addrs != "" {
+			fmt.Fprintln(os.Stderr, "bgqload: -sessions does not support ring mode (-addrs)")
+			os.Exit(2)
+		}
 		// -concurrency defaults to 8 for the plan mix; in session mode an
 		// unset flag means "all sessions at once" (the peak-concurrency
 		// soak shape), so only an explicit value caps the fleet.
@@ -175,33 +200,56 @@ func main() {
 		Seed:        *seed,
 		Shape:       *shape,
 		AggEvery:    *aggEvery,
+		FaultEvery:  *faultEvery,
 	}
 	if *patterns != "" {
 		opts.Patterns = strings.Split(*patterns, ",")
 	}
-	baseP99, err := validate(*addr, *selftest, *baseline, *p99Ratio, *maxShed, opts, flag.Args())
+	members, baseP99, err := validate(*addr, *addrs, *selftest, *baseline, *p99Ratio, *maxShed, *maxReplicaShare,
+		telemetryOpts{traceOut: *traceOut, traceExtra: *traceExtra, sloOut: *sloOut, requireSLO: *requireSLO}, opts, flag.Args())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bgqload: %v\n", err)
 		os.Exit(2)
 	}
 
 	tel := telemetryOpts{traceOut: *traceOut, traceExtra: *traceExtra, sloOut: *sloOut, requireSLO: *requireSLO}
-	target := *addr
-	var cleanup func()
-	if *selftest {
-		target, cleanup, err = startInProcess(tel.selftestConfig(serve.Config{}))
+	var (
+		client loadgen.Planner
+		ringC  *serve.RingClient
+		direct *serve.Client
+		target string
+	)
+	if *addrs != "" {
+		ringC, err = serve.NewRingClient(members)
 		if err != nil {
-			fatal("selftest: %v", err)
+			fatal("%v", err)
 		}
-		defer cleanup()
-	}
-	client, err := serve.NewClient(target)
-	if err != nil {
-		fatal("%v", err)
-	}
-	tel.installTracer(client)
-	if err := client.Health(context.Background()); err != nil {
-		fatal("daemon not reachable at %s: %v", target, err)
+		up := ringC.Health(context.Background())
+		if len(up) == 0 {
+			fatal("no ring replica reachable (of %d in -addrs)", len(members))
+		}
+		fmt.Printf("bgqload: ring of %d replicas, %d up (%s)\n", len(members), len(up), strings.Join(up, ", "))
+		client = ringC
+		target = fmt.Sprintf("ring[%d]", len(members))
+	} else {
+		target = *addr
+		var cleanup func()
+		if *selftest {
+			target, cleanup, err = startInProcess(tel.selftestConfig(serve.Config{}))
+			if err != nil {
+				fatal("selftest: %v", err)
+			}
+			defer cleanup()
+		}
+		direct, err = serve.NewClient(target)
+		if err != nil {
+			fatal("%v", err)
+		}
+		tel.installTracer(direct)
+		if err := direct.Health(context.Background()); err != nil {
+			fatal("daemon not reachable at %s: %v", target, err)
+		}
+		client = direct
 	}
 
 	rep, err := loadgen.Run(context.Background(), client, opts)
@@ -220,7 +268,23 @@ func main() {
 			rep.Phases["connect"].P99MS, rep.Phases["queue"].P99MS,
 			rep.Phases["compute"].P99MS, rep.Phases["stream"].P99MS)
 	}
-	tel.writeArtifacts(client, rep.SLO)
+	if ringC != nil {
+		ids := make([]string, 0, len(rep.ByReplica))
+		for id := range rep.ByReplica {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			rs := rep.ByReplica[id]
+			fmt.Printf("bgqload: replica %s: %d requests (%.0f%% share), %d ok, %d shed, %d errors, p99 %.2fms\n",
+				id, rs.Requests, rs.Share*100, rs.OK, rs.Shed, rs.Errors, rs.Latency.P99MS)
+		}
+		fmt.Printf("bgqload: ring: %d faults posted, %d fault errors, %d stale responses served\n",
+			rep.FaultsPosted, rep.FaultErrors, rep.StaleServed)
+	}
+	if direct != nil {
+		tel.writeArtifacts(direct, rep.SLO)
+	}
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
@@ -242,6 +306,7 @@ func main() {
 		RequireCoalesce: *requireCoalesce,
 		MinRequests:     1,
 		RequireSLO:      *requireSLO,
+		MaxReplicaShare: *maxReplicaShare,
 	}
 	if baseP99 > 0 {
 		crit.MaxP99MS = baseP99 * *p99Ratio
@@ -253,41 +318,87 @@ func main() {
 }
 
 // validate rejects bad flags up front (exit 2), reading the baseline's
-// p99 while at it so a missing or corrupt baseline fails before the
-// 30-second load runs, not after.
-func validate(addr string, selftest bool, baseline string, p99Ratio, maxShed float64, opts loadgen.Options, extra []string) (baseP99 float64, err error) {
+// p99 and parsing the ring membership while at it so a missing or
+// corrupt baseline fails before the 30-second load runs, not after.
+func validate(addr, addrs string, selftest bool, baseline string, p99Ratio, maxShed, maxReplicaShare float64,
+	tel telemetryOpts, opts loadgen.Options, extra []string) (members []cluster.Member, baseP99 float64, err error) {
 	if len(extra) > 0 {
-		return 0, fmt.Errorf("unexpected arguments: %v", extra)
+		return nil, 0, fmt.Errorf("unexpected arguments: %v", extra)
 	}
-	if addr == "" && !selftest {
-		return 0, fmt.Errorf("-addr is required (or use -selftest)")
+	if addrs != "" {
+		if addr != "" {
+			return nil, 0, fmt.Errorf("-addr and -addrs are mutually exclusive")
+		}
+		if selftest {
+			return nil, 0, fmt.Errorf("-selftest and -addrs are mutually exclusive")
+		}
+		if tel.traceOut != "" || tel.sloOut != "" || tel.requireSLO {
+			return nil, 0, fmt.Errorf("telemetry artifacts (-trace-out/-slo-out/-require-slo) are not supported in ring mode")
+		}
+		if members, err = parseMembers(addrs); err != nil {
+			return nil, 0, err
+		}
+	} else if addr == "" && !selftest {
+		return nil, 0, fmt.Errorf("-addr is required (or use -selftest / -addrs)")
 	}
 	if p99Ratio <= 0 {
-		return 0, fmt.Errorf("-p99-ratio must be > 0, got %g", p99Ratio)
+		return nil, 0, fmt.Errorf("-p99-ratio must be > 0, got %g", p99Ratio)
 	}
 	if maxShed < 0 || maxShed > 1 {
-		return 0, fmt.Errorf("-max-shed-rate must be in [0,1], got %g", maxShed)
+		return nil, 0, fmt.Errorf("-max-shed-rate must be in [0,1], got %g", maxShed)
+	}
+	if maxReplicaShare < 0 || maxReplicaShare > 1 {
+		return nil, 0, fmt.Errorf("-max-replica-share must be in [0,1], got %g", maxReplicaShare)
 	}
 	// Validate mode/shape/patterns/duration via the loadgen mix builder.
 	if _, err := loadgen.BuildMix(opts); err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	if baseline != "" {
 		f, err := os.Open(baseline)
 		if err != nil {
-			return 0, fmt.Errorf("baseline: %v", err)
+			return nil, 0, fmt.Errorf("baseline: %v", err)
 		}
 		defer f.Close()
 		base, err := loadgen.ReadReport(f)
 		if err != nil {
-			return 0, fmt.Errorf("baseline %s: %v", baseline, err)
+			return nil, 0, fmt.Errorf("baseline %s: %v", baseline, err)
 		}
 		if base.Latency.P99MS <= 0 {
-			return 0, fmt.Errorf("baseline %s has no p99 latency", baseline)
+			return nil, 0, fmt.Errorf("baseline %s has no p99 latency", baseline)
 		}
 		baseP99 = base.Latency.P99MS
 	}
-	return baseP99, nil
+	return members, baseP99, nil
+}
+
+// parseMembers turns the -addrs list into ring members. Entries are
+// "id=addr" pairs; a bare address gets the positional ID r<i>. The IDs
+// must match the daemons' -replica-id flags — they are what the ring
+// hashes, so mismatched IDs would route every request to the wrong
+// replica's cache shard (still correct, just cold).
+func parseMembers(addrs string) ([]cluster.Member, error) {
+	var members []cluster.Member
+	seen := make(map[string]bool)
+	for i, entry := range strings.Split(addrs, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("-addrs has an empty entry")
+		}
+		id, a, ok := strings.Cut(entry, "=")
+		if !ok {
+			id, a = fmt.Sprintf("r%d", i), entry
+		}
+		if id == "" || a == "" {
+			return nil, fmt.Errorf("-addrs entry %q: want id=addr", entry)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("-addrs has duplicate replica ID %q", id)
+		}
+		seen[id] = true
+		members = append(members, cluster.Member{ID: id, Addr: a})
+	}
+	return members, nil
 }
 
 // validateSessions rejects bad session-mode flags up front (exit 2).

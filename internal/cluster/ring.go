@@ -1,0 +1,171 @@
+// Package cluster holds the machinery that turns N independent bgqd
+// replicas into one plan-serving fleet (DESIGN.md §17):
+//
+//   - a consistent-hash Ring that assigns request keys to replicas with
+//     bounded reshuffle on membership change (~K/N keys move when one of
+//     N replicas joins or leaves, everything else stays put);
+//   - a versioned fault-epoch Log: every fault event is stamped
+//     (origin, seq, lamport) at the replica that ingests it, and every
+//     replica replays the events it has applied in one canonical total
+//     order, so two replicas holding the same event set hold the same
+//     fault set — regardless of delivery order;
+//   - a push-pull gossip Node that disseminates fault events
+//     epidemically, with an in-memory transport for deterministic
+//     loss/reorder testing and an HTTP transport provided by the serve
+//     layer.
+//
+// The package deliberately knows nothing about HTTP or planning: serve
+// owns the wire, cluster owns the membership and convergence math.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Member is one replica in the ring: a stable ID (the replica name
+// request routing and reporting speak) and the address clients dial.
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Ring is a consistent-hash ring over replica members. Each member owns
+// Vnodes points on a 64-bit hash circle; a key is served by the member
+// owning the first point at or clockwise of the key's hash. Safe for
+// concurrent use: lookups take a read lock, membership changes a write
+// lock.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	members map[string]Member
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// DefaultVnodes is the per-member virtual-node count: enough points
+// that a 3-replica ring splits keys within a few percent of evenly.
+const DefaultVnodes = 64
+
+// NewRing builds a ring with the given virtual-node count (0 means
+// DefaultVnodes) and initial members.
+func NewRing(vnodes int, members ...Member) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{vnodes: vnodes, members: make(map[string]Member)}
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	// fnv64a alone clusters for short, similar keys ("r3#0".."r3#63");
+	// a splitmix64 finalizer spreads the points over the full circle.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts (or re-addresses) a member. Adding an existing ID only
+// updates its address — the hash points are a function of the ID alone,
+// so re-adding never moves keys.
+func (r *Ring) Add(m Member) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[m.ID]; ok {
+		r.members[m.ID] = m
+		return
+	}
+	r.members[m.ID] = m
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hashKey(fmt.Sprintf("%s#%d", m.ID, v)), m.ID})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member and its points. Removing an unknown ID is a
+// no-op.
+func (r *Ring) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; !ok {
+		return
+	}
+	delete(r.members, id)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.id != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns the membership sorted by ID.
+func (r *Ring) Members() []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the member owning key, or ok=false on an empty ring.
+func (r *Ring) Lookup(key string) (Member, bool) {
+	ms := r.Successors(key, 1)
+	if len(ms) == 0 {
+		return Member{}, false
+	}
+	return ms[0], true
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the owner of key — the failover ladder: if the owner is down, the
+// next distinct member clockwise takes the key, and so on.
+func (r *Ring) Successors(key string, n int) []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]Member, 0, n)
+	seen := make(map[string]bool, n)
+	for scanned := 0; scanned < len(r.points) && len(out) < n; scanned++ {
+		p := r.points[(i+scanned)%len(r.points)]
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		out = append(out, r.members[p.id])
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) []Member {
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{ID: fmt.Sprintf("r%d", i), Addr: fmt.Sprintf("addr-%d", i)}
+	}
+	return out
+}
+
+func assignments(r *Ring, keys int) map[string]string {
+	out := make(map[string]string, keys)
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		m, ok := r.Lookup(key)
+		if !ok {
+			panic("empty ring")
+		}
+		out[key] = m.ID
+	}
+	return out
+}
+
+// TestRingBalance: with vnodes, a 3-member ring splits keys roughly
+// evenly — no member owns more than half or less than a sixth of the
+// keyspace (generous bounds; fnv with 64 vnodes lands near 1/3 each).
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0, testMembers(3)...)
+	counts := map[string]int{}
+	const keys = 3000
+	for k, id := range assignments(r, keys) {
+		_ = k
+		counts[id]++
+	}
+	for id, c := range counts {
+		share := float64(c) / keys
+		if share < 1.0/6 || share > 0.5 {
+			t.Errorf("member %s owns %.1f%% of keys (want roughly a third)", id, share*100)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d members own keys", len(counts))
+	}
+}
+
+// TestRingReshuffleOnJoin pins the consistent-hash contract: adding a
+// 4th member to a 3-member ring moves roughly K/N keys — every moved
+// key moves TO the new member, and no key moves between old members.
+func TestRingReshuffleOnJoin(t *testing.T) {
+	r := NewRing(0, testMembers(3)...)
+	const keys = 2000
+	before := assignments(r, keys)
+	r.Add(Member{ID: "r3", Addr: "addr-3"})
+	after := assignments(r, keys)
+
+	moved := 0
+	for key, old := range before {
+		now := after[key]
+		if now == old {
+			continue
+		}
+		moved++
+		if now != "r3" {
+			t.Fatalf("key %s moved %s -> %s, but only the new member r3 may gain keys on join", key, old, now)
+		}
+	}
+	// Expect ~1/4 of keys to move; allow [10%, 45%].
+	share := float64(moved) / keys
+	if share < 0.10 || share > 0.45 {
+		t.Errorf("join moved %.1f%% of keys, want ~25%%", share*100)
+	}
+}
+
+// TestRingReshuffleOnLeave: removing a member moves exactly that
+// member's keys, distributed over the survivors; every other key keeps
+// its assignment.
+func TestRingReshuffleOnLeave(t *testing.T) {
+	r := NewRing(0, testMembers(3)...)
+	const keys = 2000
+	before := assignments(r, keys)
+	r.Remove("r1")
+	after := assignments(r, keys)
+
+	for key, old := range before {
+		now := after[key]
+		if old == "r1" {
+			if now == "r1" {
+				t.Fatalf("key %s still assigned to removed member", key)
+			}
+			continue
+		}
+		if now != old {
+			t.Fatalf("key %s moved %s -> %s although its owner never left", key, old, now)
+		}
+	}
+}
+
+// TestRingRejoinRestoresAssignment: a leave followed by a re-join of
+// the same ID restores the original assignment exactly — hash points
+// are a function of the ID alone.
+func TestRingRejoinRestoresAssignment(t *testing.T) {
+	r := NewRing(0, testMembers(3)...)
+	const keys = 500
+	before := assignments(r, keys)
+	r.Remove("r2")
+	r.Add(Member{ID: "r2", Addr: "addr-2b"})
+	after := assignments(r, keys)
+	for key, old := range before {
+		if after[key] != old {
+			t.Fatalf("key %s: %s -> %s after leave+rejoin", key, old, after[key])
+		}
+	}
+}
+
+// TestRingSuccessors: the failover ladder starts at the owner, yields
+// distinct members, and never exceeds the membership.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(0, testMembers(3)...)
+	for k := 0; k < 100; k++ {
+		key := fmt.Sprintf("s-%d", k)
+		owner, _ := r.Lookup(key)
+		succ := r.Successors(key, 5)
+		if len(succ) != 3 {
+			t.Fatalf("key %s: %d successors, want 3", key, len(succ))
+		}
+		if succ[0].ID != owner.ID {
+			t.Fatalf("key %s: ladder starts at %s, owner is %s", key, succ[0].ID, owner.ID)
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m.ID] {
+				t.Fatalf("key %s: duplicate member %s in ladder", key, m.ID)
+			}
+			seen[m.ID] = true
+		}
+	}
+	if got := NewRing(0).Successors("x", 2); got != nil {
+		t.Fatalf("empty ring returned successors %v", got)
+	}
+}
+
+// TestRingDeterministic: two rings built from the same members agree on
+// every key (routing must be identical on every client).
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(0, testMembers(4)...)
+	b := NewRing(0, testMembers(4)...)
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("d-%d", k)
+		ma, _ := a.Lookup(key)
+		mb, _ := b.Lookup(key)
+		if ma.ID != mb.ID {
+			t.Fatalf("key %s: ring A says %s, ring B says %s", key, ma.ID, mb.ID)
+		}
+	}
+}

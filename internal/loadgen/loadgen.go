@@ -33,10 +33,28 @@ import (
 	"time"
 
 	"bgqflow/internal/obs"
+	"bgqflow/internal/scenario"
 	"bgqflow/internal/serve"
 	"bgqflow/internal/stats"
 	"bgqflow/internal/torus"
 	"bgqflow/internal/workload"
+)
+
+// Planner is the client surface a load run drives: a single-daemon
+// *serve.Client or a cluster-routing *serve.RingClient. Run only needs
+// the plan calls, fault posting (for FaultEvery), and retry-policy
+// control; richer surfaces (metrics, SLO snapshots, stale accounting)
+// are reached by type assertion after the run.
+type Planner interface {
+	SetRetryPolicy(serve.RetryPolicy)
+	PlanPair(context.Context, serve.PairRequest) (serve.PlanResult, error)
+	PlanAgg(context.Context, serve.AggRequest) (serve.PlanResult, error)
+	Fault(context.Context, serve.FaultEvent) (uint64, error)
+}
+
+var (
+	_ Planner = (*serve.Client)(nil)
+	_ Planner = (*serve.RingClient)(nil)
 )
 
 // Options configures one load run.
@@ -65,6 +83,13 @@ type Options struct {
 	// repeat requests sooner (more cache hits), larger rings stress
 	// plan computation.
 	MixSize int
+	// FaultEvery posts a seeded fault event alongside every Nth fired
+	// request (0 disables). The poster alternates failing one random
+	// link with clearing the whole set once three links are down, so
+	// the effective fault set stays small enough to keep plans cheap.
+	// Against a cluster the posts rotate across replicas, exercising
+	// gossip dissemination and the epoch staleness gate under load.
+	FaultEvery int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -116,6 +141,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.AggEvery < 0 {
 		return o, fmt.Errorf("loadgen: aggEvery %d", o.AggEvery)
+	}
+	if o.FaultEvery < 0 {
+		return o, fmt.Errorf("loadgen: faultEvery %d", o.FaultEvery)
 	}
 	return o, nil
 }
@@ -226,6 +254,23 @@ type Report struct {
 	// ByPattern counts requests per mix pattern.
 	ByPattern map[string]int `json:"by_pattern,omitempty"`
 
+	// ByReplica breaks the client-side view down by serving replica
+	// (from the X-Bgq-Replica response header) — the hot-shard detector
+	// for cluster soaks. Empty against a standalone daemon, which sends
+	// no replica header.
+	ByReplica map[string]*ReplicaStats `json:"by_replica,omitempty"`
+
+	// StaleServed counts ring responses whose fault-epoch vector did
+	// not dominate the vector the client demanded (ring runs only). The
+	// server-side min-vector check makes this impossible, so Check
+	// fails on any nonzero count.
+	StaleServed int64 `json:"stale_served,omitempty"`
+
+	// FaultsPosted / FaultErrors count the FaultEvery poster's acked
+	// and failed fault events.
+	FaultsPosted int `json:"faults_posted,omitempty"`
+	FaultErrors  int `json:"fault_errors,omitempty"`
+
 	// Server-side view, from /metrics after the run.
 	CacheHits     int64                `json:"cache_hits"`
 	Coalesced     int64                `json:"coalesced"`
@@ -239,8 +284,23 @@ type Report struct {
 	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
 }
 
-// Run executes the load against the daemon behind client.
-func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
+// ReplicaStats is one replica's slice of a load run, as the client saw
+// it: how many requests the replica answered, how they fared, and the
+// latency of its successful plans. Share is the replica's fraction of
+// all replica-attributed requests — the number the hot-shard gate
+// reads.
+type ReplicaStats struct {
+	Requests int            `json:"requests"`
+	OK       int            `json:"ok"`
+	Shed     int            `json:"shed"`
+	Errors   int            `json:"errors"`
+	Share    float64        `json:"share"`
+	Latency  LatencySummary `json:"latency"`
+}
+
+// Run executes the load against the daemon (or daemon cluster) behind
+// client.
+func Run(ctx context.Context, client Planner, o Options) (Report, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return Report{}, err
@@ -251,7 +311,15 @@ func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
 	}
 	// Shed accounting must be exact: every 429 the daemon sends is one
 	// shed in the report, so the client must not quietly retry them.
-	client.SetRetryPolicy(serve.NoRetryPolicy())
+	// Against a ring, 503s still retry in place — a clustered 503 means
+	// "replica behind the demanded fault vector", which resolves by
+	// waiting out the gossip window, not a shed.
+	pol := serve.NoRetryPolicy()
+	if _, isRing := client.(*serve.RingClient); isRing {
+		pol = serve.DefaultRetryPolicy()
+		pol.NoShedRetry = true
+	}
+	client.SetRetryPolicy(pol)
 	rep := Report{
 		Mode:        o.Mode,
 		Seed:        o.Seed,
@@ -265,10 +333,11 @@ func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []float64
-		phases    = map[string][]float64{}
-		next      atomic.Int64
+		mu         sync.Mutex
+		latencies  []float64
+		phases     = map[string][]float64{}
+		replicaLat = map[string][]float64{}
+		next       atomic.Int64
 	)
 	record := func(pattern string, res serve.PlanResult, err error, lat time.Duration) {
 		mu.Lock()
@@ -279,6 +348,18 @@ func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
 			rep.TransportErrors++
 			return
 		}
+		var rs *ReplicaStats
+		if res.Replica != "" {
+			if rep.ByReplica == nil {
+				rep.ByReplica = make(map[string]*ReplicaStats)
+			}
+			rs = rep.ByReplica[res.Replica]
+			if rs == nil {
+				rs = &ReplicaStats{}
+				rep.ByReplica[res.Replica] = rs
+			}
+			rs.Requests++
+		}
 		switch {
 		case res.OK():
 			rep.OK++
@@ -287,17 +368,73 @@ func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
 			phases["queue"] = append(phases["queue"], res.QueueMS)
 			phases["compute"] = append(phases["compute"], res.ComputeMS)
 			phases["stream"] = append(phases["stream"], res.StreamMS)
+			if rs != nil {
+				rs.OK++
+				replicaLat[res.Replica] = append(replicaLat[res.Replica], float64(lat)/1e6)
+			}
 		case res.Shed():
 			rep.Shed++
+			if rs != nil {
+				rs.Shed++
+			}
 		case res.Status >= 500:
 			rep.Status5xx++
+			if rs != nil {
+				rs.Errors++
+			}
 		case res.Status >= 400:
 			rep.Status4xx++
+			if rs != nil {
+				rs.Errors++
+			}
 		}
 	}
+
+	// Seeded fault poster for FaultEvery: one random link failure per
+	// event, cleared wholesale once three are down. Same seed, same
+	// event sequence — the chaos half of a soak is as reproducible as
+	// its request mix.
+	shape, _ := torus.ParseShape(o.Shape)
+	nodes := 1
+	for _, ext := range shape {
+		nodes *= ext
+	}
+	var (
+		faultMu  sync.Mutex
+		faultRNG = rand.New(rand.NewSource(o.Seed ^ 0x5eedfa))
+		active   int
+	)
+	postFault := func(ctx context.Context) {
+		faultMu.Lock()
+		var ev serve.FaultEvent
+		if active >= 3 {
+			ev.Clear = true
+			active = 0
+		} else {
+			ev.Links = []scenario.FailLink{{
+				Node: faultRNG.Intn(nodes),
+				Dim:  faultRNG.Intn(len(shape)),
+				Dir:  1,
+			}}
+			active++
+		}
+		faultMu.Unlock()
+		_, ferr := client.Fault(ctx, ev)
+		mu.Lock()
+		if ferr != nil {
+			rep.FaultErrors++
+		} else {
+			rep.FaultsPosted++
+		}
+		mu.Unlock()
+	}
+
 	fire := func(ctx context.Context) {
-		i := int(next.Add(1)-1) % len(ring)
-		req := ring[i]
+		slot := int(next.Add(1) - 1)
+		if o.FaultEvery > 0 && slot%o.FaultEvery == o.FaultEvery-1 {
+			postFault(ctx)
+		}
+		req := ring[slot%len(ring)]
 		t0 := time.Now()
 		var res serve.PlanResult
 		var err error
@@ -370,22 +507,59 @@ func Run(ctx context.Context, client *serve.Client, o Options) (Report, error) {
 		}
 	}
 
-	// Server-side counters after the run; a load run against a dead or
-	// unreachable daemon still returns its client-side half.
-	if snap, merr := client.Metrics(ctx); merr == nil {
-		rep.Metrics = &snap
-		rep.CacheHits = snap.Counters["serve/cache_hits"]
-		rep.Coalesced = snap.Counters["serve/coalesced"]
-		rep.PlansComputed = snap.Counters["serve/plans_computed"]
-		if served := snap.Counters["serve/requests"]; served > 0 {
-			rep.CoalesceRate = float64(rep.CacheHits+rep.Coalesced) / float64(served)
+	// Per-replica shares and latency summaries from the client-side
+	// attribution (X-Bgq-Replica).
+	attributed := 0
+	for _, rs := range rep.ByReplica {
+		attributed += rs.Requests
+	}
+	for id, rs := range rep.ByReplica {
+		if attributed > 0 {
+			rs.Share = float64(rs.Requests) / float64(attributed)
+		}
+		xs := replicaLat[id]
+		ps := stats.Summarize(xs)
+		rs.Latency = LatencySummary{N: ps.N, MeanMS: ps.Mean, MaxMS: ps.Max}
+		if ps.N > 0 {
+			rs.Latency.P50MS = stats.Percentile(xs, 50)
+			rs.Latency.P90MS = stats.Percentile(xs, 90)
+			rs.Latency.P99MS = stats.Percentile(xs, 99)
 		}
 	}
-	// SLO verdicts, when the daemon has objectives configured. Best
-	// effort like /metrics — but RequireSLO fails a run that could not
-	// produce a snapshot, so a soak cannot silently skip its gate.
-	if slo, serr := client.SLO(ctx); serr == nil && slo.Enabled {
-		rep.SLO = &slo
+
+	// Server-side counters after the run; a load run against a dead or
+	// unreachable daemon still returns its client-side half. A ring sums
+	// the fleet's counters (the aggregate cache is the interesting one)
+	// and carries over the client-side staleness oracle.
+	switch c := client.(type) {
+	case *serve.Client:
+		if snap, merr := c.Metrics(ctx); merr == nil {
+			rep.Metrics = &snap
+			rep.CacheHits = snap.Counters["serve/cache_hits"]
+			rep.Coalesced = snap.Counters["serve/coalesced"]
+			rep.PlansComputed = snap.Counters["serve/plans_computed"]
+			if served := snap.Counters["serve/requests"]; served > 0 {
+				rep.CoalesceRate = float64(rep.CacheHits+rep.Coalesced) / float64(served)
+			}
+		}
+		// SLO verdicts, when the daemon has objectives configured. Best
+		// effort like /metrics — but RequireSLO fails a run that could not
+		// produce a snapshot, so a soak cannot silently skip its gate.
+		if slo, serr := c.SLO(ctx); serr == nil && slo.Enabled {
+			rep.SLO = &slo
+		}
+	case *serve.RingClient:
+		rep.StaleServed = c.StaleServed()
+		var served int64
+		for _, snap := range c.MetricsAll(ctx) {
+			rep.CacheHits += snap.Counters["serve/cache_hits"]
+			rep.Coalesced += snap.Counters["serve/coalesced"]
+			rep.PlansComputed += snap.Counters["serve/plans_computed"]
+			served += snap.Counters["serve/requests"]
+		}
+		if served > 0 {
+			rep.CoalesceRate = float64(rep.CacheHits+rep.Coalesced) / float64(served)
+		}
 	}
 	return rep, nil
 }
@@ -405,6 +579,12 @@ type Criteria struct {
 	MaxP99MS float64
 	// MinRequests guards against a vacuous pass.
 	MinRequests int
+	// MaxReplicaShare, when positive, fails the run when any single
+	// replica answered more than this fraction of replica-attributed
+	// requests — the hot-shard gate for cluster soaks. Ring routing
+	// should spread the mix; one replica soaking it all up means the
+	// ring (or the mix) is degenerate.
+	MaxReplicaShare float64
 	// RequireSLO fails the run unless the daemon served an SLO snapshot
 	// with objectives enabled and zero cumulative breaches.
 	RequireSLO bool
@@ -445,6 +625,20 @@ func (r Report) Check(c Criteria) error {
 	}
 	if c.MinRequests > 0 && r.Requests < c.MinRequests {
 		fails = append(fails, fmt.Sprintf("only %d requests issued (min %d)", r.Requests, c.MinRequests))
+	}
+	// Staleness is gated unconditionally: the server-side min-vector
+	// check makes a stale response impossible, so any count at all is a
+	// cluster-consistency bug, never an acceptable operating point.
+	if r.StaleServed > 0 {
+		fails = append(fails, fmt.Sprintf("%d stale responses served (fault-epoch vector regression)", r.StaleServed))
+	}
+	if c.MaxReplicaShare > 0 {
+		for id, rs := range r.ByReplica {
+			if rs.Share > c.MaxReplicaShare {
+				fails = append(fails, fmt.Sprintf("hot shard: replica %s answered %.0f%% of requests (max %.0f%%)",
+					id, rs.Share*100, c.MaxReplicaShare*100))
+			}
+		}
 	}
 	if c.RequireSLO {
 		fails = checkSLO(r.SLO, fails)

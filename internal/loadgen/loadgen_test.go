@@ -3,12 +3,16 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"bgqflow/internal/cluster"
 	"bgqflow/internal/serve"
 )
 
@@ -127,6 +131,121 @@ func TestRunClosedLoop(t *testing.T) {
 	}
 	if err := rep.Check(Criteria{MaxShedRate: 0.5, RequireCoalesce: true, MinRequests: 1}); err != nil {
 		t.Errorf("gates: %v", err)
+	}
+}
+
+// startRingCluster spins n clustered in-process daemons wired as gossip
+// peers and returns a ring client over them. Listeners are bound before
+// any daemon starts so every peer URL exists up front.
+func startRingCluster(t *testing.T, n int) *serve.RingClient {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	members := make([]cluster.Member, n)
+	for i := range lns {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		srv := serve.New(serve.Config{
+			ReplicaID:      fmt.Sprintf("r%d", i),
+			Peers:          peers,
+			GossipInterval: 25 * time.Millisecond,
+			GossipSeed:     int64(i + 1),
+		})
+		hs := &httptest.Server{Listener: lns[i], Config: &http.Server{Handler: srv.Handler()}}
+		hs.Start()
+		t.Cleanup(func() { hs.Close(); srv.Close() })
+		members[i] = cluster.Member{ID: fmt.Sprintf("r%d", i), Addr: addrs[i]}
+	}
+	rc, err := serve.NewRingClient(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rc
+}
+
+func TestRunRingMode(t *testing.T) {
+	rc := startRingCluster(t, 3)
+	rep, err := Run(context.Background(), rc, Options{
+		Mode:        "closed",
+		Duration:    700 * time.Millisecond,
+		Concurrency: 4,
+		Seed:        1,
+		MixSize:     32,
+		FaultEvery:  25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.OK == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.Status5xx != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("errors: 5xx=%d transport=%d", rep.Status5xx, rep.TransportErrors)
+	}
+	if rep.StaleServed != 0 {
+		t.Fatalf("%d stale responses served — the min-vector discipline is broken", rep.StaleServed)
+	}
+	if rep.FaultsPosted == 0 {
+		t.Error("FaultEvery=25 posted no fault events")
+	}
+	if rep.FaultErrors != 0 {
+		t.Errorf("%d fault posts failed against a healthy cluster", rep.FaultErrors)
+	}
+	// 32 distinct keys over a 3-replica ring must attribute traffic to
+	// more than one replica, shares must account for every attributed
+	// request, and per-replica OKs must sum to the total.
+	if len(rep.ByReplica) < 2 {
+		t.Fatalf("ByReplica has %d replicas, want >= 2: %+v", len(rep.ByReplica), rep.ByReplica)
+	}
+	attributed, oks, share := 0, 0, 0.0
+	for id, rs := range rep.ByReplica {
+		attributed += rs.Requests
+		oks += rs.OK
+		share += rs.Share
+		if rs.OK > 0 && rs.Latency.N != rs.OK {
+			t.Errorf("replica %s: latency N %d != OK %d", id, rs.Latency.N, rs.OK)
+		}
+	}
+	if oks != rep.OK {
+		t.Errorf("per-replica OK sums to %d, report says %d", oks, rep.OK)
+	}
+	if attributed > rep.Requests {
+		t.Errorf("attributed %d > total %d", attributed, rep.Requests)
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Errorf("replica shares sum to %.4f, want 1", share)
+	}
+	if err := rep.Check(Criteria{MaxShedRate: 0.9, MinRequests: 1, MaxReplicaShare: 0.95}); err != nil {
+		t.Errorf("gates: %v", err)
+	}
+}
+
+func TestRingGates(t *testing.T) {
+	stale := Report{Requests: 10, OK: 10, StaleServed: 2}
+	if err := stale.Check(Criteria{}); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Errorf("stale gate: err %v, want mention of stale", err)
+	}
+	hot := Report{Requests: 10, OK: 10, ByReplica: map[string]*ReplicaStats{
+		"r0": {Requests: 9, Share: 0.9},
+		"r1": {Requests: 1, Share: 0.1},
+	}}
+	if err := hot.Check(Criteria{MaxReplicaShare: 0.8}); err == nil || !strings.Contains(err.Error(), "hot shard") {
+		t.Errorf("hot-shard gate: err %v, want mention of hot shard", err)
+	}
+	if err := hot.Check(Criteria{MaxReplicaShare: 0.95}); err != nil {
+		t.Errorf("share under the cap failed: %v", err)
 	}
 }
 

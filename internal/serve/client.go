@@ -13,9 +13,11 @@ import (
 	"net/http/httptrace"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"bgqflow/internal/cluster"
 	"bgqflow/internal/obs"
 	"bgqflow/internal/scenario"
 )
@@ -30,6 +32,17 @@ type Client struct {
 	retry   RetryPolicy
 	tracer  *obs.WallRecorder
 	metrics *obs.Registry
+
+	// Min-vector state for clustered daemons: the fault-epoch vector
+	// this client demands every plan reflect (read-your-writes across
+	// replicas). Fault responses merge into it; requests stamp it as
+	// X-Bgq-Min-Vector. vecSrc/vecSink, when set (by RingClient),
+	// redirect both to a shared store so all per-replica clients demand
+	// the same vector.
+	vecMu   sync.Mutex
+	minVec  cluster.Vector
+	vecSrc  func() string
+	vecSink func(string)
 }
 
 // RetryPolicy governs how the client reacts to shed (429) and
@@ -53,6 +66,13 @@ type RetryPolicy struct {
 	// RetryConn also retries transport-level errors (connection refused
 	// while a daemon restarts), not just 429/503 responses.
 	RetryConn bool
+	// NoShedRetry surfaces 429 responses immediately while 503s still
+	// back off and retry. Load generators driving a cluster use it:
+	// against a clustered daemon a 503 means "replica behind the
+	// demanded fault vector", which resolves by waiting out the gossip
+	// window — not a shed — so retrying it keeps shed accounting exact
+	// without turning staleness windows into spurious 5xx counts.
+	NoShedRetry bool
 }
 
 // DefaultRetryPolicy is the interactive operating point: a handful of
@@ -109,15 +129,17 @@ func (p RetryPolicy) sleep(ctx context.Context, attempt int, hint time.Duration)
 	}
 }
 
-// NewClient builds a client for the given address with the default
-// retry policy.
-func NewClient(addr string) (*Client, error) {
+// dialTarget resolves a daemon address — TCP ("host:port",
+// "http://...") or unix socket ("unix:///path") — into a base URL and
+// an http.Client that dials it. Shared by NewClient and the gossip
+// transport so every layer speaks the same address forms.
+func dialTarget(addr string) (string, *http.Client, error) {
 	if addr == "" {
-		return nil, fmt.Errorf("serve: empty address")
+		return "", nil, fmt.Errorf("serve: empty address")
 	}
 	if path, ok := strings.CutPrefix(addr, "unix://"); ok {
 		if path == "" {
-			return nil, fmt.Errorf("serve: empty unix socket path")
+			return "", nil, fmt.Errorf("serve: empty unix socket path")
 		}
 		tr := &http.Transport{
 			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
@@ -127,12 +149,22 @@ func NewClient(addr string) (*Client, error) {
 		}
 		// The host is a placeholder; the transport always dials the
 		// socket.
-		return &Client{base: "http://bgqd", hc: &http.Client{Transport: tr}, retry: DefaultRetryPolicy()}, nil
+		return "http://bgqd", &http.Client{Transport: tr}, nil
 	}
 	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
 		addr = "http://" + addr
 	}
-	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}, retry: DefaultRetryPolicy()}, nil
+	return strings.TrimRight(addr, "/"), &http.Client{}, nil
+}
+
+// NewClient builds a client for the given address with the default
+// retry policy.
+func NewClient(addr string) (*Client, error) {
+	base, hc, err := dialTarget(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{base: base, hc: hc, retry: DefaultRetryPolicy()}, nil
 }
 
 // SetRetryPolicy replaces the client's retry policy. Not safe to call
@@ -159,6 +191,50 @@ func (c *Client) SetMetrics(r *obs.Registry) { c.metrics = r }
 // BaseURL reports the daemon base URL the client talks to.
 func (c *Client) BaseURL() string { return c.base }
 
+// MinVector returns the fault-epoch vector this client currently
+// demands of every plan ("" until a Fault response establishes one).
+func (c *Client) MinVector() string {
+	if c.vecSrc != nil {
+		return c.vecSrc()
+	}
+	c.vecMu.Lock()
+	defer c.vecMu.Unlock()
+	return c.minVec.String()
+}
+
+// MergeMinVector raises the client's demanded vector pointwise by v
+// (canonical "origin:seq,..." form). Malformed input is ignored — the
+// demand only ever grows from server-provided vectors.
+func (c *Client) MergeMinVector(v string) {
+	if v == "" {
+		return
+	}
+	if c.vecSink != nil {
+		c.vecSink(v)
+		return
+	}
+	parsed, err := cluster.ParseVector(v)
+	if err != nil {
+		if c.metrics != nil {
+			c.metrics.Counter("serve/client/bad_vector").Inc()
+		}
+		return
+	}
+	c.vecMu.Lock()
+	if c.minVec == nil {
+		c.minVec = cluster.Vector{}
+	}
+	c.minVec.Merge(parsed)
+	c.vecMu.Unlock()
+}
+
+// SetVectorHooks redirects the client's min-vector reads and merges to
+// an external store (RingClient shares one across its per-replica
+// clients). Configure before use.
+func (c *Client) SetVectorHooks(src func() string, sink func(string)) {
+	c.vecSrc, c.vecSink = src, sink
+}
+
 // PlanResult is one plan response as the client saw it.
 type PlanResult struct {
 	// Status is the HTTP status code (200 = plan served, 429 = shed).
@@ -180,6 +256,12 @@ type PlanResult struct {
 	// Trace is the request's trace ID (client-stamped when a tracer is
 	// set, else the server's echo when tracing is enabled there).
 	Trace string
+	// Replica is the serving replica's ID (X-Bgq-Replica; "" from a
+	// standalone daemon).
+	Replica string
+	// Vector is the fault-epoch vector the response was served under
+	// ("" from a standalone daemon).
+	Vector string
 	// Per-phase latency breakdown in milliseconds. ConnectMS is the TCP
 	// dial time (0 on a pooled connection); QueueMS and ComputeMS are
 	// the server-reported dispatcher and planner phases (0 unless this
@@ -212,7 +294,8 @@ func (c *Client) post(ctx context.Context, path string, body any) (PlanResult, e
 	}
 	for attempt := 0; ; attempt++ {
 		res, err := c.postOnce(ctx, path, body, trace)
-		retryable := err == nil && (res.Status == http.StatusTooManyRequests || res.Status == http.StatusServiceUnavailable)
+		retryable := err == nil && (res.Status == http.StatusServiceUnavailable ||
+			(res.Status == http.StatusTooManyRequests && !pol.NoShedRetry))
 		if err != nil && pol.RetryConn && ctx.Err() == nil {
 			retryable = true
 		}
@@ -307,6 +390,9 @@ func (c *Client) postOnce(ctx context.Context, path string, body any, trace stri
 		req.Header.Set(HeaderTraceID, trace)
 		req.Header.Set(HeaderSpanID, obs.NewTraceID())
 	}
+	if mv := c.MinVector(); mv != "" {
+		req.Header.Set(HeaderMinVector, mv)
+	}
 	t0 := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -326,6 +412,8 @@ func (c *Client) postOnce(ctx context.Context, path string, body any, trace stri
 		Coalesced: env.Coalesced,
 		Err:       env.Error,
 		Trace:     trace,
+		Replica:   resp.Header.Get(HeaderReplica),
+		Vector:    env.Vector,
 		ConnectMS: float64(connDur.Load()) / 1e6,
 		QueueMS:   c.msHeader(resp.Header, HeaderQueueMS),
 		ComputeMS: c.msHeader(resp.Header, HeaderComputeMS),
@@ -361,7 +449,10 @@ func (c *Client) Simulate(ctx context.Context, cfg scenario.Config) (PlanResult,
 	return c.post(ctx, "/v1/simulate", cfg)
 }
 
-// Fault posts a fault event and returns the new epoch.
+// Fault posts a fault event and returns the new epoch. Against a
+// clustered daemon the acknowledged fault-epoch vector is merged into
+// the client's min vector, so every subsequent request — to ANY replica
+// — demands a fault set that includes this event (read-your-writes).
 func (c *Client) Fault(ctx context.Context, ev FaultEvent) (uint64, error) {
 	res, err := c.post(ctx, "/v1/fault", ev)
 	if err != nil {
@@ -370,6 +461,7 @@ func (c *Client) Fault(ctx context.Context, ev FaultEvent) (uint64, error) {
 	if res.Status != http.StatusOK {
 		return 0, fmt.Errorf("serve: fault event rejected (status %d): %s", res.Status, res.Err)
 	}
+	c.MergeMinVector(res.Vector)
 	return res.Epoch, nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"bgqflow/internal/cluster"
 	"bgqflow/internal/obs"
 	"bgqflow/internal/scenario"
 )
@@ -82,6 +83,23 @@ type Config struct {
 	// must validate; New panics on a malformed spec (bgqd validates at
 	// flag parse, so this only fires on programmer error).
 	SLOs []obs.SLOSpec
+
+	// ReplicaID, when non-empty, runs the daemon as one replica of a
+	// bgqd cluster (DESIGN.md §17): fault events are stamped into a
+	// gossiped epoch log instead of a private fault set, responses carry
+	// X-Bgq-Replica / X-Bgq-Vector, and requests stamped with
+	// X-Bgq-Min-Vector are rejected with 503 until this replica has
+	// applied at least that vector. Empty means standalone (the legacy
+	// single-daemon behavior, bit for bit).
+	ReplicaID string
+	// Peers are the other replicas' base addresses (same forms NewClient
+	// accepts: "host:port", "http://...", "unix:///path").
+	Peers []string
+	// GossipInterval is the anti-entropy period between rounds. 0 means
+	// 200ms.
+	GossipInterval time.Duration
+	// GossipSeed fixes gossip peer selection (deterministic tests).
+	GossipSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StatsWindow <= 0 {
 		c.StatsWindow = 30 * time.Second
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 200 * time.Millisecond
 	}
 	return c
 }
@@ -150,8 +171,16 @@ type Server struct {
 	wResumeTotal *obs.WindowCounter
 	wLatency     *obs.WindowHistogram
 
+	// clst is the cluster plane (cluster.go); nil on standalone daemons.
+	clst *clusterPlane
+
+	// mu guards faults and vec together: vec is the fault-epoch vector
+	// the serve layer vouches for, and it must never run ahead of the
+	// fault set published alongside it (the cross-replica staleness
+	// check compares vec, then plans against faults).
 	mu     sync.Mutex
 	faults []scenario.FailLink
+	vec    cluster.Vector
 }
 
 // New builds a Server with the given configuration.
@@ -187,6 +216,9 @@ func New(cfg Config) *Server {
 		go s.sloLoop(interval)
 	}
 	s.sessions = newSessionMgr(s)
+	if cfg.ReplicaID != "" {
+		s.clst = newClusterPlane(s)
+	}
 	return s
 }
 
@@ -201,6 +233,9 @@ func (s *Server) Epoch() uint64 { return s.cache.Epoch() }
 // and drains the worker pool. In-flight HTTP requests must have
 // completed (http.Server.Shutdown before Close).
 func (s *Server) Close() {
+	if s.clst != nil {
+		s.clst.stopLoop()
+	}
 	if s.sloStop != nil {
 		close(s.sloStop)
 		<-s.sloDone
@@ -212,11 +247,21 @@ func (s *Server) Close() {
 // snapshot reads the epoch, then the fault set — in that order; see the
 // planCache type comment for why the order matters.
 func (s *Server) snapshot() (uint64, []scenario.FailLink) {
+	epoch, faults, _ := s.snapshotCluster()
+	return epoch, faults
+}
+
+// snapshotCluster additionally returns the fault-epoch vector, read in
+// the same critical section as the fault set: if the vector dominates a
+// client's minimum, the faults alongside it include every event that
+// minimum names.
+func (s *Server) snapshotCluster() (uint64, []scenario.FailLink, cluster.Vector) {
 	epoch := s.cache.Epoch()
 	s.mu.Lock()
 	faults := append([]scenario.FailLink(nil), s.faults...)
+	vec := s.vec.Clone()
 	s.mu.Unlock()
-	return epoch, faults
+	return epoch, faults, vec
 }
 
 // Handler returns the service's HTTP mux.
@@ -232,6 +277,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/transfer/{id}/events", s.handleTransferEvents)
 	mux.HandleFunc("POST /v1/transfer/{id}/ack", s.handleTransferAck)
 	mux.HandleFunc("POST /v1/transfer/{id}/heartbeat", s.handleTransferHeartbeat)
+	mux.HandleFunc("POST /v1/gossip", s.handleGossip)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -249,6 +296,9 @@ type planEnvelope struct {
 	Cached    bool            `json:"cached,omitempty"`
 	Coalesced bool            `json:"coalesced,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	// Vector is the fault-epoch vector the response was served under
+	// (clustered daemons only; see cluster.Vector.String for the form).
+	Vector string `json:"vector,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -270,7 +320,23 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, endpoint, key
 	s.reg.Counter("serve/requests").Inc()
 	s.reg.Counter("serve/requests/" + endpoint).Inc()
 	s.wRequests.Inc()
-	epoch, faults := s.snapshot()
+	epoch, faults, vec := s.snapshotCluster()
+	var vecStr string
+	if s.clst != nil {
+		vecStr = vec.String()
+		w.Header().Set(HeaderReplica, s.cfg.ReplicaID)
+		w.Header().Set(HeaderVector, vecStr)
+		// Cross-replica staleness check: a client that saw a fault event
+		// acknowledged at vector V demands we have applied V. If gossip
+		// has not delivered those events yet, serving would hand out a
+		// pre-fault plan — reject instead; no Retry-After, so the client
+		// returns on its own short backoff, by which time the eager
+		// broadcast or the next anti-entropy round has caught us up.
+		if !s.checkMinVector(w, r, epoch, vec) {
+			s.wall.SpanAbort(span)
+			return
+		}
+	}
 	// Phase timestamps, written by the worker goroutine; the channel
 	// receive inside the singleflight closure orders them before our
 	// reads. They stay zero on hit/coalesced/shed outcomes.
@@ -330,13 +396,13 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, endpoint, key
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeJSON(w, http.StatusTooManyRequests, planEnvelope{Epoch: epoch, Error: err.Error()})
+		writeJSON(w, http.StatusTooManyRequests, planEnvelope{Epoch: epoch, Error: err.Error(), Vector: vecStr})
 		return
 	}
 	if err != nil {
 		s.reg.Counter("serve/errors").Inc()
 		s.wall.SpanAbort(span)
-		writeJSON(w, http.StatusBadRequest, planEnvelope{Epoch: epoch, Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, planEnvelope{Epoch: epoch, Error: err.Error(), Vector: vecStr})
 		return
 	}
 	latencyMS := float64(time.Since(t0)) / 1e6
@@ -348,6 +414,7 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, endpoint, key
 		Epoch:     epoch,
 		Cached:    outcome == outcomeHit,
 		Coalesced: outcome == outcomeCoalesced,
+		Vector:    vecStr,
 	})
 }
 
@@ -448,6 +515,10 @@ func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, planEnvelope{Error: fmt.Sprintf("serve: bad fault link %+v", fl)})
 			return
 		}
+	}
+	if s.clst != nil {
+		s.clst.handleFaultClustered(w, r, ev)
+		return
 	}
 	s.mu.Lock()
 	if ev.Clear {

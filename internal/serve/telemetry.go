@@ -35,6 +35,18 @@ const (
 	HeaderComputeMS = "X-Bgq-Compute-Ms"
 )
 
+// Cluster headers (DESIGN.md §17). Responses carry the replica ID that
+// served the request and (on clustered daemons) the fault-epoch vector
+// the response was computed under; requests may carry a minimum vector
+// the serving replica must have applied — a replica that is behind
+// rejects with 503 so the client's backoff rides out gossip
+// propagation instead of reading a stale plan.
+const (
+	HeaderReplica   = "X-Bgq-Replica"
+	HeaderVector    = "X-Bgq-Vector"
+	HeaderMinVector = "X-Bgq-Min-Vector"
+)
+
 // traceID resolves a request's trace: the client's header if stamped,
 // else a fresh ID — but only when tracing is enabled (the disabled path
 // must not allocate).
